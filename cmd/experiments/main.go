@@ -1,0 +1,91 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§VI) plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [-nodes 1500] [-seed 42] [-packet 48] [-only E1a,E8]
+//
+// Output is a sequence of aligned text tables, one per experiment, with
+// notes comparing the measured shape to the paper's claims. Absolute
+// packet counts depend on this simulator; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sensjoin/internal/bench"
+	"sensjoin/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1500, "sensor node count (paper default 1500)")
+	seed := flag.Int64("seed", 42, "placement and field seed")
+	packet := flag.Int("packet", 48, "maximum packet size in bytes")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1a,E8); empty = all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	cfg := bench.Config{Nodes: *nodes, Seed: *seed, MaxPacket: *packet}
+
+	type entry struct {
+		id  string
+		run func() (*bench.Table, error)
+	}
+	entries := []entry{
+		{"E1a", func() (*bench.Table, error) { return bench.RunOverallSavings(cfg, workload.Ratio33()) }},
+		{"E1b", func() (*bench.Table, error) { return bench.RunOverallSavings(cfg, workload.Ratio60()) }},
+		{"E2a", func() (*bench.Table, error) { return bench.RunPerNodeSavings(cfg, workload.Ratio33()) }},
+		{"E2b", func() (*bench.Table, error) { return bench.RunPerNodeSavings(cfg, workload.Ratio60()) }},
+		{"E3", func() (*bench.Table, error) {
+			return bench.RunRatioSweep(cfg, workload.RatioSweep3JA(), "E3 / Fig. 12")
+		}},
+		{"E4", func() (*bench.Table, error) {
+			return bench.RunRatioSweep(cfg, workload.RatioSweep1JA(), "E4 / Fig. 13")
+		}},
+		{"E5", func() (*bench.Table, error) { return bench.RunNetworkSize(cfg, nil, workload.Ratio33()) }},
+		{"E6", func() (*bench.Table, error) { return bench.RunPacketSize(cfg, workload.Ratio33()) }},
+		{"E7", func() (*bench.Table, error) { return bench.RunStepBreakdown(cfg, nil, workload.Ratio60()) }},
+		{"E8", func() (*bench.Table, error) { return bench.RunCompressionComparison(cfg) }},
+		{"E9", func() (*bench.Table, error) { return bench.RunQuadInfluence(cfg) }},
+		{"A1", func() (*bench.Table, error) { return bench.RunTreecutAblation(cfg, workload.Ratio33()) }},
+		{"A2", func() (*bench.Table, error) { return bench.RunFilterLimitAblation(cfg, workload.Ratio33()) }},
+		{"X1", func() (*bench.Table, error) { return bench.RunIncrementalFilter(cfg, 0, 0) }},
+		{"X2", func() (*bench.Table, error) { return bench.RunRelatedWork(cfg) }},
+		{"X3", func() (*bench.Table, error) { return bench.RunLifetime(cfg) }},
+		{"X4", func() (*bench.Table, error) { return bench.RunResponseTime(cfg) }},
+		{"X5", func() (*bench.Table, error) { return bench.RunMemory(cfg) }},
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+
+	fmt.Printf("SENS-Join experiment suite — %d nodes, seed %d, %dB packets\n\n", *nodes, *seed, *packet)
+	start := time.Now()
+	for _, e := range entries {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		tbl, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+		} else {
+			fmt.Println(tbl)
+			fmt.Printf("(%s in %.1fs)\n\n", e.id, time.Since(t0).Seconds())
+		}
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}

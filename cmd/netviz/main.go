@@ -1,0 +1,128 @@
+// Command netviz dumps a simulated deployment: node positions, the
+// routing tree, depth and degree distributions. The output is plain text
+// (or DOT with -dot for rendering with graphviz).
+//
+// Usage:
+//
+//	netviz [-nodes 300] [-seed 1] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sensjoin/internal/core"
+	"sensjoin/internal/routing"
+	"sensjoin/internal/topology"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 300, "sensor node count")
+	seed := flag.Int64("seed", 1, "placement seed")
+	dot := flag.Bool("dot", false, "emit graphviz DOT of the routing tree")
+	loads := flag.Bool("loads", false, "run a default join with both methods and show the per-node load distribution")
+	flag.Parse()
+
+	r, err := core.NewRunner(core.SetupConfig{Nodes: *nodes, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netviz:", err)
+		os.Exit(1)
+	}
+	dep, tree := r.Dep, r.Tree
+
+	if *dot {
+		emitDot(dep, tree)
+		return
+	}
+	if *loads {
+		emitLoads(r)
+		return
+	}
+
+	fmt.Printf("deployment: %d nodes on %.0fx%.0f m, range %.0f m, avg degree %.1f\n",
+		dep.N(), dep.Area.Width(), dep.Area.Height(), dep.Range, dep.AvgDegree())
+	fmt.Printf("routing tree: max depth %d, root descendants %d\n\n",
+		tree.MaxDepth, tree.Descendants[topology.BaseStation])
+
+	depthCount := make([]int, tree.MaxDepth+1)
+	for i := 0; i < dep.N(); i++ {
+		if tree.Depth[i] >= 0 {
+			depthCount[tree.Depth[i]]++
+		}
+	}
+	fmt.Println("depth  nodes  histogram")
+	for d, c := range depthCount {
+		bar := ""
+		for i := 0; i < c*60/dep.N()+1 && i < 60; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%5d  %5d  %s\n", d, c, bar)
+	}
+
+	fmt.Println("\nnode   pos(x,y)        depth  parent  children  descendants")
+	limit := dep.N()
+	if limit > 25 {
+		limit = 25
+	}
+	for i := 0; i < limit; i++ {
+		fmt.Printf("%4d   (%6.1f,%6.1f)  %5d  %6d  %8d  %11d\n",
+			i, dep.Pos[i].X, dep.Pos[i].Y, tree.Depth[i], tree.Parent[i],
+			len(tree.Children[i]), tree.Descendants[i])
+	}
+	if dep.N() > limit {
+		fmt.Printf("... (%d more nodes)\n", dep.N()-limit)
+	}
+}
+
+func emitDot(dep *topology.Deployment, tree *routing.Tree) {
+	fmt.Println("digraph routing {")
+	fmt.Println("  node [shape=point];")
+	for i := 0; i < dep.N(); i++ {
+		fmt.Printf("  n%d [pos=\"%.1f,%.1f!\"];\n", i, dep.Pos[i].X, dep.Pos[i].Y)
+		if p := tree.Parent[i]; p != routing.NoParent {
+			fmt.Printf("  n%d -> n%d;\n", i, p)
+		}
+	}
+	fmt.Println("}")
+}
+
+// emitLoads races both methods on a default selective join and prints
+// the per-node packet distribution by tree depth — the Fig. 11 view.
+func emitLoads(r *core.Runner) {
+	const src = `SELECT A.hum, B.hum FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 6 ONCE`
+	show := func(name string, m core.Method) {
+		r.Stats.Reset()
+		if _, err := r.Run(src, m, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "netviz:", err)
+			os.Exit(1)
+		}
+		per := r.Stats.PerNodeTx(m.Phases()...)
+		byDepth := make(map[int][]int64)
+		for i := 1; i < len(per); i++ {
+			d := r.Tree.Depth[i]
+			byDepth[d] = append(byDepth[d], per[i])
+		}
+		fmt.Printf("\n%s — packets per node by depth (avg [max]):\n", name)
+		for d := 1; d <= r.Tree.MaxDepth; d++ {
+			nodes := byDepth[d]
+			if len(nodes) == 0 {
+				continue
+			}
+			var sum, max int64
+			for _, p := range nodes {
+				sum += p
+				if p > max {
+					max = p
+				}
+			}
+			avg := float64(sum) / float64(len(nodes))
+			bar := strings.Repeat("#", int(avg)+1)
+			fmt.Printf("depth %2d (%3d nodes): %6.1f [%4d] %s\n", d, len(nodes), avg, max, bar)
+		}
+	}
+	show("external-join", core.External{})
+	show("sens-join", core.NewSENSJoin())
+}

@@ -1,0 +1,144 @@
+// Command sensjoin runs one query on a simulated sensor network and
+// prints the result, the per-phase communication costs, and (optionally)
+// a comparison against the external join.
+//
+// Usage:
+//
+//	sensjoin [-nodes 300] [-seed 1] [-method sens|external|noquad]
+//	         [-compare] [-rows 10] [-flood] "SELECT ... ONCE"
+//
+// Example (the paper's Q1):
+//
+//	sensjoin -nodes 500 -compare \
+//	  "SELECT MIN(distance(A.x, A.y, B.x, B.y)) FROM Sensors A, Sensors B
+//	   WHERE A.temp - B.temp > 10.0 ONCE"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sensjoin"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 300, "sensor node count")
+	seed := flag.Int64("seed", 1, "placement and field seed")
+	method := flag.String("method", "sens", "join method: sens, external, noquad, mediated, semi, or incremental")
+	explain := flag.Bool("explain", false, "print the execution plan instead of running")
+	advise := flag.Bool("advise", false, "print the cost model's method recommendation")
+	compare := flag.Bool("compare", false, "also run the external join and report savings")
+	maxRows := flag.Int("rows", 10, "result rows to print (0 = all)")
+	flood := flag.Bool("flood", false, "include query dissemination in the run")
+	trace := flag.Int("trace", 0, "print the first N radio events of the execution")
+	flag.Parse()
+
+	src := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(src) == "" {
+		fmt.Fprintln(os.Stderr, "usage: sensjoin [flags] \"SELECT ... ONCE\"")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	net, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: *nodes, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("network: %d nodes, %.0fx%.0f m, avg degree %.1f, tree depth %d\n",
+		net.Nodes(), net.Area().Width(), net.Area().Height(), net.AvgDegree(), net.TreeDepth())
+
+	if *explain {
+		plan, err := net.Explain(src)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(plan)
+		return
+	}
+	if *advise {
+		a, err := net.Advise(src)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("recommendation: %s\n", a.Use)
+		fmt.Printf("  predicted packets: external %.0f, sens-join %.0f\n", a.PredictedExternal, a.PredictedSENS)
+		fmt.Printf("  expected result fraction: %.1f%%, break-even near %.0f%%\n",
+			100*a.ExpectedFraction, 100*a.BreakEvenFraction)
+		return
+	}
+
+	var m sensjoin.Method
+	switch *method {
+	case "sens":
+		m = sensjoin.SENSJoin()
+	case "external":
+		m = sensjoin.ExternalJoin()
+	case "noquad":
+		m = sensjoin.SENSJoinNoQuad()
+	case "mediated":
+		m = sensjoin.MediatedJoin()
+	case "semi":
+		m = sensjoin.SemiJoinMethod()
+	case "incremental":
+		m = sensjoin.ContinuousSENSJoin()
+	default:
+		fail(fmt.Errorf("unknown method %q", *method))
+	}
+
+	if *trace > 0 {
+		remaining := *trace
+		net.SetTrace(func(ev sensjoin.TraceEvent) {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			fmt.Printf("trace %8.3fs %-4s %-16s %4d -> %4d  %d B\n",
+				ev.At, ev.Event, ev.Phase, ev.Src, ev.Dst, ev.Bytes)
+		})
+	}
+	if *flood {
+		if err := net.DisseminateQuery(src); err != nil {
+			fail(err)
+		}
+	}
+	res, err := net.Execute(src, m)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("\nresult: %d row(s), %d of %d member nodes contributing (%.1f%%), response %.1fs\n",
+		len(res.Rows), res.ContributingNodes, res.MemberNodes, 100*res.Fraction(), res.ResponseTime)
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for i, row := range res.Rows {
+		if *maxRows > 0 && i >= *maxRows {
+			fmt.Printf("... (%d more)\n", len(res.Rows)-i)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = fmt.Sprintf("%.4g", v)
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+
+	fmt.Printf("\ncommunication (%s):\n%s", m.Name(), net.PhaseTable())
+	total := net.TotalPackets(m)
+	fmt.Printf("total: %d packets, %.1f mJ estimated radio energy\n", total, 1000*net.TotalEnergy())
+
+	if *compare && *method != "external" {
+		net.ResetStats()
+		if _, err := net.Execute(src, sensjoin.ExternalJoin()); err != nil {
+			fail(err)
+		}
+		ext := net.TotalPackets(sensjoin.ExternalJoin())
+		fmt.Printf("\nexternal join: %d packets -> savings %.1f%%\n",
+			ext, 100*(1-float64(total)/float64(ext)))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sensjoin:", err)
+	os.Exit(1)
+}

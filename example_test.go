@@ -1,0 +1,99 @@
+package sensjoin_test
+
+import (
+	"fmt"
+	"log"
+
+	"sensjoin"
+)
+
+// ExampleNetwork_Execute runs the paper's Q1 on a small simulated
+// network and compares SENS-Join against the external join.
+func ExampleNetwork_Execute() {
+	net, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 200, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const q1 = `
+		SELECT MIN(distance(A.x, A.y, B.x, B.y))
+		FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 4.0
+		ONCE`
+	res, err := net.Execute(q1, sensjoin.SENSJoin())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sens := net.TotalPackets(sensjoin.SENSJoin())
+	net.ResetStats()
+	if _, err := net.Execute(q1, sensjoin.ExternalJoin()); err != nil {
+		log.Fatal(err)
+	}
+	ext := net.TotalPackets(sensjoin.ExternalJoin())
+	fmt.Printf("rows: %d\n", len(res.Rows))
+	fmt.Printf("sens-join cheaper: %v\n", sens < ext)
+	// Output:
+	// rows: 1
+	// sens-join cheaper: true
+}
+
+// ExampleNetwork_GroundTruth shows the oracle that every join method is
+// tested against.
+func ExampleNetwork_GroundTruth() {
+	net, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 100, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const q = `
+		SELECT COUNT(A.temp) FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 5 ONCE`
+	truth, err := net.GroundTruth(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := net.Execute(q, sensjoin.SENSJoin())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracle and protocol agree: %v\n", truth.Rows[0][0] == res.Rows[0][0])
+	// Output:
+	// oracle and protocol agree: true
+}
+
+// ExampleNetwork_Advise uses the cost model to pick a join method
+// before transmitting anything.
+func ExampleNetwork_Advise() {
+	net, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 150, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	selective := `SELECT A.hum, B.hum FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 10 ONCE`
+	adv, err := net.Advise(selective)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recommended: %s\n", adv.Use)
+	// Output:
+	// recommended: sens-join
+}
+
+// ExampleNetwork_ExecuteWithRecovery demonstrates the paper's §IV-F
+// error handling: detect the loss, repair the tree, re-execute.
+func ExampleNetwork_ExecuteWithRecovery() {
+	net, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 120, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const q = `SELECT A.temp, B.temp FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 5 ONCE`
+	victim := 30
+	net.FailLink(victim, net.RoutingParent(victim))
+	res, err := net.ExecuteWithRecovery(q, sensjoin.SENSJoin(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("complete after recovery: %v (executions > 1: %v)\n",
+		res.Complete, res.Executions > 1)
+	// Output:
+	// complete after recovery: true (executions > 1: true)
+}

@@ -1,0 +1,78 @@
+// Query advisor: EXPLAIN plus the cost model (paper §IV-E / [20]).
+//
+// Before spending any energy, a user can ask the library two questions:
+// what will this query do (Explain), and which join method should run it
+// (Advise, the paper's join-location analysis as a planner). The example
+// walks three queries across the selectivity spectrum and then verifies
+// the recommendation by actually running both methods.
+//
+// Run with: go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sensjoin"
+)
+
+func main() {
+	net, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 400, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := map[string]string{
+		"rare extremes (selective)": `
+			SELECT A.hum, B.hum FROM Sensors A, Sensors B
+			WHERE A.temp - B.temp > 7.5 ONCE`,
+		"moderate contrast": `
+			SELECT A.hum, B.hum FROM Sensors A, Sensors B
+			WHERE A.temp - B.temp > 3 ONCE`,
+		"dense similarity (unselective)": `
+			SELECT A.hum, B.hum FROM Sensors A, Sensors B
+			WHERE abs(A.temp - B.temp) < 0.5 ONCE`,
+	}
+
+	for name, src := range queries {
+		fmt.Printf("=== %s ===\n", name)
+		adv, err := net.Advise(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model: external ~%.0f packets, sens-join ~%.0f packets -> use %s\n",
+			adv.PredictedExternal, adv.PredictedSENS, adv.Use)
+		fmt.Printf("expected fraction %.1f%%, break-even near %.0f%%\n",
+			100*adv.ExpectedFraction, 100*adv.BreakEvenFraction)
+
+		// Verify against reality.
+		net.ResetStats()
+		if _, err := net.Execute(src, sensjoin.ExternalJoin()); err != nil {
+			log.Fatal(err)
+		}
+		ext := net.TotalPackets(sensjoin.ExternalJoin())
+		net.ResetStats()
+		if _, err := net.Execute(src, sensjoin.SENSJoin()); err != nil {
+			log.Fatal(err)
+		}
+		sens := net.TotalPackets(sensjoin.SENSJoin())
+		actual := "external-join"
+		if sens < ext {
+			actual = "sens-join"
+		}
+		verdict := "correct"
+		if actual != adv.Use {
+			verdict = "WRONG (near break-even)"
+		}
+		fmt.Printf("actual: external %d, sens-join %d -> %s wins (model was %s)\n\n",
+			ext, sens, actual, verdict)
+	}
+
+	// A peek at the plan of the selective query.
+	plan, err := net.Explain(queries["rare extremes (selective)"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== plan of the selective query ===")
+	fmt.Println(plan)
+}

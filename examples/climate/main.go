@@ -1,0 +1,96 @@
+// Climate correlation study: the paper's Q2 and the break-even tradeoff.
+//
+// A researcher investigates how humidity and pressure co-vary with
+// temperature while excluding spatial correlation: pairs of nodes with
+// similar temperature at least 100 m apart (paper §I, Example 2).
+//
+// The example deliberately shows both regimes of the paper's Fig. 10:
+//
+//   - Q2 as written is a similarity join. On a dense network most nodes
+//     find an equal-temperature partner, the result fraction lands past
+//     the 60-80% break-even, and the external join wins — exactly the
+//     regime the paper says to avoid SENS-Join in.
+//   - A selective variant (large temperature contrast, Q1-style) puts
+//     the fraction in the single digits, where SENS-Join saves most of
+//     the communication and unburdens the relay nodes that decide the
+//     network's lifetime.
+//
+// Run with: go run ./examples/climate
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"sensjoin"
+)
+
+func main() {
+	net, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 800, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const q2 = `
+		SELECT abs(A.hum - B.hum), abs(A.pres - B.pres)
+		FROM Sensors A, Sensors B
+		WHERE abs(A.temp - B.temp) < 0.3
+		AND distance(A.x, A.y, B.x, B.y) > 100
+		ONCE`
+
+	const q2selective = `
+		SELECT abs(A.hum - B.hum), abs(A.pres - B.pres)
+		FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 10
+		AND distance(A.x, A.y, B.x, B.y) > 100
+		ONCE`
+
+	fmt.Println("--- Q2 (similarity join, dense field) ---")
+	runBoth(net, q2)
+
+	fmt.Println("\n--- selective variant (strong temperature contrast) ---")
+	runBoth(net, q2selective)
+}
+
+func runBoth(net *sensjoin.Network, src string) {
+	net.ResetStats()
+	res, err := net.Execute(src, sensjoin.SENSJoin())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sens := net.TotalPackets(sensjoin.SENSJoin())
+	sensLoads := topLoads(net.PerNodePackets(sensjoin.SENSJoin()))
+
+	net.ResetStats()
+	if _, err := net.Execute(src, sensjoin.ExternalJoin()); err != nil {
+		log.Fatal(err)
+	}
+	ext := net.TotalPackets(sensjoin.ExternalJoin())
+	extLoads := topLoads(net.PerNodePackets(sensjoin.ExternalJoin()))
+
+	fmt.Printf("%d pairs, %.1f%% of nodes contributing\n", len(res.Rows), 100*res.Fraction())
+	if len(res.Rows) > 0 {
+		var dh, dp float64
+		for _, row := range res.Rows {
+			dh += row[0]
+			dp += row[1]
+		}
+		n := float64(len(res.Rows))
+		fmt.Printf("matched pairs differ on average by %.2f%%RH and %.2f hPa\n", dh/n, dp/n)
+	}
+	fmt.Printf("total packets: external %d vs sens-join %d", ext, sens)
+	if sens < ext {
+		fmt.Printf("  -> SENS-Join saves %.0f%%\n", 100*(1-float64(sens)/float64(ext)))
+	} else {
+		fmt.Printf("  -> past break-even, external join wins (paper Fig. 10)\n")
+	}
+	fmt.Printf("most loaded node: external %d vs sens-join %d packets (%.1fx)\n",
+		extLoads[0], sensLoads[0], float64(extLoads[0])/float64(sensLoads[0]))
+}
+
+func topLoads(perNode []int64) []int64 {
+	s := append([]int64(nil), perNode[1:]...) // skip the powered base station
+	sort.Slice(s, func(i, j int) bool { return s[i] > s[j] })
+	return s
+}

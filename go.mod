@@ -1,0 +1,3 @@
+module sensjoin
+
+go 1.22

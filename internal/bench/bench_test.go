@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"sensjoin/internal/workload"
+)
+
+// smallConfig keeps unit tests fast; full-scale runs live in
+// cmd/experiments and the repository-root benchmarks.
+func smallConfig() Config {
+	return Config{
+		Nodes:     250,
+		Seed:      7,
+		Fractions: []float64{0.05, 0.40, 0.90},
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		ID:     "T1",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.Note("hello %d", 5)
+	out := tbl.String()
+	for _, want := range []string{"T1", "demo", "long-column", "333", "note: hello 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if savings(100, 25) != 0.75 {
+		t.Fatalf("savings = %g", savings(100, 25))
+	}
+	if savings(0, 10) != 0 {
+		t.Fatal("savings with zero baseline should be 0")
+	}
+	if fmtFactor(100, 10) != "10.0x" {
+		t.Fatalf("fmtFactor = %s", fmtFactor(100, 10))
+	}
+	if fmtFactor(1, 0) != "inf" {
+		t.Fatal("fmtFactor by zero should be inf")
+	}
+	if fmtFrac(0.125) != "12.5%" {
+		t.Fatalf("fmtFrac = %s", fmtFrac(0.125))
+	}
+}
+
+func TestOverallSavingsShape(t *testing.T) {
+	tbl, err := RunOverallSavings(smallConfig(), workload.Ratio33())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	// At the lowest fraction SENS-Join must win.
+	if tbl.Rows[0][5] != "sens-join" {
+		t.Fatalf("low fraction winner = %s:\n%s", tbl.Rows[0][5], tbl)
+	}
+}
+
+func TestPerNodeSavingsShape(t *testing.T) {
+	tbl, err := RunPerNodeSavings(smallConfig(), workload.Ratio33())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no descendant bins")
+	}
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "most-loaded") {
+		t.Fatalf("missing most-loaded note: %v", tbl.Notes)
+	}
+}
+
+func TestRatioSweepShape(t *testing.T) {
+	tbl, err := RunRatioSweep(smallConfig(), workload.RatioSweep1JA(), "E4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+}
+
+func TestNetworkSizeShape(t *testing.T) {
+	tbl, err := RunNetworkSize(smallConfig(), []int{150, 250}, workload.Ratio33())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+}
+
+func TestStepBreakdownShape(t *testing.T) {
+	tbl, err := RunStepBreakdown(smallConfig(), []float64{0.05, 0.25}, workload.Ratio60())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 external row + 2 sens rows.
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(tbl.Rows), tbl)
+	}
+	if !strings.Contains(tbl.Notes[0], "independent") {
+		t.Fatalf("expected fixed collection cost, got: %v", tbl.Notes)
+	}
+}
+
+func TestCompressionComparisonShape(t *testing.T) {
+	tbl, err := RunCompressionComparison(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// Quadtree (last row) must beat raw (first row).
+	if tbl.Rows[3][0] != "quadtree" {
+		t.Fatalf("unexpected row order:\n%s", tbl)
+	}
+}
+
+func TestQuadInfluenceShape(t *testing.T) {
+	tbl, err := RunQuadInfluence(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if _, err := RunTreecutAblation(smallConfig(), workload.Ratio33()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFilterLimitAblation(smallConfig(), workload.Ratio33()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketSizeShape(t *testing.T) {
+	tbl, err := RunPacketSize(smallConfig(), workload.Ratio33())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+}
+
+func TestIncrementalFilterShape(t *testing.T) {
+	tbl, err := RunIncrementalFilter(smallConfig(), 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// Round 1 must be identical by design (0% saved).
+	if tbl.Rows[0][3] != "0.0%" {
+		t.Fatalf("round 1 saved %s, want 0.0%%", tbl.Rows[0][3])
+	}
+}
+
+func TestRelatedWorkShape(t *testing.T) {
+	tbl, err := RunRelatedWork(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 methods x 2 settings.
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8:\n%s", len(tbl.Rows), tbl)
+	}
+}
+
+func TestLifetimeShape(t *testing.T) {
+	tbl, err := RunLifetime(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// SENS-Join rows carry an extension factor > 1x.
+	for _, row := range tbl.Rows {
+		if row[1] == "sens-join" && row[4] == "-" {
+			t.Fatalf("missing extension factor: %v", row)
+		}
+	}
+}
+
+func TestResponseTimeShape(t *testing.T) {
+	tbl, err := RunResponseTime(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// Every ratio must respect the paper's ~2x bound (allow slack for
+	// the filter phase on tiny networks).
+	for _, row := range tbl.Rows {
+		r := strings.TrimSuffix(row[3], "x")
+		if r >= "3" {
+			t.Fatalf("response ratio %s exceeds bound: %v", row[3], row)
+		}
+	}
+}
+
+func TestMemoryShape(t *testing.T) {
+	tbl, err := RunMemory(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "demo", Header: []string{"a", "b"}}
+	tbl.AddRow(`x"y`, "2")
+	tbl.Note("n")
+	csv := tbl.CSV()
+	for _, want := range []string{`"a","b"`, `"x""y","2"`, "# n"} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, csv)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§VI). Each experiment has a Run function returning a Table
+// of the same rows/series the paper reports; cmd/experiments prints the
+// full set and bench_test.go at the repository root wraps each in a
+// testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E1a / Fig. 10(a)").
+	ID string
+	// Title describes what is measured.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds formatted cells.
+	Rows [][]string
+	// Notes carries observations (savings, break-even, ratios).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a formatted observation line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func fmtInt(v int64) string    { return fmt.Sprintf("%d", v) }
+func fmtFrac(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func fmtFactor(a, b int64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+// savings returns 1 - sens/ext as a fraction.
+func savings(ext, sens int64) float64 {
+	if ext == 0 {
+		return 0
+	}
+	return 1 - float64(sens)/float64(ext)
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoted cells, one header
+// row); notes become trailing comment lines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		}
+		b.WriteByte('\n')
+	}
+	writeCSVRow(t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}

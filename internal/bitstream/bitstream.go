@@ -1,0 +1,124 @@
+// Package bitstream provides MSB-first bit-level readers and writers.
+//
+// The quadtree wire format of SENS-Join (paper §V-C, Fig. 9) is a dense
+// bitstring of index nodes, quadrant masks and relative point encodings;
+// this package is the substrate it is serialized with. Bits are packed
+// most-significant-bit first so that a lexicographic comparison of the
+// produced bytes matches a lexicographic comparison of the bit sequences.
+package bitstream
+
+import "fmt"
+
+// Writer accumulates bits MSB-first into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf   []byte
+	nbits int
+}
+
+// NewWriter returns an empty writer with capacity for sizeHint bits.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, (sizeHint+7)/8)}
+}
+
+// WriteBit appends a single bit (any non-zero value counts as 1).
+func (w *Writer) WriteBit(b uint) {
+	if w.nbits%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbits/8] |= 0x80 >> uint(w.nbits%8)
+	}
+	w.nbits++
+}
+
+// WriteBits appends the n least-significant bits of v, most significant
+// of those first. n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits with n=%d", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteBool appends 1 for true, 0 for false.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbits }
+
+// ByteLen returns the number of bytes needed to hold the written bits.
+func (w *Writer) ByteLen() int { return (w.nbits + 7) / 8 }
+
+// Bytes returns the packed bits; trailing bits of the last byte are zero.
+// The returned slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse, keeping the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbits = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf   []byte
+	pos   int // bit position
+	nbits int // total available bits
+	err   error
+}
+
+// NewReader returns a reader over the first nbits bits of buf.
+// If nbits is negative, all of buf (8*len) is available.
+func NewReader(buf []byte, nbits int) *Reader {
+	if nbits < 0 || nbits > 8*len(buf) {
+		nbits = 8 * len(buf)
+	}
+	return &Reader{buf: buf, nbits: nbits}
+}
+
+// ErrShortRead is recorded when a read runs past the end of the stream.
+var ErrShortRead = fmt.Errorf("bitstream: read past end of stream")
+
+// ReadBit returns the next bit, or 0 with a recorded error when exhausted.
+func (r *Reader) ReadBit() uint {
+	if r.pos >= r.nbits {
+		r.err = ErrShortRead
+		return 0
+	}
+	b := uint(r.buf[r.pos/8]>>(7-uint(r.pos%8))) & 1
+	r.pos++
+	return b
+}
+
+// ReadBits returns the next n bits as the low bits of a uint64.
+func (r *Reader) ReadBits(n int) uint64 {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitstream: ReadBits with n=%d", n))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(r.ReadBit())
+	}
+	return v
+}
+
+// ReadBool returns the next bit as a boolean.
+func (r *Reader) ReadBool() bool { return r.ReadBit() != 0 }
+
+// Remaining reports how many bits are left to read.
+func (r *Reader) Remaining() int { return r.nbits - r.pos }
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Err returns the first error encountered (only ErrShortRead is possible).
+func (r *Reader) Err() error { return r.err }

@@ -1,0 +1,151 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(16)
+	bits := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(bits) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(bits))
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i, want := range bits {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestMSBFirstPacking(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0b0110, 4)
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0b10110110 {
+		t.Fatalf("Bytes = %08b, want 10110110", got[0])
+	}
+}
+
+func TestWriteBitsZeroWidth(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(123, 0)
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", w.Len())
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0b101, 3)
+	r := NewReader(w.Bytes(), w.Len())
+	r.ReadBits(3)
+	if r.Err() != nil {
+		t.Fatalf("premature error: %v", r.Err())
+	}
+	if got := r.ReadBit(); got != 0 {
+		t.Fatalf("past-end bit = %d, want 0", got)
+	}
+	if r.Err() != ErrShortRead {
+		t.Fatalf("Err = %v, want ErrShortRead", r.Err())
+	}
+}
+
+func TestNegativeNBitsUsesWholeBuffer(t *testing.T) {
+	r := NewReader([]byte{0xff, 0x00}, -1)
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d, want 16", r.Remaining())
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xff, 8)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatalf("Reset did not clear writer: len=%d bytes=%d", w.Len(), len(w.Bytes()))
+	}
+	w.WriteBits(0b1, 1)
+	if w.Bytes()[0] != 0x80 {
+		t.Fatalf("after reset, first bit = %08b, want 10000000", w.Bytes()[0])
+	}
+}
+
+func TestWriteBool(t *testing.T) {
+	w := NewWriter(2)
+	w.WriteBool(true)
+	w.WriteBool(false)
+	r := NewReader(w.Bytes(), w.Len())
+	if !r.ReadBool() || r.ReadBool() {
+		t.Fatal("bool roundtrip failed")
+	}
+}
+
+func TestWriteBitsPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=65")
+		}
+	}()
+	w := NewWriter(0)
+	w.WriteBits(0, 65)
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		widths := make([]int, count)
+		vals := make([]uint64, count)
+		w := NewWriter(64 * count)
+		for i := 0; i < count; i++ {
+			widths[i] = rng.Intn(65)
+			vals[i] = rng.Uint64()
+			if widths[i] < 64 {
+				vals[i] &= (1 << uint(widths[i])) - 1
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i := 0; i < count; i++ {
+			if got := r.ReadBits(widths[i]); got != vals[i] {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bit length of the writer equals the sum of written widths and
+// ByteLen is its ceiling.
+func TestQuickLengths(t *testing.T) {
+	f := func(widths []uint8) bool {
+		w := NewWriter(0)
+		total := 0
+		for _, ww := range widths {
+			n := int(ww % 65)
+			w.WriteBits(0, n)
+			total += n
+		}
+		return w.Len() == total && w.ByteLen() == (total+7)/8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package compress
+
+import "sort"
+
+// bwt computes the Burrows-Wheeler Transform of data: the last column of
+// the sorted matrix of all rotations, plus the row index of the original
+// string. Rotation order is computed by prefix doubling in O(n log^2 n).
+func bwt(data []byte) (last []byte, primary int) {
+	n := len(data)
+	if n == 0 {
+		return nil, 0
+	}
+	// rank[i] is the sort key of the rotation starting at i, refined
+	// doubling the compared prefix length each round.
+	rank := make([]int, n)
+	for i, b := range data {
+		rank[i] = int(b)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	tmp := make([]int, n)
+	for k := 1; ; k <<= 1 {
+		key := func(i int) (int, int) {
+			return rank[i], rank[(i+k)%n]
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			r1a, r2a := key(idx[a])
+			r1b, r2b := key(idx[b])
+			if r1a != r1b {
+				return r1a < r1b
+			}
+			return r2a < r2b
+		})
+		tmp[idx[0]] = 0
+		for i := 1; i < n; i++ {
+			r1p, r2p := key(idx[i-1])
+			r1c, r2c := key(idx[i])
+			tmp[idx[i]] = tmp[idx[i-1]]
+			if r1p != r1c || r2p != r2c {
+				tmp[idx[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if rank[idx[n-1]] == n-1 || k >= n {
+			break
+		}
+	}
+	last = make([]byte, n)
+	for i, rot := range idx {
+		// Rotation starting at rot: its last character is data[rot-1].
+		last[i] = data[(rot+n-1)%n]
+		if rot == 0 {
+			primary = i
+		}
+	}
+	return last, primary
+}
+
+// unbwt inverts the Burrows-Wheeler Transform.
+func unbwt(last []byte, primary int) []byte {
+	n := len(last)
+	if n == 0 {
+		return nil
+	}
+	// LF mapping: row i of the sorted matrix corresponds to the rotation
+	// obtained by prepending last[i]; LF[i] is that rotation's row.
+	var count [256]int
+	for _, b := range last {
+		count[b]++
+	}
+	var c [256]int
+	sum := 0
+	for v := 0; v < 256; v++ {
+		c[v] = sum
+		sum += count[v]
+	}
+	lf := make([]int, n)
+	var occ [256]int
+	for i, b := range last {
+		lf[i] = c[b] + occ[b]
+		occ[b]++
+	}
+	out := make([]byte, n)
+	row := primary
+	for k := n - 1; k >= 0; k-- {
+		out[k] = last[row]
+		row = lf[row]
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sensjoin/internal/bitstream"
+)
+
+// BWZ is the bzip2-style block compressor: per block, a Burrows-Wheeler
+// Transform, move-to-front, zero run-length coding, and canonical Huffman
+// coding with the code-length table serialized in the header. Like bzip2
+// it pays a per-block table overhead, which is why it loses to "no
+// compression" on the small payloads sensor nodes forward (paper §VI-B).
+type BWZ struct {
+	// BlockSize bounds the bytes per BWT block; 0 means the 16 KiB
+	// default.
+	BlockSize int
+}
+
+const bwzDefaultBlock = 16 * 1024
+
+var bwzMagic = [4]byte{'B', 'W', 'Z', '1'}
+
+// Name implements Codec.
+func (BWZ) Name() string { return "bwz(bzip2-like)" }
+
+// Compress implements Codec.
+func (z BWZ) Compress(data []byte) []byte {
+	block := z.BlockSize
+	if block <= 0 {
+		block = bwzDefaultBlock
+	}
+	out := append([]byte(nil), bwzMagic[:]...)
+	out = binary.AppendUvarint(out, uint64(len(data)))
+	for start := 0; start < len(data); start += block {
+		end := start + block
+		if end > len(data) {
+			end = len(data)
+		}
+		out = appendBlock(out, data[start:end])
+	}
+	return out
+}
+
+func appendBlock(out, data []byte) []byte {
+	last, primary := bwt(data)
+	syms := rle0Encode(mtfEncode(last))
+	freq := make([]int, alphabetLen)
+	for _, s := range syms {
+		freq[s]++
+	}
+	lengths := huffCodeLengths(freq)
+	enc := newHuffEncoder(lengths)
+	w := bitstream.NewWriter(len(syms) * 8)
+	for _, s := range syms {
+		enc.encode(w, int(s))
+	}
+	out = binary.AppendUvarint(out, uint64(len(data)))
+	out = binary.AppendUvarint(out, uint64(primary))
+	out = appendLengthTable(out, lengths)
+	out = binary.AppendUvarint(out, uint64(w.Len()))
+	return append(out, w.Bytes()...)
+}
+
+// appendLengthTable serializes the code-length table: lengths are 4-bit
+// values; a zero nibble is followed by a byte-sized run count of zero
+// lengths, which keeps sparse alphabets cheap.
+func appendLengthTable(out []byte, lengths []byte) []byte {
+	w := bitstream.NewWriter(len(lengths) * 4)
+	for i := 0; i < len(lengths); {
+		if lengths[i] == 0 {
+			run := 0
+			for i < len(lengths) && lengths[i] == 0 && run < 255 {
+				run++
+				i++
+			}
+			w.WriteBits(0, 4)
+			w.WriteBits(uint64(run), 8)
+			continue
+		}
+		w.WriteBits(uint64(lengths[i]), 4)
+		i++
+	}
+	out = binary.AppendUvarint(out, uint64(w.Len()))
+	return append(out, w.Bytes()...)
+}
+
+func readLengthTable(data []byte, pos int) (lengths []byte, next int, err error) {
+	bits, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("compress: bwz bad length-table size")
+	}
+	pos += n
+	byteLen := (int(bits) + 7) / 8
+	if pos+byteLen > len(data) {
+		return nil, 0, fmt.Errorf("compress: bwz truncated length table")
+	}
+	r := bitstream.NewReader(data[pos:pos+byteLen], int(bits))
+	lengths = make([]byte, 0, alphabetLen)
+	for r.Remaining() >= 4 && len(lengths) < alphabetLen {
+		v := byte(r.ReadBits(4))
+		if v == 0 {
+			run := int(r.ReadBits(8))
+			if r.Err() != nil || run == 0 {
+				return nil, 0, fmt.Errorf("compress: bwz bad zero run in length table")
+			}
+			for j := 0; j < run && len(lengths) < alphabetLen; j++ {
+				lengths = append(lengths, 0)
+			}
+			continue
+		}
+		lengths = append(lengths, v)
+	}
+	if r.Err() != nil {
+		return nil, 0, r.Err()
+	}
+	for len(lengths) < alphabetLen {
+		lengths = append(lengths, 0)
+	}
+	return lengths, pos + byteLen, nil
+}
+
+// Decompress implements Codec.
+func (z BWZ) Decompress(data []byte) ([]byte, error) {
+	if len(data) < 4 || [4]byte(data[:4]) != bwzMagic {
+		return nil, fmt.Errorf("compress: not a bwz stream")
+	}
+	pos := 4
+	origLen, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: bwz bad length header")
+	}
+	pos += n
+	out := make([]byte, 0, origLen)
+	for uint64(len(out)) < origLen {
+		blockLen, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: bwz bad block length")
+		}
+		pos += n
+		primary, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: bwz bad primary index")
+		}
+		pos += n
+		lengths, next, err := readLengthTable(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = next
+		bits, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: bwz bad stream size")
+		}
+		pos += n
+		byteLen := (int(bits) + 7) / 8
+		if pos+byteLen > len(data) {
+			return nil, fmt.Errorf("compress: bwz truncated block")
+		}
+		dec := newHuffDecoder(lengths)
+		r := bitstream.NewReader(data[pos:pos+byteLen], int(bits))
+		pos += byteLen
+		var syms []uint16
+		for {
+			s, err := dec.decode(r)
+			if err != nil {
+				return nil, err
+			}
+			syms = append(syms, uint16(s))
+			if s == symEOB {
+				break
+			}
+		}
+		mtf := rle0Decode(syms)
+		if uint64(len(mtf)) != blockLen {
+			return nil, fmt.Errorf("compress: bwz block length mismatch: %d vs %d", len(mtf), blockLen)
+		}
+		if primary >= uint64(len(mtf)) && len(mtf) > 0 {
+			return nil, fmt.Errorf("compress: bwz primary index out of range")
+		}
+		out = append(out, unbwt(mtfDecode(mtf), int(primary))...)
+	}
+	if uint64(len(out)) != origLen {
+		return nil, fmt.Errorf("compress: bwz decompressed %d bytes, want %d", len(out), origLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+
+	"sensjoin/internal/bitstream"
+)
+
+// maxCodeLen bounds canonical Huffman code lengths so lengths fit in 4
+// bits on the wire.
+const maxCodeLen = 15
+
+// huffCodeLengths computes code lengths for the given symbol frequencies
+// (zero-frequency symbols get length 0). Lengths exceeding maxCodeLen are
+// avoided by flattening the frequency distribution and rebuilding.
+func huffCodeLengths(freq []int) []byte {
+	lengths := make([]byte, len(freq))
+	f := append([]int(nil), freq...)
+	for {
+		buildLengths(f, lengths)
+		maxLen := byte(0)
+		for _, l := range lengths {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen <= maxCodeLen {
+			return lengths
+		}
+		// Flatten: halving (and clamping at 1) shortens the deepest
+		// codes; a couple of iterations suffice in practice.
+		for i, v := range f {
+			if v > 0 {
+				f[i] = v/2 + 1
+			}
+		}
+	}
+}
+
+type huffNode struct {
+	weight int
+	sym    int // -1 for internal
+	l, r   *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].sym < h[j].sym // deterministic ties
+}
+func (h huffHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)   { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+func buildLengths(freq []int, lengths []byte) {
+	for i := range lengths {
+		lengths[i] = 0
+	}
+	h := &huffHeap{}
+	for sym, f := range freq {
+		if f > 0 {
+			heap.Push(h, &huffNode{weight: f, sym: sym})
+		}
+	}
+	switch h.Len() {
+	case 0:
+		return
+	case 1:
+		// A single symbol still needs one bit on the wire.
+		lengths[(*h)[0].sym] = 1
+		return
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*huffNode)
+		b := heap.Pop(h).(*huffNode)
+		heap.Push(h, &huffNode{weight: a.weight + b.weight, sym: -1, l: a, r: b})
+	}
+	root := heap.Pop(h).(*huffNode)
+	var walk func(n *huffNode, depth byte)
+	walk = func(n *huffNode, depth byte) {
+		if n.sym >= 0 {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.l, depth+1)
+		walk(n.r, depth+1)
+	}
+	walk(root, 0)
+}
+
+// canonicalCodes assigns canonical codes (shorter codes first, then by
+// symbol order) to the given lengths.
+func canonicalCodes(lengths []byte) []uint32 {
+	codes := make([]uint32, len(lengths))
+	var countPerLen [maxCodeLen + 1]uint32
+	for _, l := range lengths {
+		if l > 0 {
+			countPerLen[l]++
+		}
+	}
+	// Standard DEFLATE recurrence.
+	var nextCode [maxCodeLen + 1]uint32
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + countPerLen[l-1]) << 1
+		nextCode[l] = code
+	}
+	for sym, l := range lengths {
+		if l > 0 {
+			codes[sym] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes
+}
+
+// huffEncoder writes symbols with canonical codes.
+type huffEncoder struct {
+	lengths []byte
+	codes   []uint32
+}
+
+func newHuffEncoder(lengths []byte) *huffEncoder {
+	return &huffEncoder{lengths: lengths, codes: canonicalCodes(lengths)}
+}
+
+func (e *huffEncoder) encode(w *bitstream.Writer, sym int) {
+	l := e.lengths[sym]
+	if l == 0 {
+		panic(fmt.Sprintf("compress: symbol %d has no code", sym))
+	}
+	w.WriteBits(uint64(e.codes[sym]), int(l))
+}
+
+// huffDecoder reads canonical codes bit by bit using the per-length
+// first-code table.
+type huffDecoder struct {
+	// firstCode[l] locates the canonical block of codes of length l;
+	// syms lists symbols in canonical order (by length, then symbol).
+	firstCode [maxCodeLen + 1]uint32
+	countLen  [maxCodeLen + 1]int
+	syms      []int
+}
+
+func newHuffDecoder(lengths []byte) *huffDecoder {
+	d := &huffDecoder{}
+	total := 0
+	for _, l := range lengths {
+		if l > 0 {
+			d.countLen[l]++
+			total++
+		}
+	}
+	// Same recurrence as canonicalCodes: firstCode[l] is the canonical
+	// code assigned to the first symbol of length l.
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + uint32(d.countLen[l-1])) << 1
+		d.firstCode[l] = code
+	}
+	d.syms = make([]int, 0, total)
+	for l := 1; l <= maxCodeLen; l++ {
+		for sym, sl := range lengths {
+			if int(sl) == l {
+				d.syms = append(d.syms, sym)
+			}
+		}
+	}
+	return d
+}
+
+func (d *huffDecoder) decode(r *bitstream.Reader) (int, error) {
+	code := uint32(0)
+	base := 0
+	for l := 1; l <= maxCodeLen; l++ {
+		code = code<<1 | uint32(r.ReadBit())
+		if r.Err() != nil {
+			return 0, r.Err()
+		}
+		if d.countLen[l] > 0 && code < d.firstCode[l]+uint32(d.countLen[l]) && code >= d.firstCode[l] {
+			return d.syms[base+int(code-d.firstCode[l])], nil
+		}
+		base += d.countLen[l]
+	}
+	return 0, fmt.Errorf("compress: invalid Huffman code")
+}

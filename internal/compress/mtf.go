@@ -1,0 +1,107 @@
+package compress
+
+// mtfEncode applies the move-to-front transform: each byte is replaced
+// by its current index in a recency list, and moved to the front. After
+// a BWT, runs of equal bytes become runs of zeros.
+func mtfEncode(data []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for i, b := range data {
+		var j int
+		for table[j] != b {
+			j++
+		}
+		out[i] = byte(j)
+		copy(table[1:j+1], table[:j])
+		table[0] = b
+	}
+	return out
+}
+
+// mtfDecode inverts mtfEncode.
+func mtfDecode(data []byte) []byte {
+	var table [256]byte
+	for i := range table {
+		table[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for i, j := range data {
+		b := table[j]
+		out[i] = b
+		copy(table[1:int(j)+1], table[:j])
+		table[0] = b
+	}
+	return out
+}
+
+// RLE0 symbols: zero runs are written in bijective base 2 using runA (+1)
+// and runB (+2) digits, as in bzip2; a literal byte b becomes symbol b+2.
+const (
+	symRunA   = 0
+	symRunB   = 1
+	symOffset = 2
+	// symEOB terminates a block's symbol stream.
+	symEOB      = 258
+	alphabetLen = 259
+)
+
+// rle0Encode converts MTF output into the RLE0 symbol stream.
+func rle0Encode(data []byte) []uint16 {
+	out := make([]uint16, 0, len(data)/2+8)
+	run := 0
+	flush := func() {
+		for n := run; n > 0; {
+			if n&1 == 1 {
+				out = append(out, symRunA)
+				n = (n - 1) / 2
+			} else {
+				out = append(out, symRunB)
+				n = (n - 2) / 2
+			}
+		}
+		run = 0
+	}
+	for _, b := range data {
+		if b == 0 {
+			run++
+			continue
+		}
+		flush()
+		out = append(out, uint16(b)+symOffset)
+	}
+	flush()
+	return append(out, symEOB)
+}
+
+// rle0Decode inverts rle0Encode; the input must end with symEOB.
+func rle0Decode(syms []uint16) []byte {
+	var out []byte
+	run, digit := 0, 1
+	flush := func() {
+		for i := 0; i < run; i++ {
+			out = append(out, 0)
+		}
+		run, digit = 0, 1
+	}
+	for _, s := range syms {
+		switch s {
+		case symRunA:
+			run += digit
+			digit <<= 1
+		case symRunB:
+			run += 2 * digit
+			digit <<= 1
+		case symEOB:
+			flush()
+			return out
+		default:
+			flush()
+			out = append(out, byte(s-symOffset))
+		}
+	}
+	flush()
+	return out
+}

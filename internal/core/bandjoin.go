@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"sensjoin/internal/quadtree"
+	"sensjoin/internal/query"
+	"sensjoin/internal/zorder"
+)
+
+// Band-join fast path for the base station's pre-computation join.
+//
+// The generic filter computation enumerates all key pairs. The
+// experiment queries — and most real sensor joins — contain a
+// *difference* or *band* condition over one join attribute
+// (A.temp - B.temp > c, abs(A.temp - B.temp) < c). Such a condition
+// restricts the partners of a key to a contiguous window in that
+// dimension's cell order, so sorting the right-hand keys once replaces
+// the inner scan with a binary-searched window. The window is computed
+// conservatively (a superset of the possibly-matching cells); every
+// candidate pair still passes through the full tri-state condition
+// check, so the fast path returns exactly the generic filter.
+
+// bandKind classifies the recognized index condition.
+type bandKind int
+
+const (
+	bandDiffGT bandKind = iota // left.d - right.d > c (or >=)
+	bandAbsLT                  // |left.d - right.d| < c (or <=)
+)
+
+// bandCond is a recognized index condition between two aliases.
+type bandCond struct {
+	kind  bandKind
+	dim   int // grid dimension index
+	c     float64
+	left  int // alias on the positive side of the difference
+	right int
+}
+
+// detectBandCond recognizes difference/band conditions usable as an
+// index. It handles Cmp{Sub(Attr,Attr), Const} and Cmp{Abs(Sub), Const}
+// shapes in both orientations.
+func detectBandCond(p *plan, cond query.BoolExpr) (bandCond, bool) {
+	// Constant folding lets conditions like "A.t - B.t > 2 + 1" match.
+	cond = query.FoldBool(cond)
+	cmp, ok := cond.(query.Cmp)
+	if !ok {
+		return bandCond{}, false
+	}
+	// Normalize to expr OP const.
+	expr, cnst := cmp.L, cmp.R
+	op := cmp.Op
+	if _, isConst := expr.(query.Const); isConst {
+		expr, cnst = cmp.R, cmp.L
+		op = flipCmp(op)
+	}
+	k, isConst := cnst.(query.Const)
+	if !isConst {
+		return bandCond{}, false
+	}
+	attrsOf := func(e query.NumExpr) (l, r query.Attr, ok bool) {
+		a, isArith := e.(query.Arith)
+		if !isArith || a.Op != query.OpSub {
+			return
+		}
+		l, ok1 := a.L.(query.Attr)
+		r, ok2 := a.R.(query.Attr)
+		if !ok1 || !ok2 || l.Ref.Name != r.Ref.Name || l.Ref.Rel == r.Ref.Rel {
+			return query.Attr{}, query.Attr{}, false
+		}
+		return l, r, true
+	}
+	switch e := expr.(type) {
+	case query.Arith: // difference condition
+		l, r, ok := attrsOf(e)
+		if !ok {
+			return bandCond{}, false
+		}
+		dim, ok := p.dimIndex[l.Ref.Name]
+		if !ok {
+			return bandCond{}, false
+		}
+		switch op {
+		case query.CmpGT, query.CmpGE:
+			return bandCond{kind: bandDiffGT, dim: dim, c: k.V, left: l.Ref.Rel, right: r.Ref.Rel}, true
+		case query.CmpLT, query.CmpLE:
+			// l - r < c  ==  r - l > -c
+			return bandCond{kind: bandDiffGT, dim: dim, c: -k.V, left: r.Ref.Rel, right: l.Ref.Rel}, true
+		}
+	case query.Abs: // band condition
+		l, r, ok := attrsOf(e.X)
+		if !ok {
+			return bandCond{}, false
+		}
+		dim, ok := p.dimIndex[l.Ref.Name]
+		if !ok {
+			return bandCond{}, false
+		}
+		if op == query.CmpLT || op == query.CmpLE {
+			return bandCond{kind: bandAbsLT, dim: dim, c: k.V, left: l.Ref.Rel, right: r.Ref.Rel}, true
+		}
+	}
+	return bandCond{}, false
+}
+
+func flipCmp(op query.CmpOp) query.CmpOp {
+	switch op {
+	case query.CmpLT:
+		return query.CmpGT
+	case query.CmpLE:
+		return query.CmpGE
+	case query.CmpGT:
+		return query.CmpLT
+	case query.CmpGE:
+		return query.CmpLE
+	}
+	return op
+}
+
+// computeFilterBand is the windowed two-relation filter computation.
+// It requires a recognized index condition; callers fall back to the
+// generic path otherwise.
+func computeFilterBand(p *plan, keys []zorder.Key, bc bandCond) []zorder.Key {
+	x := p.x
+	n := len(x.Query.From)
+	conds := x.Analysis.JoinConds
+	for _, c := range x.Analysis.ConstPreds {
+		if !c.Truth(emptyBounds{}).Possible() {
+			return nil
+		}
+	}
+	leftKeys := keysOfAlias(p, keys, bc.left)
+	rightKeys := keysOfAlias(p, keys, bc.right)
+	if len(leftKeys) == 0 || len(rightKeys) == 0 {
+		return nil
+	}
+
+	dim := p.grid.Dims[bc.dim]
+	coordOf := func(k zorder.Key) int {
+		_, coords := p.grid.Deinterleave(k)
+		return int(coords[bc.dim])
+	}
+	// Right keys sorted by their cell coordinate in the index dimension.
+	type entry struct {
+		key   zorder.Key
+		coord int
+	}
+	rights := make([]entry, len(rightKeys))
+	for i, k := range rightKeys {
+		rights[i] = entry{key: k, coord: coordOf(k)}
+	}
+	sort.Slice(rights, func(i, j int) bool { return rights[i].coord < rights[j].coord })
+	maxCell := int(dim.Size) - 1
+
+	// Window half-width in cells, with one cell of slack on each side so
+	// the window is a superset of the possibly-true pairs (cells are
+	// closed intervals; boundary cells are handled separately).
+	cells := bc.c / dim.Res
+
+	marked := make(map[zorder.Key]bool, len(keys))
+	assignment := make([]zorder.Key, n)
+	benv := query.CellEnv{Lookup: func(rel int, name string) query.Interval {
+		return p.cellOf(assignment[rel], name)
+	}}
+
+	lowerBound := func(coord int) int {
+		return sort.Search(len(rights), func(i int) bool { return rights[i].coord >= coord })
+	}
+	upperBound := func(coord int) int {
+		return sort.Search(len(rights), func(i int) bool { return rights[i].coord > coord })
+	}
+
+	tryPair := func(lk, rk zorder.Key) {
+		if marked[lk] && marked[rk] {
+			return
+		}
+		assignment[bc.left], assignment[bc.right] = lk, rk
+		for _, c := range conds {
+			if !c.Truth(benv).Possible() {
+				return
+			}
+		}
+		marked[lk] = true
+		marked[rk] = true
+	}
+
+	for _, lk := range leftKeys {
+		ca := coordOf(lk)
+		var lo, hi int // candidate index range [lo, hi) in rights
+		switch bc.kind {
+		case bandDiffGT:
+			// possible when hi(left) - lo(right) > c; interior cells:
+			// (ca - cb + 1) * res > c  =>  cb < ca + 1 - c/res.
+			bound := int(math.Ceil(float64(ca) + 1 - cells))
+			if ca == maxCell {
+				bound = maxCell // unbounded left cell: everyone qualifies
+			}
+			lo, hi = 0, upperBound(bound+1)
+		case bandAbsLT:
+			span := int(math.Ceil(cells)) + 1
+			lo, hi = lowerBound(ca-span), upperBound(ca+span)
+		}
+		for i := lo; i < hi; i++ {
+			tryPair(lk, rights[i].key)
+		}
+		// Boundary cells of the right side extend to infinity and can
+		// match regardless of the window; include them explicitly.
+		for i := 0; i < len(rights) && rights[i].coord == 0; i++ {
+			tryPair(lk, rights[i].key)
+		}
+		for i := len(rights) - 1; i >= 0 && rights[i].coord == maxCell; i-- {
+			tryPair(lk, rights[i].key)
+		}
+	}
+
+	out := make([]zorder.Key, 0, len(marked))
+	for k := range marked {
+		out = append(out, k)
+	}
+	return quadtree.NormalizeKeys(out)
+}

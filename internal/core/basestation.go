@@ -1,0 +1,350 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"sensjoin/internal/quadtree"
+	"sensjoin/internal/query"
+	"sensjoin/internal/topology"
+	"sensjoin/internal/zorder"
+)
+
+// computeFilter implements the base station's pre-computation join
+// (paper §IV-A step 1a): it joins the collected join-attribute keys over
+// cell intervals with tri-state logic and returns the keys that possibly
+// participate in the result — the join filter. Quantization makes this a
+// superset of the true participant set (false positives only, §V-B
+// footnote 2).
+func computeFilter(p *plan, keys []zorder.Key, useIndex bool) []zorder.Key {
+	x := p.x
+	n := len(x.Query.From)
+	conds := x.Analysis.JoinConds
+	// Band-join fast path: a difference or band condition between two
+	// relations indexes the partner search (see bandjoin.go). The result
+	// is identical to the generic enumeration.
+	if useIndex && n == 2 {
+		for _, cond := range conds {
+			if bc, ok := detectBandCond(p, cond); ok {
+				return computeFilterBand(p, keys, bc)
+			}
+		}
+	}
+	if len(conds) == 0 {
+		// Cross join: every key participates (if every alias has keys).
+		for i := 0; i < n; i++ {
+			if len(keysOfAlias(p, keys, i)) == 0 {
+				return nil
+			}
+		}
+		return append([]zorder.Key(nil), keys...)
+	}
+	// Constant predicates: if any is definitely false, nothing joins.
+	for _, c := range x.Analysis.ConstPreds {
+		if !c.Truth(emptyBounds{}).Possible() {
+			return nil
+		}
+	}
+
+	byAlias := make([][]zorder.Key, n)
+	for i := 0; i < n; i++ {
+		byAlias[i] = keysOfAlias(p, keys, i)
+		if len(byAlias[i]) == 0 {
+			return nil
+		}
+	}
+
+	marked := make(map[zorder.Key]bool, len(keys))
+	assignment := make([]zorder.Key, n)
+
+	// Backtracking n-way join over keys with early pruning: a condition
+	// is checked as soon as all aliases it references are bound.
+	condRels := make([][]int, len(conds))
+	for ci, c := range conds {
+		seen := map[int]bool{}
+		c.VisitNums(func(e query.NumExpr) {
+			if at, ok := e.(query.Attr); ok {
+				seen[at.Ref.Rel] = true
+			}
+		})
+		for r := range seen {
+			condRels[ci] = append(condRels[ci], r)
+		}
+		sort.Ints(condRels[ci])
+	}
+	checkAt := func(level int) []int {
+		var out []int
+		for ci, rels := range condRels {
+			max := 0
+			for _, r := range rels {
+				if r > max {
+					max = r
+				}
+			}
+			if max == level {
+				out = append(out, ci)
+			}
+		}
+		return out
+	}
+	checksPerLevel := make([][]int, n)
+	for l := 0; l < n; l++ {
+		checksPerLevel[l] = checkAt(l)
+	}
+
+	benv := query.CellEnv{Lookup: func(rel int, name string) query.Interval {
+		return p.cellOf(assignment[rel], name)
+	}}
+
+	var recurse func(level int)
+	recurse = func(level int) {
+		if level == n {
+			for _, k := range assignment {
+				marked[k] = true
+			}
+			return
+		}
+		for _, k := range byAlias[level] {
+			assignment[level] = k
+			ok := true
+			for _, ci := range checksPerLevel[level] {
+				if !conds[ci].Truth(benv).Possible() {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Skip fully-marked assignments at the last level: marking
+			// again adds nothing (the dominant saving for selective
+			// queries).
+			if level == n-1 {
+				all := marked[k]
+				if all {
+					for _, kk := range assignment[:level] {
+						if !marked[kk] {
+							all = false
+							break
+						}
+					}
+				}
+				if all {
+					continue
+				}
+			}
+			recurse(level + 1)
+		}
+	}
+	recurse(0)
+
+	out := make([]zorder.Key, 0, len(marked))
+	for k := range marked {
+		out = append(out, k)
+	}
+	return quadtree.NormalizeKeys(out)
+}
+
+// keysOfAlias filters keys whose flags include alias i.
+func keysOfAlias(p *plan, keys []zorder.Key, i int) []zorder.Key {
+	n := len(p.x.Query.From)
+	flag := zorder.FlagFor(i, n)
+	var out []zorder.Key
+	for _, k := range keys {
+		if p.grid.Flags(k)&flag != 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// cellOf returns the value interval of a key's cell in dimension name.
+func (p *plan) cellOf(k zorder.Key, name string) query.Interval {
+	di, ok := p.dimIndex[name]
+	if !ok {
+		// A join condition referencing a non-join attribute cannot
+		// happen (Analyze defines join attrs from join conditions), but
+		// stay sound.
+		return query.Everything()
+	}
+	_, lo, hi := p.grid.CellBounds(k)
+	return query.Interval{Lo: lo[di], Hi: hi[di]}
+}
+
+// emptyBounds evaluates constant predicates (no attribute references).
+type emptyBounds struct{}
+
+// Range implements query.BoundsEnv.
+func (emptyBounds) Range(query.AttrRef) query.Interval { return query.Everything() }
+
+// exactJoin computes the final result (paper §IV-D): an exact n-way
+// nested-loop join over the complete tuples at the base station, with
+// early condition evaluation, followed by SELECT evaluation and optional
+// aggregation. It returns the rows and the set of contributing nodes.
+func exactJoin(x *Exec, tuples []finalTuple) ([]Row, map[topology.NodeID]bool) {
+	n := len(x.Query.From)
+	conds := x.Analysis.JoinConds
+	for _, c := range x.Analysis.ConstPreds {
+		if !c.Eval(query.TupleEnv{Lookup: func(int, string) float64 { return 0 }}) {
+			return nil, nil
+		}
+	}
+	byAlias := make([][]finalTuple, n)
+	for i := 0; i < n; i++ {
+		flag := zorder.FlagFor(i, n)
+		for _, t := range tuples {
+			if t.flags&flag != 0 {
+				byAlias[i] = append(byAlias[i], t)
+			}
+		}
+		if len(byAlias[i]) == 0 {
+			return nil, nil
+		}
+	}
+
+	assignment := make([]finalTuple, n)
+	env := query.TupleEnv{Lookup: func(rel int, name string) float64 {
+		return assignment[rel].vals[name]
+	}}
+
+	condsAtLevel := make([][]query.BoolExpr, n)
+	for _, c := range conds {
+		max := 0
+		c.VisitNums(func(e query.NumExpr) {
+			if at, ok := e.(query.Attr); ok && at.Ref.Rel > max {
+				max = at.Ref.Rel
+			}
+		})
+		condsAtLevel[max] = append(condsAtLevel[max], c)
+	}
+
+	var rows []Row
+	contrib := make(map[topology.NodeID]bool)
+	agg := newAggState(x.Query.Select)
+	aggregated := hasAggregates(x.Query.Select)
+	grouped := len(x.Query.GroupBy) > 0
+	groups := make(map[string]*aggState)
+	var groupKeys []string
+
+	var recurse func(level int)
+	recurse = func(level int) {
+		if level == n {
+			row := make(Row, len(x.Query.Select))
+			for i, it := range x.Query.Select {
+				row[i] = it.Expr.Eval(env)
+			}
+			for _, t := range assignment {
+				contrib[t.node] = true
+			}
+			switch {
+			case grouped:
+				key := groupKeyOf(x.Query.GroupBy, env)
+				g := groups[key]
+				if g == nil {
+					g = newAggState(x.Query.Select)
+					groups[key] = g
+					groupKeys = append(groupKeys, key)
+				}
+				g.add(row)
+			case aggregated:
+				agg.add(row)
+			default:
+				rows = append(rows, row)
+			}
+			return
+		}
+		for _, t := range byAlias[level] {
+			assignment[level] = t
+			ok := true
+			for _, c := range condsAtLevel[level] {
+				if !c.Eval(env) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				recurse(level + 1)
+			}
+		}
+	}
+	recurse(0)
+
+	switch {
+	case grouped:
+		// Deterministic group order: sorted by group key; an ORDER BY
+		// re-sorts below.
+		sort.Strings(groupKeys)
+		for _, key := range groupKeys {
+			rows = append(rows, groups[key].rows()...)
+		}
+	case aggregated:
+		rows = agg.rows()
+	}
+	return applyOrderLimit(x.Query, rows), contrib
+}
+
+// groupKeyOf renders the grouping expressions' exact values as a string
+// key (round-trip float formatting keeps distinct values distinct).
+func groupKeyOf(exprs []query.NumExpr, env query.Env) string {
+	var b strings.Builder
+	for _, e := range exprs {
+		b.WriteString(strconv.FormatFloat(e.Eval(env), 'g', -1, 64))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// applyOrderLimit sorts by the ORDER BY keys (full-row lexicographic
+// tie-break keeps the order identical across join methods) and applies
+// LIMIT.
+func applyOrderLimit(q *query.Query, rows []Row) []Row {
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			a, b := rows[i], rows[j]
+			for _, k := range q.OrderBy {
+				av, bv := a[k.Col-1], b[k.Col-1]
+				if av != bv {
+					if k.Desc {
+						return av > bv
+					}
+					return av < bv
+				}
+			}
+			for c := range a { // tie-break: full row, ascending
+				if a[c] != b[c] {
+					return a[c] < b[c]
+				}
+			}
+			return false
+		})
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return rows
+}
+
+// GroundTruth computes the query result directly from the snapshot,
+// bypassing the network entirely. It is the oracle for correctness tests
+// and for calibrating workload selectivity.
+func GroundTruth(x *Exec) (*Result, error) {
+	p, err := buildPlan(x)
+	if err != nil {
+		return nil, err
+	}
+	var tuples []finalTuple
+	for id := 1; id < x.Dep.N(); id++ {
+		if p.nodes[id] != nil {
+			tuples = append(tuples, p.tuple(topology.NodeID(id)))
+		}
+	}
+	rows, contrib := exactJoin(x, tuples)
+	return &Result{
+		Columns:           columnsOf(x.Query),
+		Rows:              rows,
+		ContributingNodes: len(contrib),
+		MemberNodes:       p.members,
+		Complete:          true,
+	}, nil
+}

@@ -1,0 +1,247 @@
+// Package core implements the paper's join methods: SENS-Join (§IV) with
+// Treecut, Selective Filter Forwarding and the quadtree representation,
+// and the state-of-the-art external join baseline (§I, §VI), plus the
+// SENS_No-Quad and compression-backed variants used in the §VI-B
+// experiments.
+//
+// The methods execute on the discrete-event simulator (package netsim)
+// over a routing tree (package routing); every protocol message is
+// packetized and charged to the stats collector, which is the observable
+// the paper's evaluation reports.
+package core
+
+import (
+	"fmt"
+
+	"sensjoin/internal/field"
+	"sensjoin/internal/netsim"
+	"sensjoin/internal/query"
+	"sensjoin/internal/relation"
+	"sensjoin/internal/routing"
+	"sensjoin/internal/stats"
+	"sensjoin/internal/topology"
+)
+
+// Accounting phase labels. Experiment totals sum the method's phases;
+// query dissemination and tree beaconing are common-mode and reported
+// separately.
+const (
+	PhaseQueryDissem  = "query-dissem"
+	PhaseJACollect    = "ja-collect"
+	PhaseFilterDissem = "filter-dissem"
+	PhaseFinalCollect = "final-collect"
+	PhaseExternal     = "extern-collect"
+)
+
+// SENSPhases lists the phases whose sum is the cost of a SENS-Join
+// execution.
+var SENSPhases = []string{PhaseJACollect, PhaseFilterDissem, PhaseFinalCollect}
+
+// ExternalPhases lists the phases whose sum is the cost of an external
+// join execution.
+var ExternalPhases = []string{PhaseExternal}
+
+// Message kinds on the wire.
+const (
+	kindFullTuples = iota + 10
+	kindJoinAttrs
+	kindFilter
+	kindFinal
+	kindResult
+	kindQuery
+)
+
+// Exec bundles everything one query execution needs.
+type Exec struct {
+	Sim   *netsim.Sim
+	Net   *netsim.Network
+	Tree  *routing.Tree
+	Stats *stats.Collector
+
+	Dep     *topology.Deployment
+	Env     *field.Environment
+	Catalog relation.Catalog
+	// Member decides relation membership (nil = homogeneous).
+	Member relation.Membership
+
+	Query    *query.Query
+	Analysis *query.Analysis
+
+	// Time is the sampling instant of this execution's snapshot.
+	Time float64
+}
+
+// NewExec validates and assembles an execution context.
+func NewExec(sim *netsim.Sim, net *netsim.Network, tree *routing.Tree, coll *stats.Collector,
+	dep *topology.Deployment, env *field.Environment, cat relation.Catalog,
+	q *query.Query, t float64) (*Exec, error) {
+	for _, r := range q.From {
+		if _, err := cat.Lookup(r.Relation); err != nil {
+			return nil, err
+		}
+	}
+	if err := expandStar(q, cat); err != nil {
+		return nil, err
+	}
+	a, err := query.Analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Exec{
+		Sim: sim, Net: net, Tree: tree, Stats: coll,
+		Dep: dep, Env: env, Catalog: cat,
+		Query: q, Analysis: a, Time: t,
+	}, nil
+}
+
+// Row is one output row of a query result.
+type Row []float64
+
+// Result is a query execution's outcome.
+type Result struct {
+	// Columns names the output columns.
+	Columns []string
+	// Rows holds the result; for aggregate queries it is a single row.
+	Rows []Row
+	// ContributingNodes counts distinct nodes whose tuple appears in at
+	// least one (pre-aggregation) result row.
+	ContributingNodes int
+	// MemberNodes counts nodes that belong to at least one input
+	// relation and pass its local predicates.
+	MemberNodes int
+	// Complete is false when network failures caused data loss during
+	// the execution.
+	Complete bool
+	// ResponseTime is the simulated seconds from query start to result.
+	ResponseTime float64
+}
+
+// Fraction returns the fraction of member nodes that contribute to the
+// result — the paper's main workload parameter.
+func (r *Result) Fraction() float64 {
+	if r.MemberNodes == 0 {
+		return 0
+	}
+	return float64(r.ContributingNodes) / float64(r.MemberNodes)
+}
+
+// Method is a join execution strategy.
+type Method interface {
+	// Name identifies the method in experiment output.
+	Name() string
+	// Phases lists the accounting phases the method charges.
+	Phases() []string
+	// Run executes the query and returns its result. Communication is
+	// charged to x.Stats.
+	Run(x *Exec) (*Result, error)
+}
+
+// columnsOf derives output column names from the SELECT list.
+func columnsOf(q *query.Query) []string {
+	cols := make([]string, len(q.Select))
+	for i, s := range q.Select {
+		if s.As != "" {
+			cols[i] = s.As
+		} else {
+			cols[i] = s.String()
+		}
+	}
+	return cols
+}
+
+// DisseminateQuery floods the query through the network: the base
+// station broadcasts it, every node rebroadcasts once. The cost is
+// charged under PhaseQueryDissem; it is identical for every join method.
+func DisseminateQuery(x *Exec) {
+	size := len(x.Query.String())
+	seen := make([]bool, x.Net.N())
+	var handler func(id topology.NodeID) netsim.Handler
+	handler = func(id topology.NodeID) netsim.Handler {
+		return func(m netsim.Message) {
+			if m.Kind != kindQuery || seen[id] {
+				return
+			}
+			seen[id] = true
+			x.Net.Send(netsim.Message{
+				Kind: kindQuery, Src: id, Dst: netsim.BroadcastID,
+				Phase: PhaseQueryDissem, Size: size,
+			})
+		}
+	}
+	for i := 0; i < x.Net.N(); i++ {
+		x.Net.SetHandler(topology.NodeID(i), handler(topology.NodeID(i)))
+	}
+	seen[topology.BaseStation] = true
+	x.Net.Send(netsim.Message{
+		Kind: kindQuery, Src: topology.BaseStation, Dst: netsim.BroadcastID,
+		Phase: PhaseQueryDissem, Size: size,
+	})
+	x.Sim.Run()
+}
+
+// aggState folds rows into aggregate results.
+type aggState struct {
+	items []query.SelectItem
+	count int64
+	acc   []float64
+}
+
+func newAggState(items []query.SelectItem) *aggState {
+	s := &aggState{items: items, acc: make([]float64, len(items))}
+	return s
+}
+
+func hasAggregates(items []query.SelectItem) bool {
+	for _, it := range items {
+		if it.Agg != query.AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *aggState) add(row Row) {
+	s.count++
+	for i, it := range s.items {
+		v := row[i]
+		switch it.Agg {
+		case query.AggMin:
+			if s.count == 1 || v < s.acc[i] {
+				s.acc[i] = v
+			}
+		case query.AggMax:
+			if s.count == 1 || v > s.acc[i] {
+				s.acc[i] = v
+			}
+		case query.AggSum, query.AggAvg:
+			s.acc[i] += v
+		case query.AggCount:
+			s.acc[i]++
+		default:
+			s.acc[i] = v // last value; mixed aggregate/plain is unusual
+		}
+	}
+}
+
+func (s *aggState) rows() []Row {
+	if s.count == 0 {
+		return nil
+	}
+	out := make(Row, len(s.items))
+	copy(out, s.acc)
+	for i, it := range s.items {
+		if it.Agg == query.AggAvg {
+			out[i] /= float64(s.count)
+		}
+	}
+	return []Row{out}
+}
+
+// validateAliasCount guards methods that require a join.
+func validateAliasCount(x *Exec) error {
+	if len(x.Query.From) < 2 {
+		return fmt.Errorf("core: %q has %d relation(s); join methods need at least two (use the external join for plain collection)",
+			x.Query.String(), len(x.Query.From))
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sensjoin/internal/quadtree"
+	"sensjoin/internal/zorder"
+)
+
+// Explain renders the execution plan of a query: how the WHERE clause
+// splits into local predicates and join conditions, which attributes
+// form the join-attribute tuple, how the quantization grid and quadtree
+// level schedule look, what the pre-computation will transport, and the
+// filter the base station would compute on the current snapshot.
+func Explain(x *Exec) (string, error) {
+	p, err := buildPlan(x)
+	if err != nil {
+		return "", err
+	}
+	a := x.Analysis
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "query: %s\n\n", x.Query.String())
+	fmt.Fprintf(&b, "relations (%d):\n", len(x.Query.From))
+	for i, ref := range x.Query.From {
+		members := 0
+		flag := zorder.FlagFor(i, len(x.Query.From))
+		for _, nd := range p.nodes {
+			if nd != nil && nd.flags&flag != 0 {
+				members++
+			}
+		}
+		fmt.Fprintf(&b, "  [%d] %s AS %s — %d member nodes\n", i, ref.Relation, ref.Alias, members)
+		if pred := a.LocalPredicate(i); pred != nil {
+			fmt.Fprintf(&b, "      local predicate: %s (evaluated on the node)\n", pred.String())
+		}
+		fmt.Fprintf(&b, "      join attrs: %v   shipped attrs: %v (%d bytes/tuple)\n",
+			a.JoinAttrs[i], a.ShippedAttrs[i], 2*len(a.ShippedAttrs[i]))
+	}
+
+	fmt.Fprintf(&b, "\njoin conditions (%d):\n", len(a.JoinConds))
+	for _, c := range a.JoinConds {
+		idx := ""
+		if len(x.Query.From) == 2 {
+			if bc, ok := detectBandCond(p, c); ok {
+				kind := "difference"
+				if bc.kind == bandAbsLT {
+					kind = "band"
+				}
+				idx = fmt.Sprintf("  [indexable: %s on %q]", kind, p.dims[bc.dim])
+			}
+		}
+		fmt.Fprintf(&b, "  %s%s\n", c.String(), idx)
+	}
+	for _, c := range a.ConstPreds {
+		fmt.Fprintf(&b, "  constant: %s\n", c.String())
+	}
+
+	if p.grid == nil {
+		b.WriteString("\nno join attributes: SENS-Join not applicable (use the external join)\n")
+		return b.String(), nil
+	}
+
+	fmt.Fprintf(&b, "\nquantization grid (%d bits/key, %d relation-flag bits):\n",
+		p.grid.TotalBits, p.grid.FlagBits)
+	for _, d := range p.grid.Dims {
+		fmt.Fprintf(&b, "  %-6s [%g, %g] step %g -> %d cells, %d bits\n",
+			d.Name, d.Min, d.Max, d.Res, d.Size, d.Bits)
+	}
+	fmt.Fprintf(&b, "  quadtree level schedule: %v\n", p.grid.Levels())
+
+	// Snapshot-dependent estimates.
+	var keys []zorder.Key
+	for _, nd := range p.nodes {
+		if nd != nil {
+			keys = append(keys, nd.key)
+		}
+	}
+	keys = quadtree.NormalizeKeys(keys)
+	enc := p.codec().Encode(keys)
+	fmt.Fprintf(&b, "\npre-computation on the current snapshot:\n")
+	fmt.Fprintf(&b, "  members: %d nodes, %d distinct join-attribute keys\n", p.members, len(keys))
+	fmt.Fprintf(&b, "  raw join-attribute tuples: %d bytes; quadtree: %d bytes (%.0f%%)\n",
+		p.members*p.rawTupleBytes, enc.ByteLen(),
+		100*float64(enc.ByteLen())/float64(maxInt(1, p.members*p.rawTupleBytes)))
+	filter := computeFilter(p, keys, true)
+	fmt.Fprintf(&b, "  join filter: %d keys (%.1f%% of distinct), %d bytes encoded\n",
+		len(filter), 100*float64(len(filter))/float64(maxInt(1, len(keys))),
+		p.codec().Encode(filter).ByteLen())
+	return b.String(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package core
+
+// External is the state-of-the-art general-purpose baseline (paper §I,
+// §VI): every member node ships its complete tuple (projected onto the
+// attributes the query needs, selections applied locally) to the base
+// station along the routing tree; forwarding nodes aggregate tuples into
+// as few packets as possible; the base station joins.
+type External struct{}
+
+// Name implements Method.
+func (External) Name() string { return "external-join" }
+
+// Phases implements Method.
+func (External) Phases() []string { return ExternalPhases }
+
+// Run implements Method.
+func (External) Run(x *Exec) (*Result, error) {
+	p, err := buildPlan(x)
+	if err != nil {
+		return nil, err
+	}
+	start := x.Sim.Now()
+	// One TAG-style collection wave gathers every member tuple at the
+	// base station (nodes at depth d transmit in slot maxDepth-d, so
+	// children always precede parents); the join happens there.
+	tuples := collectWave(x, p, x.Tree, PhaseExternal, nil)
+	rows, contrib := exactJoin(x, tuples)
+	return &Result{
+		Columns:           columnsOf(x.Query),
+		Rows:              rows,
+		ContributingNodes: len(contrib),
+		MemberNodes:       p.members,
+		Complete:          len(tuples) == p.members,
+		ResponseTime:      x.Sim.Now() - start,
+	}, nil
+}
+
+// collectionSlot returns a slot duration covering the worst-case single
+// transmission of a collection wave: all member tuples in one message.
+func collectionSlot(x *Exec, p *plan) float64 {
+	maxTuple := 0
+	for _, nd := range p.nodes {
+		if nd != nil && nd.tupleBytes > maxTuple {
+			maxTuple = nd.tupleBytes
+		}
+	}
+	bound := p.members*maxTuple + 64
+	return x.Net.SlotFor(bound)
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"sensjoin/internal/netsim"
+	"sensjoin/internal/topology"
+)
+
+// failLink finds a link whose loss affects the execution: the tree edge
+// above a node with a reasonably large subtree.
+func failLink(r *Runner) (child, parent topology.NodeID) {
+	best := topology.NodeID(-1)
+	bestDesc := -1
+	for i := 1; i < r.Dep.N(); i++ {
+		id := topology.NodeID(i)
+		if r.Tree.Depth[id] >= 2 && r.Tree.Descendants[id] > bestDesc {
+			best, bestDesc = id, r.Tree.Descendants[id]
+		}
+	}
+	return best, r.Tree.Parent[best]
+}
+
+func TestLinkFailureDetected(t *testing.T) {
+	for _, m := range []Method{External{}, NewSENSJoin()} {
+		r := testRunner(t, 150, 71)
+		child, parent := failLink(r)
+		r.Net.LinkDown(child, parent)
+		res, err := r.Run(qBand(0.5), m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Complete {
+			t.Fatalf("%s: lost subtree of %d nodes but result claims complete",
+				m.Name(), r.Tree.Descendants[child]+1)
+		}
+	}
+}
+
+func TestRecoveryReexecutesAfterRepair(t *testing.T) {
+	r := testRunner(t, 150, 73)
+	child, parent := failLink(r)
+	r.Net.LinkDown(child, parent)
+	res, attempts, err := r.RunWithRecovery(qBand(0.5), NewSENSJoin(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts < 2 {
+		t.Fatalf("expected a re-execution, got %d attempt(s)", attempts)
+	}
+	if !res.Complete {
+		t.Fatal("result still incomplete after tree repair")
+	}
+	// After repair the result matches ground truth on the repaired tree.
+	x, err := r.ExecSQL(qBand(0.5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := GroundTruth(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, truth.Rows, res.Rows, "truth", "recovered")
+}
+
+func TestRecoveryGivesUpWhenPartitioned(t *testing.T) {
+	r := testRunner(t, 100, 79)
+	// Kill every neighbor link of some deep node: it becomes unreachable
+	// and no repair can help.
+	var victim topology.NodeID = -1
+	for i := 1; i < r.Dep.N(); i++ {
+		if r.Tree.Depth[i] >= 2 && r.Tree.Descendants[i] == 0 {
+			victim = topology.NodeID(i)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no leaf victim found")
+	}
+	for _, nb := range r.Dep.Neighbors[victim] {
+		r.Net.LinkDown(victim, nb)
+	}
+	res, attempts, err := r.RunWithRecovery(qBand(0.5), NewSENSJoin(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want the maximum 2", attempts)
+	}
+	// The partitioned node is excluded by the repaired tree, so the
+	// final attempt is complete w.r.t. reachable nodes or reported
+	// incomplete; either way the run must terminate (no infinite loop).
+	_ = res
+}
+
+func TestNodeDeathDuringExecution(t *testing.T) {
+	r := testRunner(t, 120, 83)
+	// Pick a relay node and kill it mid-execution (after phase A began).
+	var victim topology.NodeID = -1
+	for i := 1; i < r.Dep.N(); i++ {
+		if r.Tree.Depth[i] == 1 && r.Tree.Descendants[i] > 5 {
+			victim = topology.NodeID(i)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no suitable relay")
+	}
+	r.Sim.Schedule(0.5, func() { r.Net.KillNode(victim) })
+	res, err := r.Run(qBand(0.5), NewSENSJoin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("mid-execution node death must surface as incomplete")
+	}
+	// Repair and re-run; the dead node stays dead, so completeness is
+	// judged against the surviving members.
+	r.Net.ReviveNode(victim)
+	r.RebuildTree()
+	res2, err := r.Run(qBand(0.5), NewSENSJoin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Complete {
+		t.Fatal("re-execution after revival should be complete")
+	}
+}
+
+// lineRunner builds a path topology: base station at one end, nodes
+// spaced 40 m apart with 50 m range, so the tree is a single chain and
+// Treecut behaviour is exactly predictable.
+func lineRunner(t *testing.T, n int) *Runner {
+	t.Helper()
+	return NewRunnerFromDeployment(topology.Line(n, 40, 50), netsim.RadioConfig{}, 5)
+}
+
+func TestTreecutOnLineTopology(t *testing.T) {
+	// Query ships 4 attributes = 8 bytes per tuple; Dmax = 30. On a
+	// chain (leaf = farthest node) the cut nodes accumulate 8, 16, 24
+	// bytes; the node seeing 32 bytes becomes the proxy. So exactly 3
+	// tuples ride each Treecut chain and deeper nodes exit the query:
+	// they must never transmit in the filter or final phases.
+	r := lineRunner(t, 12)
+	src := qBand(10) // everything joins: every tuple must reach the BS
+	x, err := r.ExecSQL(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := GroundTruth(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(src, NewSENSJoin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, truth.Rows, res.Rows, "truth", "sens-line")
+
+	// The three deepest nodes (12, 11, 10) are cut: each sends exactly
+	// one phase-A message and nothing afterwards.
+	n := r.Dep.N() - 1
+	for _, id := range []topology.NodeID{topology.NodeID(n), topology.NodeID(n - 1), topology.NodeID(n - 2)} {
+		if p, _ := r.Stats.NodeTx(id, PhaseJACollect); p != 1 {
+			t.Fatalf("cut node %d sent %d collection packets, want 1", id, p)
+		}
+		if p, _ := r.Stats.NodeTx(id, PhaseFilterDissem); p != 0 {
+			t.Fatalf("cut node %d forwarded the filter", id)
+		}
+		if p, _ := r.Stats.NodeTx(id, PhaseFinalCollect); p != 0 {
+			t.Fatalf("cut node %d transmitted in the final phase", id)
+		}
+	}
+	// The proxy (n-3) answers for its cut descendants in the final phase.
+	proxy := topology.NodeID(n - 3)
+	if p, _ := r.Stats.NodeTx(proxy, PhaseFinalCollect); p == 0 {
+		t.Fatalf("proxy %d sent nothing in the final phase", proxy)
+	}
+}
+
+func TestSelectiveForwardingPrunesSubtreesOnLine(t *testing.T) {
+	// With a filter that matches nothing, no filter packet must travel
+	// at all (the base station sees an empty filter).
+	r := lineRunner(t, 12)
+	src := `SELECT A.temp, B.temp FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 500 ONCE` // impossible
+	res, err := r.Run(src, NewSENSJoin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("impossible predicate produced rows")
+	}
+	if p := r.Stats.TotalTx(PhaseFilterDissem); p != 0 {
+		t.Fatalf("empty filter still disseminated %d packets", p)
+	}
+	if p := r.Stats.TotalTx(PhaseFinalCollect); p != 0 {
+		t.Fatalf("empty filter still collected %d final packets", p)
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sensjoin/internal/quadtree"
+	"sensjoin/internal/topology"
+	"sensjoin/internal/zorder"
+)
+
+// Incremental filter dissemination for continuous queries — the paper's
+// stated follow-on work (§VIII: "we currently investigate if the
+// filtering can be optimized for continuous queries by exploiting
+// temporal correlations").
+//
+// Under a SAMPLE PERIOD query the filter of consecutive rounds is highly
+// similar, because sensor values drift slowly. Every node therefore
+// remembers the last filter it broadcast to its children; in the next
+// round it transmits only the symmetric difference (adds and deletes)
+// against that memory, and each child reconstructs the new filter from
+// its cached copy. Sequence numbers guard the reconstruction: a child
+// whose cache does not match the announced base (it was asleep after
+// Treecut, its parent changed after tree repair, or a broadcast was
+// lost) falls back to *assume-all* for the round — it ships its complete
+// tuples unconditionally, which can only add false positives, never lose
+// result tuples — and raises a need-full flag in the next collection
+// phase so its parent transmits the full filter once to resynchronize.
+//
+// The first round degenerates to standard SENS-Join (full filters
+// everywhere); steady-state rounds transmit only the drift.
+
+// Filter message modes.
+const (
+	fmFull = iota
+	fmDelta
+	fmAssumeAll
+)
+
+// filterMsg is the Filter-Dissemination payload. Wire sizes: a full
+// filter is the representation of keys; a delta is the representation of
+// adds plus dels plus a 2-byte sequence header; assume-all is a 1-byte
+// marker.
+type filterMsg struct {
+	mode    int
+	seq     int
+	baseSeq int
+	keys    []zorder.Key // fmFull
+	adds    []zorder.Key // fmDelta
+	dels    []zorder.Key // fmDelta
+}
+
+// contState is the cross-round memory of the incremental mode, indexed
+// by node id.
+type contState struct {
+	n int
+	// Sender side: the content and sequence number of the node's last
+	// filter broadcast.
+	seq      []int
+	prevSent [][]zorder.Key
+	// Receiver side: the reconstructed filter cache, the sequence it
+	// corresponds to, and the parent it was received from.
+	cachedSeq    []int
+	cached       [][]zorder.Key
+	cachedParent []topology.NodeID
+	// needFull is raised after a detected desynchronization and carried
+	// to the parent in the next collection phase.
+	needFull []bool
+	// Rounds counts completed executions.
+	Rounds int
+}
+
+func newContState(n int) *contState {
+	c := &contState{
+		n:            n,
+		seq:          make([]int, n),
+		prevSent:     make([][]zorder.Key, n),
+		cachedSeq:    make([]int, n),
+		cached:       make([][]zorder.Key, n),
+		cachedParent: make([]topology.NodeID, n),
+		needFull:     make([]bool, n),
+	}
+	for i := range c.cachedSeq {
+		c.cachedSeq[i] = -1
+		c.cachedParent[i] = -1
+	}
+	return c
+}
+
+// ensure resizes (and resets) the state when the network changes.
+func (c *contState) ensure(n int) *contState {
+	if c == nil || c.n != n {
+		return newContState(n)
+	}
+	return c
+}
+
+// NewContinuousSENSJoin returns SENS-Join with incremental filter
+// dissemination across executions. Reuse the returned method for every
+// round of a continuous query; each Run transmits filter deltas against
+// the previous round.
+func NewContinuousSENSJoin() *SENSJoin {
+	return &SENSJoin{cont: newContState(0)}
+}
+
+// filterMsgSize computes the wire size of a filter message under the
+// configured representation.
+func filterMsgSize(p *plan, o Options, m *filterMsg) int {
+	switch m.mode {
+	case fmDelta:
+		return o.Rep.SetBytes(p, m.adds) + o.Rep.SetBytes(p, m.dels) + 2
+	case fmAssumeAll:
+		return 1
+	default:
+		return o.Rep.SetBytes(p, m.keys)
+	}
+}
+
+// buildFilterMsg chooses between a full filter and a delta against the
+// node's previous broadcast, updating the sender-side state.
+func (s *SENSJoin) buildFilterMsg(p *plan, o Options, id topology.NodeID, sub []zorder.Key, childNeedsFull bool) *filterMsg {
+	if s.cont == nil {
+		return &filterMsg{mode: fmFull, keys: sub}
+	}
+	c := s.cont
+	full := &filterMsg{mode: fmFull, keys: sub, seq: c.seq[id] + 1}
+	msg := full
+	if !childNeedsFull && c.prevSent[id] != nil {
+		delta := &filterMsg{
+			mode:    fmDelta,
+			seq:     c.seq[id] + 1,
+			baseSeq: c.seq[id],
+			adds:    diffKeys(sub, c.prevSent[id]),
+			dels:    diffKeys(c.prevSent[id], sub),
+		}
+		if filterMsgSize(p, o, delta) < filterMsgSize(p, o, full) {
+			msg = delta
+		}
+	}
+	c.seq[id]++
+	c.prevSent[id] = sub
+	return msg
+}
+
+// applyFilterMsg reconstructs the round's filter at a receiving node.
+// ok is false when the node must fall back to assume-all.
+func (s *SENSJoin) applyFilterMsg(id topology.NodeID, from topology.NodeID, m *filterMsg) (filter []zorder.Key, ok bool) {
+	if s.cont == nil {
+		return m.keys, true
+	}
+	c := s.cont
+	switch m.mode {
+	case fmFull:
+		c.cached[id] = m.keys
+		c.cachedSeq[id] = m.seq
+		c.cachedParent[id] = from
+		c.needFull[id] = false
+		return m.keys, true
+	case fmDelta:
+		if c.cachedParent[id] != from || c.cachedSeq[id] != m.baseSeq {
+			c.needFull[id] = true
+			return nil, false
+		}
+		f := quadtree.UnionKeys(c.cached[id], m.adds)
+		f = diffKeys(f, m.dels)
+		c.cached[id] = f
+		c.cachedSeq[id] = m.seq
+		c.needFull[id] = false
+		return f, true
+	default: // fmAssumeAll
+		c.needFull[id] = true
+		return nil, false
+	}
+}
+
+// diffKeys returns a \ b over sorted key sets.
+func diffKeys(a, b []zorder.Key) []zorder.Key {
+	out := make([]zorder.Key, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}

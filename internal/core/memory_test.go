@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+)
+
+// The paper's memory bounds (§IV-B, §IV-C, §VII): a proxy stores at most
+// Dmax bytes per child, and the stored subtree structure never exceeds
+// the configured limit.
+func TestMemoryBoundsHold(t *testing.T) {
+	r := testRunner(t, 400, 701)
+	m := NewSENSJoin()
+	if _, err := r.Run(qBand(0.5), m, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Memory
+	// Upper bound on children per node in this deployment.
+	maxChildren := 0
+	for _, ch := range r.Tree.Children {
+		if len(ch) > maxChildren {
+			maxChildren = len(ch)
+		}
+	}
+	if rep.MaxProxyBytes > 30*maxChildren {
+		t.Fatalf("proxy store %dB exceeds Dmax x children = %d", rep.MaxProxyBytes, 30*maxChildren)
+	}
+	if rep.MaxSubtreeBytes > 500 {
+		t.Fatalf("stored subtree structure %dB exceeds the 500B limit", rep.MaxSubtreeBytes)
+	}
+	if rep.MaxProxyBytes == 0 {
+		t.Fatal("no proxy recorded: treecut never engaged?")
+	}
+	t.Logf("memory: proxy max %dB, subtree max %dB, overflow nodes %d, filter max %dB",
+		rep.MaxProxyBytes, rep.MaxSubtreeBytes, rep.OverflowNodes, rep.MaxFilterBytes)
+}
+
+func TestMemoryOverflowCountedWithTinyLimit(t *testing.T) {
+	r := testRunner(t, 300, 703)
+	m := &SENSJoin{Options: Options{FilterMemLimit: 8}}
+	if _, err := r.Run(qBand(0.5), m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Memory.OverflowNodes == 0 {
+		t.Fatal("an 8-byte limit must overflow somewhere")
+	}
+	if m.Memory.MaxSubtreeBytes > 8 {
+		t.Fatalf("stored %dB despite 8B limit", m.Memory.MaxSubtreeBytes)
+	}
+}

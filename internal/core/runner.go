@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"sensjoin/internal/field"
+	"sensjoin/internal/netsim"
+	"sensjoin/internal/query"
+	"sensjoin/internal/relation"
+	"sensjoin/internal/routing"
+	"sensjoin/internal/stats"
+	"sensjoin/internal/topology"
+)
+
+// SetupConfig describes a simulated deployment for the Runner.
+type SetupConfig struct {
+	// Nodes is the sensor node count (paper default: 1500).
+	Nodes int
+	// Area is the deployment region; zero means an area scaled to the
+	// paper's density for Nodes.
+	Area topology.Config
+	// Radio is the packet model; zero fields mean the paper defaults.
+	Radio netsim.RadioConfig
+	// Seed makes the run reproducible.
+	Seed int64
+	// Base selects base-station placement.
+	Base topology.BasePlacement
+}
+
+// Runner owns a simulated deployment and executes queries on it with any
+// join method. It is the integration point used by tests, the experiment
+// harness and the public API.
+type Runner struct {
+	Dep     *topology.Deployment
+	Env     *field.Environment
+	Catalog relation.Catalog
+	Sim     *netsim.Sim
+	Net     *netsim.Network
+	Tree    *routing.Tree
+	Stats   *stats.Collector
+	// Member decides relation membership (nil = homogeneous).
+	Member relation.Membership
+}
+
+// NewRunner builds a connected deployment, its environment, the standard
+// catalog, and a fresh simulator with routing tree.
+func NewRunner(cfg SetupConfig) (*Runner, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: node count %d invalid", cfg.Nodes)
+	}
+	tcfg := cfg.Area
+	if tcfg.Range == 0 {
+		tcfg.Range = 50
+	}
+	if tcfg.Area.Width() == 0 {
+		tcfg.Area = topology.ScaledArea(cfg.Nodes)
+	}
+	tcfg.Nodes = cfg.Nodes
+	tcfg.Seed = cfg.Seed
+	tcfg.Base = cfg.Base
+	dep, err := topology.Generate(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	radio := cfg.Radio
+	if radio.MaxPacket == 0 {
+		radio = netsim.DefaultRadio()
+	}
+	env := field.StandardEnvironment(dep.Area, cfg.Seed+1000)
+	schema := relation.StandardSchema(dep.Area)
+	sim := netsim.NewSim()
+	coll := stats.NewCollector(dep.N())
+	net := netsim.NewNetwork(sim, dep, radio, coll)
+	tree := routing.BuildTree(dep.Neighbors, topology.BaseStation)
+	return &Runner{
+		Dep:     dep,
+		Env:     env,
+		Catalog: relation.Catalog{schema.Name: schema},
+		Sim:     sim,
+		Net:     net,
+		Tree:    tree,
+		Stats:   coll,
+	}, nil
+}
+
+// NewRunnerFromDeployment wraps an existing deployment (tests use
+// hand-built topologies such as lines and stars).
+func NewRunnerFromDeployment(dep *topology.Deployment, radio netsim.RadioConfig, seed int64) *Runner {
+	if radio.MaxPacket == 0 {
+		radio = netsim.DefaultRadio()
+	}
+	schema := relation.StandardSchema(dep.Area)
+	sim := netsim.NewSim()
+	coll := stats.NewCollector(dep.N())
+	return &Runner{
+		Dep:     dep,
+		Env:     field.StandardEnvironment(dep.Area, seed),
+		Catalog: relation.Catalog{schema.Name: schema},
+		Sim:     sim,
+		Net:     netsim.NewNetwork(sim, dep, radio, coll),
+		Tree:    routing.BuildTree(dep.Neighbors, topology.BaseStation),
+		Stats:   coll,
+	}
+}
+
+// Exec assembles an execution context for a parsed query at time t.
+func (r *Runner) Exec(q *query.Query, t float64) (*Exec, error) {
+	x, err := NewExec(r.Sim, r.Net, r.Tree, r.Stats, r.Dep, r.Env, r.Catalog, q, t)
+	if err != nil {
+		return nil, err
+	}
+	x.Member = r.Member
+	return x, nil
+}
+
+// ExecSQL parses src and assembles an execution context at time t.
+func (r *Runner) ExecSQL(src string, t float64) (*Exec, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return r.Exec(q, t)
+}
+
+// Run executes a query with the given method at time t.
+func (r *Runner) Run(src string, m Method, t float64) (*Result, error) {
+	x, err := r.ExecSQL(src, t)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(x)
+}
+
+// RebuildTree re-forms the routing tree over the currently live links,
+// standing in for the collection-tree protocol's repair (§IV-F). The
+// equivalent beaconing protocol is in package routing; the experiment
+// harness uses the instant rebuild for determinism.
+func (r *Runner) RebuildTree() {
+	r.Tree = routing.BuildTree(r.Net.LiveNeighbors(), topology.BaseStation)
+}
+
+// RunWithRecovery executes the query and, when failures made the result
+// incomplete, repairs the routing tree and re-executes — the paper's
+// error handling (§IV-F: "we rely upon the tree protocol to re-establish
+// the routing structure; afterwards, we simply re-execute the query").
+// All attempts are charged to the collector. It returns the final result
+// and the number of executions.
+func (r *Runner) RunWithRecovery(src string, m Method, t float64, maxAttempts int) (*Result, int, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	var res *Result
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		var err error
+		res, err = r.Run(src, m, t)
+		if err != nil {
+			return nil, attempt, err
+		}
+		if res.Complete {
+			return res, attempt, nil
+		}
+		r.RebuildTree()
+	}
+	return res, maxAttempts, nil
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+
+	"sensjoin/internal/netsim"
+	"sensjoin/internal/quadtree"
+	"sensjoin/internal/topology"
+	"sensjoin/internal/zorder"
+)
+
+// Options tune the SENS-Join method. The zero value selects the paper's
+// defaults.
+type Options struct {
+	// Dmax is the Treecut threshold in bytes (paper §IV-B: 30).
+	Dmax int
+	// FilterMemLimit bounds the stored subtree join-attribute structure
+	// in bytes (paper §IV-C: 500); larger subtrees forward the filter
+	// unpruned.
+	FilterMemLimit int
+	// Rep selects the join-attribute representation (default QuadRep).
+	Rep Rep
+	// DisableTreecut turns the Treecut mechanism off (ablation).
+	DisableTreecut bool
+	// DisableSelectiveForwarding makes every node forward the whole
+	// filter (ablation).
+	DisableSelectiveForwarding bool
+	// DisableBandIndex forces the generic pairwise filter computation
+	// at the base station instead of the band-join fast path.
+	DisableBandIndex bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dmax == 0 {
+		o.Dmax = 30
+	}
+	if o.FilterMemLimit == 0 {
+		o.FilterMemLimit = 500
+	}
+	if o.Rep == nil {
+		o.Rep = QuadRep{}
+	}
+	return o
+}
+
+// SENSJoin is the paper's method (§IV): a pre-computation collects
+// join-attribute tuples at the base station (with Treecut), the base
+// station joins them over quantized cells and disseminates the join
+// filter (with Selective Filter Forwarding), and only matching complete
+// tuples travel to the base station for the exact final join.
+type SENSJoin struct {
+	Options Options
+	// cont holds the cross-round state of the incremental
+	// filter-dissemination mode (NewContinuousSENSJoin); nil for
+	// independent executions.
+	cont *contState
+	// Memory reports the per-node memory high-water marks of the last
+	// execution (the paper's §VII memory-requirements trade-off).
+	Memory MemoryReport
+}
+
+// MemoryReport captures what SENS-Join stores on the nodes: Treecut
+// proxies hold complete tuples (bounded by Dmax per child, §IV-B) and
+// Selective Filter Forwarding keeps the subtree's join-attribute
+// structure (bounded by the memory limit, §IV-C).
+type MemoryReport struct {
+	// MaxProxyBytes is the largest complete-tuple store of any proxy.
+	MaxProxyBytes int
+	// MaxSubtreeBytes is the largest stored subtree structure.
+	MaxSubtreeBytes int
+	// OverflowNodes counts nodes whose subtree structure exceeded the
+	// limit (they forward the filter unpruned instead of storing).
+	OverflowNodes int
+	// MaxFilterBytes is the largest filter payload any node received.
+	MaxFilterBytes int
+}
+
+// NewSENSJoin returns the method with the paper's default parameters.
+func NewSENSJoin() *SENSJoin { return &SENSJoin{} }
+
+// Name implements Method.
+func (s *SENSJoin) Name() string {
+	o := s.Options.withDefaults()
+	if _, ok := o.Rep.(QuadRep); !ok {
+		return "sens-join[" + o.Rep.Name() + "]"
+	}
+	if s.cont != nil {
+		return "sens-join[incremental]"
+	}
+	return "sens-join"
+}
+
+// Rounds reports the completed executions of a continuous method.
+func (s *SENSJoin) Rounds() int {
+	if s.cont == nil {
+		return 0
+	}
+	return s.cont.Rounds
+}
+
+// Phases implements Method.
+func (*SENSJoin) Phases() []string { return SENSPhases }
+
+// sensNode is the per-node protocol state (Fig. 1's local variables).
+type sensNode struct {
+	// Phase A inboxes.
+	fullsIn []finalTuple
+	keysIn  []zorder.Key
+	rawIn   int
+	coverIn int
+	allFull bool
+	// Outcome of phase A.
+	cut            bool
+	activeChildren int
+	subtreeKeys    []zorder.Key
+	overflow       bool
+	proxied        []finalTuple
+	// Phase B outcome.
+	gotFilter      bool
+	ownMatch       bool
+	matchedProxy   []finalTuple
+	childNeedsFull bool
+	// Phase C inbox.
+	finalsIn []finalTuple
+}
+
+// Run implements Method.
+func (s *SENSJoin) Run(x *Exec) (*Result, error) {
+	if err := validateAliasCount(x); err != nil {
+		return nil, err
+	}
+	o := s.Options.withDefaults()
+	p, err := buildPlan(x)
+	if err != nil {
+		return nil, err
+	}
+	if p.grid == nil {
+		return nil, fmt.Errorf("core: query %q has no join attributes; SENS-Join needs join conditions", x.Query.String())
+	}
+	tree := x.Tree
+	n := x.Net.N()
+	start := x.Sim.Now()
+	slotA, slotC := sensSlots(x, p)
+	if s.cont != nil {
+		s.cont = s.cont.ensure(n)
+	}
+	s.Memory = MemoryReport{}
+
+	states := make([]*sensNode, n)
+	for i := range states {
+		states[i] = &sensNode{allFull: true}
+	}
+
+	// Message handling is shared by all phases.
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		st := states[id]
+		x.Net.SetHandler(id, func(m netsim.Message) {
+			if st.cut {
+				return // the node exited the query after Treecut
+			}
+			switch m.Kind {
+			case kindFullTuples:
+				st.fullsIn = append(st.fullsIn, m.Payload.([]finalTuple)...)
+			case kindJoinAttrs:
+				pl := m.Payload.(*jaPayload)
+				st.keysIn = quadtree.UnionKeys(st.keysIn, pl.keys)
+				st.rawIn += pl.rawCount
+				st.coverIn += pl.covered
+				st.allFull = false
+				st.activeChildren++
+				st.childNeedsFull = st.childNeedsFull || pl.needFull
+			case kindFilter:
+				// Filters travel down the tree: only the broadcast of
+				// this node's parent applies; broadcasts overheard from
+				// other neighbors concern their subtrees.
+				if m.Src == x.Tree.Parent[id] {
+					s.onFilter(x, p, o, id, st, m.Src, m.Payload.(*filterMsg))
+				}
+			case kindFinal:
+				st.finalsIn = append(st.finalsIn, m.Payload.([]finalTuple)...)
+			}
+		})
+	}
+
+	// Phase A: Join-Attribute-Collection, leaves first (Fig. 2).
+	for i := 1; i < n; i++ {
+		id := topology.NodeID(i)
+		if !tree.Reachable(id) {
+			continue
+		}
+		deadline := start + float64(tree.MaxDepth-tree.Depth[id])*slotA
+		x.Sim.Schedule(deadline, func() {
+			s.forwardJoinAttrValues(x, p, o, id, states[id])
+		})
+	}
+
+	// The base station closes phase A, computes the filter and starts
+	// phase B (Fig. 3); phase C deadlines are derived afterwards.
+	var result *Result
+	tA := start + float64(tree.MaxDepth+1)*slotA
+	x.Sim.Schedule(tA, func() {
+		bs := states[topology.BaseStation]
+		bsKeys := bs.keysIn
+		for _, t := range bs.fullsIn {
+			bsKeys = quadtree.UnionKeys(bsKeys, []zorder.Key{p.keyOf(t)})
+		}
+		completeA := bs.coverIn+len(bs.fullsIn) == p.members
+		filter := computeFilter(p, bsKeys, !o.DisableBandIndex)
+
+		if len(filter) > 0 && bs.activeChildren > 0 {
+			msg := s.buildFilterMsg(p, o, topology.BaseStation, filter, bs.childNeedsFull)
+			x.Net.Send(netsim.Message{
+				Kind: kindFilter, Src: topology.BaseStation, Dst: netsim.BroadcastID,
+				Phase: PhaseFilterDissem, Size: filterMsgSize(p, o, msg), Payload: msg,
+			})
+		}
+
+		// Phase C schedule: after the filter has fully propagated.
+		slotB := x.Net.SlotFor(o.Rep.SetBytes(p, filter) + 32)
+		tB := x.Sim.Now() + float64(tree.MaxDepth+1)*slotB
+		for i := 1; i < n; i++ {
+			id := topology.NodeID(i)
+			if !tree.Reachable(id) {
+				continue
+			}
+			deadline := tB + float64(tree.MaxDepth-tree.Depth[id])*slotC
+			x.Sim.Schedule(deadline, func() {
+				s.forwardCompleteTuples(x, p, id, states[id])
+			})
+		}
+		x.Sim.Schedule(tB+float64(tree.MaxDepth+1)*slotC, func() {
+			bsT := states[topology.BaseStation]
+			tuples := append(append([]finalTuple(nil), bsT.fullsIn...), bsT.finalsIn...)
+			rows, contrib := exactJoin(x, tuples)
+			result = &Result{
+				Columns:           columnsOf(x.Query),
+				Rows:              rows,
+				ContributingNodes: len(contrib),
+				MemberNodes:       p.members,
+				Complete:          completeA && finalComplete(p, filter, tuples),
+				ResponseTime:      x.Sim.Now() - start,
+			}
+			if s.cont != nil {
+				s.cont.Rounds++
+			}
+		})
+	})
+	x.Sim.Run()
+	return result, nil
+}
+
+// forwardJoinAttrValues is Fig. 2 at one node's phase-A deadline.
+func (s *SENSJoin) forwardJoinAttrValues(x *Exec, p *plan, o Options, id topology.NodeID, st *sensNode) {
+	nd := p.nodes[id]
+	ownBytes := 0
+	if nd != nil {
+		ownBytes = nd.tupleBytes
+	}
+	fullBytes := 0
+	for _, t := range st.fullsIn {
+		fullBytes += t.bytes
+	}
+
+	// Treecut (Fig. 2, lines 12-18): while the subtree's data is small
+	// and entirely made of complete tuples, keep sending complete tuples.
+	if !o.DisableTreecut && st.allFull && fullBytes+ownBytes <= o.Dmax {
+		tuples := st.fullsIn
+		if nd != nil {
+			tuples = append(append([]finalTuple(nil), tuples...), p.tuple(id))
+		}
+		st.cut = true
+		if len(tuples) == 0 {
+			return
+		}
+		x.Net.Send(netsim.Message{
+			Kind: kindFullTuples, Src: id, Dst: x.Tree.Parent[id],
+			Phase: PhaseJACollect, Size: fullBytes + ownBytes, Payload: tuples,
+		})
+		return
+	}
+
+	// Act as proxy (lines 20-27): store complete tuples and the
+	// subtree's join-attribute structure, forward join-attribute tuples.
+	st.proxied = st.fullsIn
+	if fullBytes > s.Memory.MaxProxyBytes {
+		s.Memory.MaxProxyBytes = fullBytes
+	}
+	if sb := o.Rep.SetBytes(p, st.keysIn); sb <= o.FilterMemLimit {
+		st.subtreeKeys = st.keysIn
+		if sb > s.Memory.MaxSubtreeBytes {
+			s.Memory.MaxSubtreeBytes = sb
+		}
+	} else {
+		st.overflow = true
+		s.Memory.OverflowNodes++
+	}
+	keys := st.keysIn
+	for _, t := range st.proxied {
+		keys = quadtree.UnionKeys(keys, []zorder.Key{p.keyOf(t)})
+	}
+	raw := st.rawIn + len(st.proxied)
+	covered := st.coverIn + len(st.proxied)
+	if nd != nil {
+		keys = quadtree.UnionKeys(keys, []zorder.Key{nd.key})
+		raw++
+		covered++
+	}
+	if len(keys) == 0 {
+		return // nothing anywhere in the subtree
+	}
+	pl := &jaPayload{keys: keys, rawCount: raw, covered: covered}
+	if s.cont != nil && int(id) < s.cont.n {
+		pl.needFull = s.cont.needFull[id]
+	}
+	x.Net.Send(netsim.Message{
+		Kind: kindJoinAttrs, Src: id, Dst: x.Tree.Parent[id],
+		Phase: PhaseJACollect, Size: o.Rep.PayloadBytes(p, pl), Payload: pl,
+	})
+}
+
+// onFilter is Fig. 3: intersect the filter with the stored subtree
+// structure and forward only if the intersection is non-empty. In
+// incremental mode the filter first has to be reconstructed from the
+// cached previous round plus the received delta; on a cache mismatch the
+// node falls back to assume-all for this round (see incremental.go).
+func (s *SENSJoin) onFilter(x *Exec, p *plan, o Options, id topology.NodeID, st *sensNode, from topology.NodeID, msg *filterMsg) {
+	if st.gotFilter {
+		return // duplicate delivery
+	}
+	st.gotFilter = true
+
+	filter, ok := s.applyFilterMsg(id, from, msg)
+	if !ok {
+		// Assume-all: ship everything this round (false positives only)
+		// and cascade the conservative mode to the subtree.
+		if p.nodes[id] != nil {
+			st.ownMatch = true
+		}
+		st.matchedProxy = st.proxied
+		if st.activeChildren > 0 {
+			all := &filterMsg{mode: fmAssumeAll}
+			x.Net.Send(netsim.Message{
+				Kind: kindFilter, Src: id, Dst: netsim.BroadcastID,
+				Phase: PhaseFilterDissem, Size: filterMsgSize(p, o, all), Payload: all,
+			})
+		}
+		return
+	}
+
+	if fb := o.Rep.SetBytes(p, filter); fb > s.Memory.MaxFilterBytes {
+		s.Memory.MaxFilterBytes = fb
+	}
+	if nd := p.nodes[id]; nd != nil && quadtree.ContainsKey(filter, nd.key) {
+		st.ownMatch = true
+	}
+	for _, t := range st.proxied {
+		if quadtree.ContainsKey(filter, p.keyOf(t)) {
+			st.matchedProxy = append(st.matchedProxy, t)
+		}
+	}
+	if st.activeChildren == 0 {
+		return
+	}
+	sub := filter
+	if !o.DisableSelectiveForwarding {
+		if st.overflow {
+			sub = filter // cannot prune: structure was too large to keep
+		} else {
+			sub = quadtree.IntersectKeys(filter, st.subtreeKeys)
+		}
+	}
+	if len(sub) == 0 {
+		return
+	}
+	out := s.buildFilterMsg(p, o, id, sub, st.childNeedsFull)
+	x.Net.Send(netsim.Message{
+		Kind: kindFilter, Src: id, Dst: netsim.BroadcastID,
+		Phase: PhaseFilterDissem, Size: filterMsgSize(p, o, out), Payload: out,
+	})
+}
+
+// forwardCompleteTuples is the Final-Result-Computation step at one
+// node's phase-C deadline.
+func (s *SENSJoin) forwardCompleteTuples(x *Exec, p *plan, id topology.NodeID, st *sensNode) {
+	if st.cut {
+		return
+	}
+	tuples := st.finalsIn
+	tuples = append(tuples, st.matchedProxy...)
+	if st.ownMatch {
+		tuples = append(tuples, p.tuple(id))
+	}
+	if len(tuples) == 0 {
+		return
+	}
+	size := 0
+	for _, t := range tuples {
+		size += t.bytes
+	}
+	x.Net.Send(netsim.Message{
+		Kind: kindFinal, Src: id, Dst: x.Tree.Parent[id],
+		Phase: PhaseFinalCollect, Size: size, Payload: tuples,
+	})
+}
+
+// keyOf computes the join-attribute key of a complete tuple (the
+// projection a proxy performs in Fig. 2, line 22).
+func (p *plan) keyOf(t finalTuple) zorder.Key {
+	vals := make([]float64, len(p.dims))
+	for i, name := range p.dims {
+		vals[i] = t.vals[name]
+	}
+	return p.grid.Encode(t.flags, vals)
+}
+
+// finalComplete checks (with simulator omniscience) that every member
+// node whose key is in the filter delivered its tuple to the base
+// station; a false result means failures lost data and the query should
+// be re-executed (§IV-F).
+func finalComplete(p *plan, filter []zorder.Key, got []finalTuple) bool {
+	have := make(map[topology.NodeID]bool, len(got))
+	for _, t := range got {
+		have[t.node] = true
+	}
+	for id, nd := range p.nodes {
+		if nd == nil {
+			continue
+		}
+		if quadtree.ContainsKey(filter, nd.key) && !have[topology.NodeID(id)] {
+			return false
+		}
+	}
+	return true
+}
+
+// sensSlots sizes the TAG-style transmission slots. The phase-A slot
+// covers the pre-computation's worst case (raw join-attribute tuples,
+// with headroom for compressed representations that can expand); the
+// phase-C slot covers complete tuples, like the external join's wave.
+// This is why SENS-Join's response time stays within roughly twice the
+// external join's (paper §VII).
+func sensSlots(x *Exec, p *plan) (slotA, slotC float64) {
+	boundA := p.members*p.rawTupleBytes + p.members*p.rawTupleBytes/2 + 256
+	return x.Net.SlotFor(boundA), collectionSlot(x, p)
+}

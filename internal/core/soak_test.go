@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensjoin/internal/topology"
+)
+
+// Soak: a long continuous-monitoring run with random link failures,
+// repairs, node deaths/revivals and packet loss injected between rounds.
+// Every round must terminate, a round claiming Complete must match the
+// oracle exactly, and the incremental mode's cross-round state must
+// never corrupt a result — the strongest end-to-end robustness check in
+// the repository.
+func TestSoakContinuousWithChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	r := testRunner(t, 200, 1001)
+	rng := rand.New(rand.NewSource(77))
+	m := NewContinuousSENSJoin()
+	src := qBand(0.4)
+
+	type failure struct{ a, b topology.NodeID }
+	var downLinks []failure
+	var deadNodes []topology.NodeID
+
+	const rounds = 30
+	completeRounds := 0
+	for round := 0; round < rounds; round++ {
+		tm := float64(round) * 45
+
+		// Chaos: flip some state between rounds.
+		switch rng.Intn(6) {
+		case 0: // cut a random tree edge
+			v := topology.NodeID(1 + rng.Intn(r.Dep.N()-1))
+			if p := r.Tree.Parent[v]; p >= 0 {
+				r.Net.LinkDown(v, p)
+				downLinks = append(downLinks, failure{v, p})
+			}
+		case 1: // restore a failed link
+			if len(downLinks) > 0 {
+				f := downLinks[len(downLinks)-1]
+				downLinks = downLinks[:len(downLinks)-1]
+				r.Net.LinkUp(f.a, f.b)
+			}
+		case 2: // kill a node
+			v := topology.NodeID(1 + rng.Intn(r.Dep.N()-1))
+			r.Net.KillNode(v)
+			deadNodes = append(deadNodes, v)
+		case 3: // revive a node
+			if len(deadNodes) > 0 {
+				r.Net.ReviveNode(deadNodes[len(deadNodes)-1])
+				deadNodes = deadNodes[:len(deadNodes)-1]
+			}
+		case 4: // transient packet loss
+			r.Net.SetLossRate(0.02, int64(round))
+		default: // calm round
+			r.Net.SetLossRate(0, 0)
+		}
+		r.RebuildTree() // the tree protocol heals between rounds
+
+		res, err := r.Run(src, m, tm)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Complete {
+			completeRounds++
+			// A complete claim must be the exact oracle result for the
+			// surviving network.
+			x, err := r.ExecSQL(src, tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := GroundTruth(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRows(t, truth.Rows, res.Rows, "oracle", "soak-round")
+		}
+	}
+	if completeRounds < rounds/3 {
+		t.Fatalf("only %d of %d rounds complete — chaos should not dominate", completeRounds, rounds)
+	}
+	if m.Rounds() != rounds {
+		t.Fatalf("Rounds = %d, want %d", m.Rounds(), rounds)
+	}
+	t.Logf("soak: %d/%d rounds complete under chaos", completeRounds, rounds)
+}
+
+// The same soak against the external join: the baseline must be equally
+// robust (termination + honest completeness).
+func TestSoakExternalWithLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	r := testRunner(t, 150, 1003)
+	for round := 0; round < 15; round++ {
+		r.Net.SetLossRate(0.01*float64(round%4), int64(round))
+		res, err := r.Run(qBand(0.4), External{}, float64(round)*30)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Complete && round%4 != 0 {
+			// Loss was active; completeness is possible but must then be
+			// genuine (spot-check row count against the oracle).
+			x, _ := r.ExecSQL(qBand(0.4), float64(round)*30)
+			truth, err := GroundTruth(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != len(truth.Rows) {
+				t.Fatalf("round %d: complete but %d rows vs oracle %d", round, len(res.Rows), len(truth.Rows))
+			}
+		}
+	}
+}

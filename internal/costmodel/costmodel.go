@@ -1,0 +1,229 @@
+// Package costmodel predicts the communication cost of the join methods
+// without simulating them.
+//
+// The paper justifies computing both the pre-computation join and the
+// final result at the base station with a theoretical analysis ([20],
+// §IV-E "Join Locations"). This package is that analysis, turned into a
+// planner: given the routing tree's shape (per-node subtree member
+// counts), the tuple sizes and the expected result fraction, it predicts
+// the packet counts of the external join and of each SENS-Join phase,
+// and recommends a method. The prediction is validated against the
+// simulator in the tests.
+//
+// The model is exact about the dominant effect — the per-packet floor:
+// a forwarding node transmits max(1, ceil(bytes/payload)) packets, so
+// near the leaves no method can beat one packet per node, and savings
+// only accrue where subtrees aggregate more than one payload of data.
+package costmodel
+
+import "math"
+
+// Tree is the routing tree's shape as the model needs it: for every
+// non-root node that carries data, the number of member nodes in its
+// subtree (including itself).
+type Tree struct {
+	// SubtreeMembers[i] counts member nodes in node i's subtree
+	// (including i when i is a member); index 0 is the root and is
+	// ignored (the base station is powered).
+	SubtreeMembers []int
+}
+
+// Params describes the query and radio.
+type Params struct {
+	// Members is the total member-node count.
+	Members int
+	// TupleBytes is the complete (shipped) tuple's wire size.
+	TupleBytes int
+	// JoinAttrBytes is the raw join-attribute tuple's wire size.
+	JoinAttrBytes int
+	// QuadFactor is the quadtree's size relative to raw join-attribute
+	// tuples (~0.5 on correlated data, §VI-B); use 1 for the raw
+	// representation.
+	QuadFactor float64
+	// Fraction is the expected fraction of member nodes in the result.
+	Fraction float64
+	// FilterBytes is the encoded size of the global join filter; if 0
+	// it is estimated from Fraction and the key sizes.
+	FilterBytes int
+	// Payload is the usable bytes per packet.
+	Payload int
+	// Dmax is the Treecut threshold.
+	Dmax int
+}
+
+// packetsFor is the per-node cost kernel: a node forwarding `bytes`
+// transmits this many packets.
+func packetsFor(bytes float64, payload int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return math.Max(1, math.Ceil(bytes/float64(payload)))
+}
+
+// External predicts the external join's total packets: every node
+// forwards its subtree's complete tuples.
+func External(t Tree, p Params) float64 {
+	var total float64
+	for i := 1; i < len(t.SubtreeMembers); i++ {
+		total += packetsFor(float64(t.SubtreeMembers[i]*p.TupleBytes), p.Payload)
+	}
+	return total
+}
+
+// filterBytes returns the configured or estimated filter size.
+func filterBytes(p Params) float64 {
+	if p.FilterBytes > 0 {
+		return float64(p.FilterBytes)
+	}
+	keys := math.Max(1, p.Fraction*float64(p.Members))
+	return keys * float64(p.JoinAttrBytes) * p.QuadFactor
+}
+
+// SENSCollect predicts the Join-Attribute-Collection packets: subtrees
+// below the Treecut threshold ship complete tuples (one packet), larger
+// ones ship the compact join-attribute structure.
+func SENSCollect(t Tree, p Params) float64 {
+	var total float64
+	for i := 1; i < len(t.SubtreeMembers); i++ {
+		sm := t.SubtreeMembers[i]
+		if sm == 0 {
+			continue
+		}
+		fullBytes := sm * p.TupleBytes
+		if fullBytes <= p.Dmax {
+			total++ // Treecut: one packet of complete tuples
+			continue
+		}
+		jaBytes := float64(sm*p.JoinAttrBytes) * p.QuadFactor
+		total += packetsFor(jaBytes, p.Payload)
+	}
+	return total
+}
+
+// SENSFilter predicts the Filter-Dissemination packets: a node
+// broadcasts once when its subtree contains at least one matching
+// member (Selective Filter Forwarding), carrying the filter pruned to
+// the subtree's share.
+func SENSFilter(t Tree, p Params) float64 {
+	fb := filterBytes(p)
+	var total float64
+	for i := 1; i < len(t.SubtreeMembers); i++ {
+		sm := t.SubtreeMembers[i]
+		if sm == 0 {
+			continue
+		}
+		// Treecut subtrees never receive the filter.
+		if sm*p.TupleBytes <= p.Dmax {
+			continue
+		}
+		pMatch := 1 - math.Pow(1-p.Fraction, float64(sm))
+		// The pruned filter cannot exceed the subtree's own key volume.
+		pruned := math.Min(fb, float64(sm)*float64(p.JoinAttrBytes)*p.QuadFactor)
+		total += pMatch * packetsFor(pruned, p.Payload)
+	}
+	// The base station's own broadcast.
+	if p.Fraction > 0 {
+		total += packetsFor(fb, p.Payload)
+	}
+	return total
+}
+
+// SENSFinal predicts the Final-Result-Computation packets: nodes whose
+// subtree holds matching members forward those complete tuples.
+func SENSFinal(t Tree, p Params) float64 {
+	var total float64
+	for i := 1; i < len(t.SubtreeMembers); i++ {
+		sm := t.SubtreeMembers[i]
+		if sm == 0 || sm*p.TupleBytes <= p.Dmax {
+			continue // treecut data travels with phase A; proxies sit higher
+		}
+		expect := p.Fraction * float64(sm)
+		pMatch := 1 - math.Pow(1-p.Fraction, float64(sm))
+		total += pMatch * packetsFor(expect*float64(p.TupleBytes), p.Payload)
+	}
+	return total
+}
+
+// SENS predicts SENS-Join's total packets.
+func SENS(t Tree, p Params) float64 {
+	return SENSCollect(t, p) + SENSFilter(t, p) + SENSFinal(t, p)
+}
+
+// Recommendation is the model's verdict.
+type Recommendation struct {
+	ExternalPackets float64
+	SENSPackets     float64
+	// UseSENS is true when the model predicts SENS-Join to be cheaper.
+	UseSENS bool
+	// BreakEvenFraction estimates the result fraction at which the two
+	// methods cost the same on this tree (bisection over the model).
+	BreakEvenFraction float64
+}
+
+// Advise compares the two general-purpose methods on the given tree and
+// estimates the break-even fraction.
+func Advise(t Tree, p Params) Recommendation {
+	rec := Recommendation{
+		ExternalPackets: External(t, p),
+		SENSPackets:     SENS(t, p),
+	}
+	rec.UseSENS = rec.SENSPackets < rec.ExternalPackets
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		q := p
+		q.Fraction = mid
+		q.FilterBytes = 0 // re-estimate per fraction
+		if SENS(t, q) < External(t, q) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	rec.BreakEvenFraction = (lo + hi) / 2
+	return rec
+}
+
+// SubtreeMembersOf derives the model's tree shape from parent pointers
+// and a member mask: SubtreeMembers[i] counts members at or below i.
+func SubtreeMembersOf(parent []int, member []bool) Tree {
+	n := len(parent)
+	sm := make([]int, n)
+	// Accumulate children into parents in order of decreasing depth.
+	depth := make([]int, n)
+	for i := 0; i < n; i++ {
+		d, v := 0, i
+		for v > 0 && parent[v] >= 0 {
+			v = parent[v]
+			d++
+			if d > n {
+				break // cycle guard
+			}
+		}
+		depth[i] = d
+	}
+	// Sort by depth descending (counting sort over depths).
+	maxd := 0
+	for _, d := range depth {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	buckets := make([][]int, maxd+1)
+	for i, d := range depth {
+		buckets[d] = append(buckets[d], i)
+	}
+	for i := range sm {
+		if member[i] {
+			sm[i] = 1
+		}
+	}
+	for d := maxd; d > 0; d-- {
+		for _, v := range buckets[d] {
+			if parent[v] >= 0 {
+				sm[parent[v]] += sm[v]
+			}
+		}
+	}
+	return Tree{SubtreeMembers: sm}
+}

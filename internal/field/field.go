@@ -1,0 +1,261 @@
+// Package field synthesizes spatially correlated sensor fields.
+//
+// The paper evaluates SENS-Join on "a fixed distribution of the physical
+// quantities, emulating real sensor data" (§VI) and motivates the quadtree
+// representation with the spatial autocorrelation observed in the Intel
+// Lab deployment (§V-A, Fig. 4). We reproduce that setting with smooth
+// random fields: a base level plus a sum of Gaussian bumps with a
+// configurable correlation length, small deterministic measurement noise,
+// and optional temporal drift for continuous queries.
+//
+// All values are deterministic functions of (seed, position, time), so
+// experiments are exactly reproducible and re-sampling a snapshot does not
+// perturb unrelated readings.
+package field
+
+import (
+	"math"
+	"math/rand"
+
+	"sensjoin/internal/geom"
+)
+
+// Config describes one scalar field.
+type Config struct {
+	// Name identifies the physical quantity (e.g. "temp").
+	Name string
+	// Base is the mean level of the field.
+	Base float64
+	// Amplitude scales the Gaussian bumps added to the base level.
+	Amplitude float64
+	// CorrLength is the standard deviation, in meters, of each bump;
+	// it controls the spatial correlation length of the field.
+	CorrLength float64
+	// Bumps is the number of Gaussian bumps scattered over the area.
+	Bumps int
+	// Noise is the standard deviation of per-reading measurement noise.
+	Noise float64
+	// DriftSpeed is the speed, in meters per second, at which bump
+	// centers move; zero yields a static field.
+	DriftSpeed float64
+	// AmpPeriod, when positive, makes bump amplitudes oscillate with
+	// this period in seconds (temporal variation for SAMPLE PERIOD
+	// queries).
+	AmpPeriod float64
+}
+
+type bump struct {
+	cx, cy float64 // center
+	vx, vy float64 // drift direction (unit vector)
+	amp    float64
+	phase  float64
+}
+
+// Field is a deterministic scalar field over an area.
+type Field struct {
+	cfg   Config
+	area  geom.Rect
+	seed  uint64
+	bumps []bump
+}
+
+// New builds a field over area from cfg, seeded deterministically.
+func New(cfg Config, area geom.Rect, seed int64) *Field {
+	rng := rand.New(rand.NewSource(seed ^ int64(len(cfg.Name))<<32 ^ hashName(cfg.Name)))
+	f := &Field{cfg: cfg, area: area, seed: uint64(seed) ^ uint64(hashName(cfg.Name))}
+	for i := 0; i < cfg.Bumps; i++ {
+		ang := rng.Float64() * 2 * math.Pi
+		f.bumps = append(f.bumps, bump{
+			cx:    area.MinX + rng.Float64()*area.Width(),
+			cy:    area.MinY + rng.Float64()*area.Height(),
+			vx:    math.Cos(ang),
+			vy:    math.Sin(ang),
+			amp:   (rng.Float64()*2 - 1) * cfg.Amplitude,
+			phase: rng.Float64() * 2 * math.Pi,
+		})
+	}
+	return f
+}
+
+func hashName(name string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Name returns the configured quantity name.
+func (f *Field) Name() string { return f.cfg.Name }
+
+// Smooth returns the noiseless field value at p and time t.
+func (f *Field) Smooth(p geom.Point, t float64) float64 {
+	v := f.cfg.Base
+	sig2 := 2 * f.cfg.CorrLength * f.cfg.CorrLength
+	for _, b := range f.bumps {
+		cx := b.cx + b.vx*f.cfg.DriftSpeed*t
+		cy := b.cy + b.vy*f.cfg.DriftSpeed*t
+		// Wrap drifting centers back into the area so long runs stay
+		// representative.
+		cx = wrap(cx, f.area.MinX, f.area.MaxX)
+		cy = wrap(cy, f.area.MinY, f.area.MaxY)
+		amp := b.amp
+		if f.cfg.AmpPeriod > 0 {
+			amp *= math.Cos(2*math.Pi*t/f.cfg.AmpPeriod + b.phase)
+		}
+		d2 := (p.X-cx)*(p.X-cx) + (p.Y-cy)*(p.Y-cy)
+		v += amp * math.Exp(-d2/sig2)
+	}
+	return v
+}
+
+// At returns a sensor reading at p and time t: the smooth value plus
+// deterministic measurement noise derived from (seed, p, t).
+func (f *Field) At(p geom.Point, t float64) float64 {
+	v := f.Smooth(p, t)
+	if f.cfg.Noise > 0 {
+		n := geom.HashNorm(f.seed, math.Float64bits(p.X), math.Float64bits(p.Y), math.Float64bits(t))
+		v += f.cfg.Noise * n
+	}
+	return v
+}
+
+func wrap(v, lo, hi float64) float64 {
+	w := hi - lo
+	if w <= 0 {
+		return v
+	}
+	for v < lo {
+		v += w
+	}
+	for v > hi {
+		v -= w
+	}
+	return v
+}
+
+// Environment bundles the fields of one deployment and maps attribute
+// names to values. Location attributes ("x", "y") are served from the
+// node position rather than a field.
+type Environment struct {
+	fields map[string]*Field
+	// Couplings derives one quantity from another:
+	// value = offset + gain*other + field component.
+	couplings map[string]coupling
+}
+
+type coupling struct {
+	other  string
+	offset float64
+	gain   float64
+}
+
+// NewEnvironment returns an empty environment.
+func NewEnvironment() *Environment {
+	return &Environment{
+		fields:    make(map[string]*Field),
+		couplings: make(map[string]coupling),
+	}
+}
+
+// Add registers a field under its configured name.
+func (e *Environment) Add(f *Field) { e.fields[f.Name()] = f }
+
+// Couple makes attribute name depend linearly on attribute other in
+// addition to name's own field: name = offset + gain*other + field(name).
+// The paper's Q2 rationale (humidity/pressure correlate with temperature)
+// is modeled this way.
+func (e *Environment) Couple(name, other string, offset, gain float64) {
+	e.couplings[name] = coupling{other: other, offset: offset, gain: gain}
+}
+
+// Has reports whether attribute name can be read from this environment.
+func (e *Environment) Has(name string) bool {
+	if name == "x" || name == "y" {
+		return true
+	}
+	_, ok := e.fields[name]
+	return ok
+}
+
+// Read returns the value of attribute name at position p and time t.
+// Unknown attributes read as 0.
+func (e *Environment) Read(name string, p geom.Point, t float64) float64 {
+	switch name {
+	case "x":
+		return p.X
+	case "y":
+		return p.Y
+	}
+	var v float64
+	if f, ok := e.fields[name]; ok {
+		v = f.At(p, t)
+	}
+	if c, ok := e.couplings[name]; ok {
+		v += c.offset + c.gain*e.Read(c.other, p, t)
+	}
+	return v
+}
+
+// Names returns the field attribute names (excluding x/y), in no
+// particular order.
+func (e *Environment) Names() []string {
+	names := make([]string, 0, len(e.fields))
+	for n := range e.fields {
+		names = append(names, n)
+	}
+	return names
+}
+
+// QuietEnvironment builds a low-noise, slowly drifting variant of the
+// standard environment: consecutive snapshots stay correlated at
+// quantization-cell granularity, the precondition for the incremental
+// filter mode (paper §VIII future work) to pay off.
+func QuietEnvironment(area geom.Rect, seed int64) *Environment {
+	e := NewEnvironment()
+	add := func(cfg Config, s int64) { e.Add(New(cfg, area, s)) }
+	add(Config{Name: "temp", Base: 20, Amplitude: 4, CorrLength: 160,
+		Bumps: 24, Noise: 0.002, DriftSpeed: 0.01, AmpPeriod: 72000}, seed)
+	add(Config{Name: "hum", Base: 55, Amplitude: 6, CorrLength: 200,
+		Bumps: 18, Noise: 0.01, DriftSpeed: 0.01, AmpPeriod: 72000}, seed+1)
+	add(Config{Name: "pres", Base: 1013, Amplitude: 3, CorrLength: 400,
+		Bumps: 10, Noise: 0.01, DriftSpeed: 0.01, AmpPeriod: 72000}, seed+2)
+	add(Config{Name: "light", Base: 500, Amplitude: 250, CorrLength: 120,
+		Bumps: 30, Noise: 1, DriftSpeed: 0.01, AmpPeriod: 72000}, seed+3)
+	e.Couple("hum", "temp", 0, -0.8)
+	e.Couple("pres", "temp", 0, -0.15)
+	return e
+}
+
+// StandardEnvironment builds the default environment used throughout the
+// experiments: temperature, humidity, pressure and light fields over the
+// given area, with humidity and pressure coupled to temperature.
+func StandardEnvironment(area geom.Rect, seed int64) *Environment {
+	e := NewEnvironment()
+	temp := New(Config{
+		Name: "temp", Base: 20, Amplitude: 4, CorrLength: 160,
+		Bumps: 24, Noise: 0.05, DriftSpeed: 0.4, AmpPeriod: 3600,
+	}, area, seed)
+	hum := New(Config{
+		Name: "hum", Base: 55, Amplitude: 6, CorrLength: 200,
+		Bumps: 18, Noise: 0.3, DriftSpeed: 0.3, AmpPeriod: 5400,
+	}, area, seed+1)
+	pres := New(Config{
+		Name: "pres", Base: 1013, Amplitude: 3, CorrLength: 400,
+		Bumps: 10, Noise: 0.1, DriftSpeed: 0.2, AmpPeriod: 7200,
+	}, area, seed+2)
+	light := New(Config{
+		Name: "light", Base: 500, Amplitude: 250, CorrLength: 120,
+		Bumps: 30, Noise: 5, DriftSpeed: 0.5, AmpPeriod: 1800,
+	}, area, seed+3)
+	e.Add(temp)
+	e.Add(hum)
+	e.Add(pres)
+	e.Add(light)
+	// Warm air holds more moisture but relative humidity drops; pressure
+	// falls slightly with temperature. Values are illustrative.
+	e.Couple("hum", "temp", 0, -0.8)
+	e.Couple("pres", "temp", 0, -0.15)
+	return e
+}

@@ -1,0 +1,195 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"sensjoin/internal/geom"
+)
+
+func testArea() geom.Rect { return geom.Square(1050) }
+
+func tempField(seed int64) *Field {
+	return New(Config{
+		Name: "temp", Base: 20, Amplitude: 4, CorrLength: 160,
+		Bumps: 24, Noise: 0.05,
+	}, testArea(), seed)
+}
+
+func TestDeterministic(t *testing.T) {
+	f1 := tempField(7)
+	f2 := tempField(7)
+	p := geom.Point{X: 123.4, Y: 567.8}
+	if f1.At(p, 0) != f2.At(p, 0) {
+		t.Fatal("same seed should give identical readings")
+	}
+	f3 := tempField(8)
+	if f1.At(p, 0) == f3.At(p, 0) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSpatialCorrelation(t *testing.T) {
+	// Readings 5 m apart should be far closer than readings 500 m apart,
+	// on average: that is the property the quadtree encoding exploits.
+	f := tempField(3)
+	var near, far float64
+	n := 200
+	for i := 0; i < n; i++ {
+		p := geom.Point{
+			X: 100 + 800*geom.HashUnit(uint64(i), 1),
+			Y: 100 + 800*geom.HashUnit(uint64(i), 2),
+		}
+		q := geom.Point{X: p.X + 5, Y: p.Y}
+		r := geom.Point{
+			X: 100 + 800*geom.HashUnit(uint64(i), 3),
+			Y: 100 + 800*geom.HashUnit(uint64(i), 4),
+		}
+		near += math.Abs(f.Smooth(p, 0) - f.Smooth(q, 0))
+		far += math.Abs(f.Smooth(p, 0) - f.Smooth(r, 0))
+	}
+	if near*5 > far {
+		t.Fatalf("field not spatially correlated: near=%g far=%g", near/float64(n), far/float64(n))
+	}
+}
+
+func TestNoiseIsSmallAndDeterministic(t *testing.T) {
+	f := tempField(9)
+	p := geom.Point{X: 500, Y: 500}
+	a := f.At(p, 0)
+	b := f.At(p, 0)
+	if a != b {
+		t.Fatal("noise must be deterministic per (pos, time)")
+	}
+	if d := math.Abs(a - f.Smooth(p, 0)); d > 0.5 {
+		t.Fatalf("noise too large: %g", d)
+	}
+	// Different times give different noise.
+	if f.At(p, 0) == f.At(p, 1) {
+		t.Fatal("noise should vary with time")
+	}
+}
+
+func TestDrift(t *testing.T) {
+	f := New(Config{
+		Name: "temp", Base: 20, Amplitude: 4, CorrLength: 160,
+		Bumps: 24, DriftSpeed: 1.0,
+	}, testArea(), 3)
+	p := geom.Point{X: 500, Y: 500}
+	if f.Smooth(p, 0) == f.Smooth(p, 600) {
+		t.Fatal("drifting field should change over 10 minutes")
+	}
+	static := New(Config{
+		Name: "temp", Base: 20, Amplitude: 4, CorrLength: 160,
+		Bumps: 24,
+	}, testArea(), 3)
+	if static.Smooth(p, 0) != static.Smooth(p, 600) {
+		t.Fatal("static field should not change")
+	}
+}
+
+func TestValuesNearBase(t *testing.T) {
+	f := tempField(11)
+	var min, max = math.Inf(1), math.Inf(-1)
+	for i := 0; i < 500; i++ {
+		p := geom.Point{
+			X: 1050 * geom.HashUnit(uint64(i), 10),
+			Y: 1050 * geom.HashUnit(uint64(i), 11),
+		}
+		v := f.At(p, 0)
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	// Base 20, amplitude 4 over 24 bumps: values should stay within a
+	// plausible environmental range.
+	if min < 0 || max > 45 {
+		t.Fatalf("field range [%g, %g] implausible for base 20 amp 4", min, max)
+	}
+	if max-min < 1 {
+		t.Fatalf("field range [%g, %g] suspiciously flat", min, max)
+	}
+}
+
+func TestEnvironmentReadsLocationAttrs(t *testing.T) {
+	e := NewEnvironment()
+	p := geom.Point{X: 12.5, Y: 99.25}
+	if e.Read("x", p, 0) != 12.5 || e.Read("y", p, 0) != 99.25 {
+		t.Fatal("x/y must read node coordinates")
+	}
+	if !e.Has("x") || !e.Has("y") {
+		t.Fatal("environment must always expose x and y")
+	}
+	if e.Has("temp") {
+		t.Fatal("empty environment should not report temp")
+	}
+	if e.Read("temp", p, 0) != 0 {
+		t.Fatal("unknown attribute must read as 0")
+	}
+}
+
+func TestEnvironmentCoupling(t *testing.T) {
+	e := NewEnvironment()
+	e.Add(tempField(5))
+	hum := New(Config{Name: "hum", Base: 50, Amplitude: 2, CorrLength: 200, Bumps: 10}, testArea(), 6)
+	e.Add(hum)
+	e.Couple("hum", "temp", 0, -0.8)
+	p := geom.Point{X: 321, Y: 654}
+	want := hum.At(p, 0) - 0.8*e.Read("temp", p, 0)
+	if got := e.Read("hum", p, 0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("coupled read = %g, want %g", got, want)
+	}
+}
+
+func TestStandardEnvironment(t *testing.T) {
+	e := StandardEnvironment(testArea(), 42)
+	for _, name := range []string{"temp", "hum", "pres", "light"} {
+		if !e.Has(name) {
+			t.Fatalf("standard environment missing %q", name)
+		}
+	}
+	if len(e.Names()) != 4 {
+		t.Fatalf("Names() = %v, want 4 entries", e.Names())
+	}
+	// Humidity should anti-correlate with temperature across space.
+	var cov, vt, vh, mt, mh float64
+	n := 300
+	pts := make([]geom.Point, n)
+	temps := make([]float64, n)
+	hums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pts[i] = geom.Point{
+			X: 1050 * geom.HashUnit(uint64(i), 20),
+			Y: 1050 * geom.HashUnit(uint64(i), 21),
+		}
+		temps[i] = e.Read("temp", pts[i], 0)
+		hums[i] = e.Read("hum", pts[i], 0)
+		mt += temps[i]
+		mh += hums[i]
+	}
+	mt /= float64(n)
+	mh /= float64(n)
+	for i := 0; i < n; i++ {
+		cov += (temps[i] - mt) * (hums[i] - mh)
+		vt += (temps[i] - mt) * (temps[i] - mt)
+		vh += (hums[i] - mh) * (hums[i] - mh)
+	}
+	corr := cov / math.Sqrt(vt*vh)
+	if corr > -0.1 {
+		t.Fatalf("temp/hum correlation = %g, want clearly negative", corr)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	if v := wrap(-5, 0, 100); v != 95 {
+		t.Fatalf("wrap(-5) = %g, want 95", v)
+	}
+	if v := wrap(105, 0, 100); v != 5 {
+		t.Fatalf("wrap(105) = %g, want 5", v)
+	}
+	if v := wrap(50, 0, 100); v != 50 {
+		t.Fatalf("wrap(50) = %g, want 50", v)
+	}
+	if v := wrap(7, 5, 5); v != 7 {
+		t.Fatalf("wrap with empty range = %g, want unchanged 7", v)
+	}
+}

@@ -1,0 +1,297 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sensjoin/internal/topology"
+)
+
+// NodeID identifies a node; it mirrors topology.NodeID.
+type NodeID = topology.NodeID
+
+// BroadcastID addresses a message to all live neighbors of the sender.
+const BroadcastID NodeID = -1
+
+// RadioConfig describes the packet-level radio model.
+type RadioConfig struct {
+	// MaxPacket is the maximum over-the-air packet size in bytes
+	// (paper default: 48; the packet-size experiment uses 124).
+	MaxPacket int
+	// HeaderBytes is the fixed per-packet header; payload capacity is
+	// MaxPacket - HeaderBytes.
+	HeaderBytes int
+	// BitRate is the radio data rate in bits/s (802.15.4: 250 kbit/s).
+	BitRate float64
+	// PacketOverhead is the fixed per-packet channel time in seconds
+	// (acquisition, synchronization); it dominates small packets, which
+	// is the paper's justification for counting transmissions.
+	PacketOverhead float64
+}
+
+// DefaultRadio returns the paper's default radio model.
+func DefaultRadio() RadioConfig {
+	return RadioConfig{MaxPacket: 48, HeaderBytes: 8, BitRate: 250_000, PacketOverhead: 0.003}
+}
+
+// Payload returns the usable bytes per packet.
+func (c RadioConfig) Payload() int {
+	p := c.MaxPacket - c.HeaderBytes
+	if p <= 0 {
+		panic(fmt.Sprintf("netsim: header %dB leaves no payload in %dB packets", c.HeaderBytes, c.MaxPacket))
+	}
+	return p
+}
+
+// Packets returns the number of packets needed for size payload bytes.
+// A zero-size message is still one (control) packet.
+func (c RadioConfig) Packets(size int) int {
+	if size <= 0 {
+		return 1
+	}
+	p := c.Payload()
+	return (size + p - 1) / p
+}
+
+// AirTime returns the channel time for transmitting npackets packets
+// carrying size payload bytes in total.
+func (c RadioConfig) AirTime(npackets, size int) Time {
+	bytes := size + npackets*c.HeaderBytes
+	return float64(npackets)*c.PacketOverhead + float64(bytes*8)/c.BitRate
+}
+
+// Message is a logical protocol message. Size is its wire size in payload
+// bytes; Payload carries the in-memory content for the receiving handler
+// (the simulator does not re-serialize content that Size already accounts
+// for).
+type Message struct {
+	Kind    int
+	Src     NodeID
+	Dst     NodeID // BroadcastID for local broadcast
+	Phase   string // accounting label
+	Size    int    // payload bytes on the wire
+	Payload any
+}
+
+// Accountant observes transmissions and receptions. The stats package
+// provides the standard implementation.
+type Accountant interface {
+	OnTx(node NodeID, phase string, packets, bytes int)
+	OnRx(node NodeID, phase string, packets, bytes int)
+}
+
+// Handler processes messages delivered to a node.
+type Handler func(m Message)
+
+// Network delivers messages between neighboring nodes over a broadcast
+// medium, charging transmissions to an Accountant.
+type Network struct {
+	Sim   *Sim
+	Radio RadioConfig
+	Dep   *topology.Deployment
+
+	handlers []Handler
+	acct     Accountant
+	down     map[linkKey]bool
+	dead     []bool
+
+	lossRate float64
+	lossRNG  *rand.Rand
+	tracer   Tracer
+
+	// Dropped counts unicast messages that could not be delivered
+	// because the link was down or the receiver dead.
+	Dropped int
+	// Lost counts messages dropped by the probabilistic loss model.
+	Lost int
+}
+
+// SetLossRate enables per-packet Bernoulli loss: each packet of a
+// message is lost independently with the given probability, and a
+// message is delivered only if all its packets survive (there is no
+// link-layer ARQ; the paper's §IV-F recovery re-executes the query
+// instead). Transmissions are still charged in full — the sender cannot
+// know. Loss draws are deterministic for the seed.
+func (n *Network) SetLossRate(rate float64, seed int64) {
+	if rate <= 0 {
+		n.lossRate, n.lossRNG = 0, nil
+		return
+	}
+	n.lossRate = rate
+	n.lossRNG = rand.New(rand.NewSource(seed))
+}
+
+type linkKey struct{ a, b NodeID }
+
+func mkLink(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// NewNetwork wires a deployment to a simulator.
+func NewNetwork(sim *Sim, dep *topology.Deployment, radio RadioConfig, acct Accountant) *Network {
+	_ = radio.Payload() // validate
+	return &Network{
+		Sim:      sim,
+		Radio:    radio,
+		Dep:      dep,
+		handlers: make([]Handler, dep.N()),
+		acct:     acct,
+		down:     make(map[linkKey]bool),
+		dead:     make([]bool, dep.N()),
+	}
+}
+
+// SetHandler installs the message handler for node id.
+func (n *Network) SetHandler(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Tracer observes every transmission (once) and delivery (per receiver).
+// Event is "tx", "rx", "drop" or "lost".
+type Tracer func(event string, at Time, m Message)
+
+// SetTracer installs a transmission observer; nil disables tracing.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+func (n *Network) trace(event string, m Message) {
+	if n.tracer != nil {
+		n.tracer(event, n.Sim.Now(), m)
+	}
+}
+
+// SetAccountant replaces the transmission observer.
+func (n *Network) SetAccountant(a Accountant) { n.acct = a }
+
+// LinkDown forces the link between a and b to fail (both directions).
+func (n *Network) LinkDown(a, b NodeID) { n.down[mkLink(a, b)] = true }
+
+// LinkUp restores the link between a and b.
+func (n *Network) LinkUp(a, b NodeID) { delete(n.down, mkLink(a, b)) }
+
+// LinkOK reports whether a and b are neighbors with a live link.
+func (n *Network) LinkOK(a, b NodeID) bool {
+	if n.dead[a] || n.dead[b] {
+		return false
+	}
+	if n.down[mkLink(a, b)] {
+		return false
+	}
+	return n.Dep.IsNeighbor(a, b)
+}
+
+// KillNode takes node id offline entirely.
+func (n *Network) KillNode(id NodeID) { n.dead[id] = true }
+
+// ReviveNode brings node id back online.
+func (n *Network) ReviveNode(id NodeID) { n.dead[id] = false }
+
+// Alive reports whether node id is online.
+func (n *Network) Alive(id NodeID) bool { return !n.dead[id] }
+
+// Send transmits m. For unicast the receiver must be a live neighbor;
+// otherwise the message is counted as transmitted (the sender cannot know)
+// but dropped. For broadcast every live neighbor receives it. The
+// transmission is charged to the source; delivery happens after air time.
+func (n *Network) Send(m Message) {
+	if n.dead[m.Src] {
+		return
+	}
+	packets := n.Radio.Packets(m.Size)
+	if n.acct != nil {
+		n.acct.OnTx(m.Src, m.Phase, packets, m.Size)
+	}
+	n.trace("tx", m)
+	delay := n.Radio.AirTime(packets, m.Size)
+	if m.Dst == BroadcastID {
+		for _, v := range n.Dep.Neighbors[m.Src] {
+			if !n.LinkOK(m.Src, v) {
+				continue
+			}
+			if n.lost(packets) {
+				n.Lost++
+				n.trace("lost", m)
+				continue
+			}
+			n.deliver(m, v, packets, delay)
+		}
+		return
+	}
+	if !n.LinkOK(m.Src, m.Dst) {
+		n.Dropped++
+		n.trace("drop", m)
+		return
+	}
+	if n.lost(packets) {
+		n.Lost++
+		n.trace("lost", m)
+		return
+	}
+	n.deliver(m, m.Dst, packets, delay)
+}
+
+// lost draws the loss model: a message survives only if every packet
+// does.
+func (n *Network) lost(packets int) bool {
+	if n.lossRNG == nil {
+		return false
+	}
+	for i := 0; i < packets; i++ {
+		if n.lossRNG.Float64() < n.lossRate {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Network) deliver(m Message, to NodeID, packets int, delay Time) {
+	if n.acct != nil {
+		n.acct.OnRx(to, m.Phase, packets, m.Size)
+	}
+	mm := m
+	mm.Dst = to
+	n.trace("rx", mm)
+	n.Sim.Schedule(n.Sim.Now()+delay, func() {
+		if n.dead[to] {
+			return
+		}
+		if h := n.handlers[to]; h != nil {
+			h(mm)
+		}
+	})
+}
+
+// N returns the node count including the base station.
+func (n *Network) N() int { return n.Dep.N() }
+
+// LiveNeighbors returns the neighbor lists restricted to live links and
+// live nodes — the graph a repaired routing tree forms over.
+func (n *Network) LiveNeighbors() [][]NodeID {
+	out := make([][]NodeID, n.N())
+	for i := range out {
+		if n.dead[i] {
+			continue
+		}
+		for _, v := range n.Dep.Neighbors[i] {
+			if n.LinkOK(NodeID(i), v) {
+				out[i] = append(out[i], v)
+			}
+		}
+	}
+	return out
+}
+
+// MaxAirTime returns an upper bound on the air time of any single message
+// of up to size bytes; protocol schedulers use it to size slots.
+func (n *Network) MaxAirTime(size int) Time {
+	p := n.Radio.Packets(size)
+	return n.Radio.AirTime(p, size) + 1e-6
+}
+
+// SlotFor returns a conservative slot duration for forwarding size bytes,
+// rounded up to a millisecond multiple for readability of traces.
+func (n *Network) SlotFor(size int) Time {
+	t := n.MaxAirTime(size)
+	return math.Ceil(t*1000) / 1000
+}

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %g, want 3", s.Now())
+	}
+	if s.Steps() != 3 {
+		t.Fatalf("Steps = %d, want 3", s.Steps())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	s := NewSim()
+	var hits []Time
+	s.After(1, func() {
+		hits = append(hits, s.Now())
+		s.After(2, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v, want [1 3]", hits)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewSim()
+	s.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic when scheduling in the past")
+			}
+		}()
+		s.Schedule(1, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim()
+	var ran []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		s.Schedule(at, func() { ran = append(ran, at) })
+	}
+	s.RunUntil(2.5)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(2.5) ran %v", ran)
+	}
+	if s.Now() != 2.5 {
+		t.Fatalf("Now = %g, want 2.5", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(ran) != 4 {
+		t.Fatalf("Run after RunUntil should finish the rest: %v", ran)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := NewSim()
+	count := 0
+	s.Schedule(1, func() { count++; s.Halt() })
+	s.Schedule(2, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("Halt did not stop the loop; count = %d", count)
+	}
+	s.Run() // resumes
+	if count != 2 {
+		t.Fatalf("Run after Halt should resume; count = %d", count)
+	}
+}

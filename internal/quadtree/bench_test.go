@@ -1,0 +1,91 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"sensjoin/internal/zorder"
+)
+
+func benchSetup(b *testing.B, n int, clustered bool) (*Codec, []zorder.Key, []zorder.Key) {
+	b.Helper()
+	temp, _ := zorder.NewDim("temp", 0, 40, 0.1)
+	x, _ := zorder.NewDim("x", 0, 1050, 1)
+	y, _ := zorder.NewDim("y", 0, 1050, 1)
+	g, err := zorder.NewGrid(2, []zorder.Dim{temp, x, y})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCodec(g.Levels())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := NormalizeKeys(randomKeys(g, rng, n, clustered))
+	bb := NormalizeKeys(randomKeys(g, rng, n, clustered))
+	return c, a, bb
+}
+
+func BenchmarkEncode1500Clustered(b *testing.B) {
+	c, keys, _ := benchSetup(b, 1500, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(keys)
+	}
+	e := c.Encode(keys)
+	b.ReportMetric(float64(e.ByteLen())/float64(len(keys)), "bytes/key")
+}
+
+func BenchmarkEncode1500Uniform(b *testing.B) {
+	c, keys, _ := benchSetup(b, 1500, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(keys)
+	}
+	e := c.Encode(keys)
+	b.ReportMetric(float64(e.ByteLen())/float64(len(keys)), "bytes/key")
+}
+
+func BenchmarkDecode1500(b *testing.B) {
+	c, keys, _ := benchSetup(b, 1500, true)
+	e := c.Encode(keys)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	c, ka, kb := benchSetup(b, 750, true)
+	ea, eb := c.Encode(ka), c.Encode(kb)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Union(ea, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	c, ka, kb := benchSetup(b, 750, true)
+	ea, eb := c.Encode(ka), c.Encode(kb)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Intersect(ea, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	c, keys, _ := benchSetup(b, 1500, true)
+	e := c.Encode(keys)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Contains(e, keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

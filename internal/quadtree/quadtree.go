@@ -1,0 +1,348 @@
+// Package quadtree implements the paper's compact, pointerless
+// region-quadtree representation of join-attribute tuple sets (§V-C,
+// Figs. 8 and 9).
+//
+// A set of Z-order keys (package zorder) is stored as a bitstring in
+// depth-first order. At every position there is either an index node —
+// a '0' bit followed by a presence mask over the quadrants of the next
+// level — or a list of points: each point is a '1' bit followed by the
+// key's remaining bits relative to the current path, and the list is
+// terminated by a '0' bit. The decomposition stops exactly when listing
+// the points costs fewer bits than subdividing further (the paper's
+// cost-based decomposition threshold), which makes the encoding canonical:
+// equal sets encode to equal bitstrings.
+//
+// The topmost level consumes the relation-flag bits, so the root index
+// node "represents the relation flags" as in the paper. Because levels
+// may consume different bit counts (unequal dimension widths), the level
+// schedule comes from zorder.Grid.Levels().
+package quadtree
+
+import (
+	"fmt"
+	"sort"
+
+	"sensjoin/internal/bitstream"
+	"sensjoin/internal/zorder"
+)
+
+// Encoded is a wire-format quadtree: Bits significant bits in Data.
+// The zero value is the empty set.
+type Encoded struct {
+	Data []byte
+	Bits int
+}
+
+// ByteLen returns the wire size in bytes.
+func (e Encoded) ByteLen() int { return (e.Bits + 7) / 8 }
+
+// Empty reports whether the set has no points.
+func (e Encoded) Empty() bool { return e.Bits == 0 }
+
+// Codec encodes and decodes key sets for one level schedule.
+type Codec struct {
+	levels []int
+	total  int
+	// suffix[l] is the number of key bits remaining below level l.
+	suffix []int
+}
+
+// NewCodec builds a codec for the given per-level bit widths (the flag
+// level first), as produced by zorder.Grid.Levels().
+func NewCodec(levels []int) (*Codec, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("quadtree: empty level schedule")
+	}
+	c := &Codec{levels: append([]int(nil), levels...)}
+	for i, l := range levels {
+		if l < 1 || l > 16 {
+			return nil, fmt.Errorf("quadtree: level %d has invalid width %d", i, l)
+		}
+		c.total += l
+	}
+	if c.total > 64 {
+		return nil, fmt.Errorf("quadtree: %d total bits exceed 64", c.total)
+	}
+	c.suffix = make([]int, len(levels)+1)
+	c.suffix[len(levels)] = 0
+	for i := len(levels) - 1; i >= 0; i-- {
+		c.suffix[i] = c.suffix[i+1] + levels[i]
+	}
+	return c, nil
+}
+
+// TotalBits returns the key width the codec expects.
+func (c *Codec) TotalBits() int { return c.total }
+
+// Encode produces the canonical wire form of the given keys. The input
+// is not modified; duplicates are removed.
+func (c *Codec) Encode(keys []zorder.Key) Encoded {
+	set := NormalizeKeys(keys)
+	if len(set) == 0 {
+		return Encoded{}
+	}
+	w := bitstream.NewWriter(len(set) * (c.total + 2))
+	c.emit(w, set, 0)
+	return Encoded{Data: w.Bytes(), Bits: w.Len()}
+}
+
+// cost returns the encoded size in bits of keys at level l when choosing
+// optimally between a point list and a subdivision.
+func (c *Codec) cost(keys []zorder.Key, l int) int {
+	costList := len(keys)*(1+c.suffix[l]) + 1
+	if l == len(c.levels) || len(keys) == 1 {
+		return costList
+	}
+	costSplit := 1 + (1 << uint(c.levels[l]))
+	for _, part := range c.partition(keys, l) {
+		if len(part) > 0 {
+			costSplit += c.cost(part, l+1)
+		}
+	}
+	if costList <= costSplit {
+		return costList
+	}
+	return costSplit
+}
+
+// partition splits keys (sorted) into the quadrants of level l.
+func (c *Codec) partition(keys []zorder.Key, l int) [][]zorder.Key {
+	fanout := 1 << uint(c.levels[l])
+	shift := uint(c.suffix[l+1])
+	mask := zorder.Key(fanout - 1)
+	parts := make([][]zorder.Key, fanout)
+	start := 0
+	for start < len(keys) {
+		q := (keys[start] >> shift) & mask
+		end := start
+		for end < len(keys) && (keys[end]>>shift)&mask == q {
+			end++
+		}
+		parts[q] = keys[start:end]
+		start = end
+	}
+	return parts
+}
+
+func (c *Codec) emit(w *bitstream.Writer, keys []zorder.Key, l int) {
+	costList := len(keys)*(1+c.suffix[l]) + 1
+	mustList := l == len(c.levels) || len(keys) == 1
+	if !mustList {
+		costSplit := 1 + (1 << uint(c.levels[l]))
+		parts := c.partition(keys, l)
+		for _, part := range parts {
+			if len(part) > 0 {
+				costSplit += c.cost(part, l+1)
+			}
+		}
+		if costSplit < costList {
+			// Index node: '0' + presence mask, then children in
+			// quadrant order.
+			w.WriteBit(0)
+			fanout := 1 << uint(c.levels[l])
+			for q := 0; q < fanout; q++ {
+				w.WriteBool(len(parts[q]) > 0)
+			}
+			for q := 0; q < fanout; q++ {
+				if len(parts[q]) > 0 {
+					c.emit(w, parts[q], l+1)
+				}
+			}
+			return
+		}
+	}
+	// Point list: each point '1' + relative suffix; '0' terminates.
+	r := c.suffix[l]
+	suffixMask := ^zorder.Key(0)
+	if r < 64 {
+		suffixMask = (zorder.Key(1) << uint(r)) - 1
+	}
+	for _, k := range keys {
+		w.WriteBit(1)
+		w.WriteBits(k&suffixMask, r)
+	}
+	w.WriteBit(0)
+}
+
+// Decode returns the sorted key set of e.
+func (c *Codec) Decode(e Encoded) ([]zorder.Key, error) {
+	if e.Empty() {
+		return nil, nil
+	}
+	r := bitstream.NewReader(e.Data, e.Bits)
+	var out []zorder.Key
+	if err := c.decode(r, 0, 0, &out); err != nil {
+		return nil, err
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if r.Remaining() >= 8 {
+		return nil, fmt.Errorf("quadtree: %d trailing bits after decode", r.Remaining())
+	}
+	return out, nil
+}
+
+func (c *Codec) decode(r *bitstream.Reader, l int, prefix zorder.Key, out *[]zorder.Key) error {
+	first := r.ReadBit()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if first == 1 {
+		// Point list. The leading '1' of each subsequent point doubles
+		// as the "not end of list" marker.
+		rbits := c.suffix[l]
+		for {
+			suffix := r.ReadBits(rbits)
+			if r.Err() != nil {
+				return r.Err()
+			}
+			*out = append(*out, prefix<<uint(rbits)|suffix)
+			if r.ReadBit() == 0 {
+				break
+			}
+			if r.Err() != nil {
+				return r.Err()
+			}
+		}
+		return nil
+	}
+	// Index node.
+	if l >= len(c.levels) {
+		return fmt.Errorf("quadtree: index node below the deepest level")
+	}
+	fanout := 1 << uint(c.levels[l])
+	mask := r.ReadBits(fanout)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if mask == 0 {
+		return fmt.Errorf("quadtree: index node with empty presence mask")
+	}
+	for q := 0; q < fanout; q++ {
+		if mask&(1<<uint(fanout-1-q)) == 0 {
+			continue
+		}
+		if err := c.decode(r, l+1, prefix<<uint(c.levels[l])|zorder.Key(q), out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of points in e without materializing keys.
+func (c *Codec) Count(e Encoded) (int, error) {
+	keys, err := c.Decode(e)
+	return len(keys), err
+}
+
+// Contains reports whether key k is in e.
+func (c *Codec) Contains(e Encoded, k zorder.Key) (bool, error) {
+	keys, err := c.Decode(e)
+	if err != nil {
+		return false, err
+	}
+	return ContainsKey(keys, k), nil
+}
+
+// Union returns the canonical encoding of the set union of a and b.
+// Like the paper's UnionJoinAtts it is a single merge pass in key order
+// (the DFS wire order is key order), followed by re-emission.
+func (c *Codec) Union(a, b Encoded) (Encoded, error) {
+	ka, err := c.Decode(a)
+	if err != nil {
+		return Encoded{}, err
+	}
+	kb, err := c.Decode(b)
+	if err != nil {
+		return Encoded{}, err
+	}
+	return c.Encode(UnionKeys(ka, kb)), nil
+}
+
+// Intersect returns the canonical encoding of the set intersection.
+func (c *Codec) Intersect(a, b Encoded) (Encoded, error) {
+	ka, err := c.Decode(a)
+	if err != nil {
+		return Encoded{}, err
+	}
+	kb, err := c.Decode(b)
+	if err != nil {
+		return Encoded{}, err
+	}
+	return c.Encode(IntersectKeys(ka, kb)), nil
+}
+
+// Insert returns the canonical encoding of e plus key k.
+func (c *Codec) Insert(e Encoded, k zorder.Key) (Encoded, error) {
+	keys, err := c.Decode(e)
+	if err != nil {
+		return Encoded{}, err
+	}
+	return c.Encode(UnionKeys(keys, []zorder.Key{k})), nil
+}
+
+// NormalizeKeys returns a sorted, duplicate-free copy of keys.
+func NormalizeKeys(keys []zorder.Key) []zorder.Key {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := append([]zorder.Key(nil), keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// UnionKeys merges two sorted key sets.
+func UnionKeys(a, b []zorder.Key) []zorder.Key {
+	out := make([]zorder.Key, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// IntersectKeys intersects two sorted key sets.
+func IntersectKeys(a, b []zorder.Key) []zorder.Key {
+	var out []zorder.Key
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// ContainsKey reports whether sorted keys contains k.
+func ContainsKey(keys []zorder.Key, k zorder.Key) bool {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	return i < len(keys) && keys[i] == k
+}

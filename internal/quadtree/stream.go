@@ -1,0 +1,434 @@
+package quadtree
+
+import (
+	"fmt"
+
+	"sensjoin/internal/bitstream"
+	"sensjoin/internal/zorder"
+)
+
+// Streaming set operations "directly on the representation" (paper
+// §V-D): the wire format is parsed into its structural form — index
+// nodes and *relative* point lists, never expanded to absolute keys —
+// and the two trees are merged in a single parallel depth-first
+// traversal, exactly the Mergesort-like pass the paper describes. The
+// result is re-emitted with the same cost-optimal decomposition the
+// canonical encoder uses, so StreamUnion/StreamIntersect produce
+// bit-identical output to the decode-merge-encode path (property-tested)
+// while avoiding the absolute-key materialization.
+
+// treeNode is the parsed structural form of one subtree.
+type treeNode struct {
+	// leaf is true for a point list; suffixes hold the points relative
+	// to this position (sorted).
+	leaf     bool
+	suffixes []zorder.Key
+	// children are the present quadrants (nil entries absent),
+	// fanout-sized, for index nodes.
+	children []*treeNode
+}
+
+// count returns the number of points under n.
+func (n *treeNode) count() int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return len(n.suffixes)
+	}
+	c := 0
+	for _, ch := range n.children {
+		c += ch.count()
+	}
+	return c
+}
+
+// parse reads one subtree at level l.
+func (c *Codec) parse(r *bitstream.Reader, l int) (*treeNode, error) {
+	first := r.ReadBit()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if first == 1 {
+		n := &treeNode{leaf: true}
+		rbits := c.suffix[l]
+		for {
+			s := r.ReadBits(rbits)
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			n.suffixes = append(n.suffixes, s)
+			if r.ReadBit() == 0 {
+				break
+			}
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+		}
+		return n, nil
+	}
+	if l >= len(c.levels) {
+		return nil, fmt.Errorf("quadtree: index node below the deepest level")
+	}
+	fanout := 1 << uint(c.levels[l])
+	mask := r.ReadBits(fanout)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if mask == 0 {
+		return nil, fmt.Errorf("quadtree: index node with empty presence mask")
+	}
+	n := &treeNode{children: make([]*treeNode, fanout)}
+	for q := 0; q < fanout; q++ {
+		if mask&(1<<uint(fanout-1-q)) == 0 {
+			continue
+		}
+		ch, err := c.parse(r, l+1)
+		if err != nil {
+			return nil, err
+		}
+		n.children[q] = ch
+	}
+	return n, nil
+}
+
+// parseEncoded parses a whole encoding; nil for the empty set.
+func (c *Codec) parseEncoded(e Encoded) (*treeNode, error) {
+	if e.Empty() {
+		return nil, nil
+	}
+	r := bitstream.NewReader(e.Data, e.Bits)
+	n, err := c.parse(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return n, nil
+}
+
+// splitLeaf partitions a leaf's relative suffixes into the quadrants of
+// level l (suffixes are sorted, so quadrants are contiguous runs).
+func (c *Codec) splitLeaf(n *treeNode, l int) *treeNode {
+	fanout := 1 << uint(c.levels[l])
+	shift := uint(c.suffix[l+1])
+	maskQ := zorder.Key(fanout - 1)
+	out := &treeNode{children: make([]*treeNode, fanout)}
+	suffMask := ^zorder.Key(0)
+	if c.suffix[l+1] < 64 {
+		suffMask = (zorder.Key(1) << shift) - 1
+	}
+	start := 0
+	for start < len(n.suffixes) {
+		q := (n.suffixes[start] >> shift) & maskQ
+		end := start
+		var child treeNode
+		child.leaf = true
+		for end < len(n.suffixes) && (n.suffixes[end]>>shift)&maskQ == q {
+			child.suffixes = append(child.suffixes, n.suffixes[end]&suffMask)
+			end++
+		}
+		out.children[q] = &child
+		start = end
+	}
+	return out
+}
+
+type setOp int
+
+const (
+	opUnion setOp = iota
+	opIntersect
+)
+
+// merge combines two parsed subtrees at level l. Either input may be
+// nil (empty). The result may be nil (empty) for intersections.
+func (c *Codec) merge(a, b *treeNode, l int, op setOp) *treeNode {
+	if a == nil || b == nil {
+		if op == opUnion {
+			if a == nil {
+				return b
+			}
+			return a
+		}
+		return nil
+	}
+	if a.leaf && b.leaf {
+		n := &treeNode{leaf: true}
+		if op == opUnion {
+			n.suffixes = UnionKeys(a.suffixes, b.suffixes)
+		} else {
+			n.suffixes = IntersectKeys(a.suffixes, b.suffixes)
+			if len(n.suffixes) == 0 {
+				return nil
+			}
+		}
+		return n
+	}
+	// Align shapes: push a leaf one level down when the other side is
+	// an index node.
+	if a.leaf {
+		a = c.splitLeaf(a, l)
+	}
+	if b.leaf {
+		b = c.splitLeaf(b, l)
+	}
+	fanout := len(a.children)
+	out := &treeNode{children: make([]*treeNode, fanout)}
+	any := false
+	for q := 0; q < fanout; q++ {
+		ch := c.merge(a.children[q], b.children[q], l+1, op)
+		if ch != nil && ch.count() > 0 {
+			out.children[q] = ch
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// nodeCost computes the optimal encoded size in bits of subtree n at
+// level l, matching the canonical encoder's cost function.
+func (c *Codec) nodeCost(n *treeNode, l int) int {
+	count := n.count()
+	costList := count*(1+c.suffix[l]) + 1
+	if l == len(c.levels) || count == 1 {
+		return costList
+	}
+	var work *treeNode = n
+	if n.leaf {
+		work = c.splitLeaf(n, l)
+	}
+	costSplit := 1 + (1 << uint(c.levels[l]))
+	for _, ch := range work.children {
+		if ch != nil {
+			costSplit += c.nodeCost(ch, l+1)
+		}
+	}
+	if costList <= costSplit {
+		return costList
+	}
+	return costSplit
+}
+
+// emitNode writes subtree n at level l with optimal decisions; the
+// output is canonical (identical to Encode of the same set).
+func (c *Codec) emitNode(w *bitstream.Writer, n *treeNode, l int) {
+	count := n.count()
+	costList := count*(1+c.suffix[l]) + 1
+	mustList := l == len(c.levels) || count == 1
+	if !mustList {
+		work := n
+		if n.leaf {
+			work = c.splitLeaf(n, l)
+		}
+		costSplit := 1 + (1 << uint(c.levels[l]))
+		for _, ch := range work.children {
+			if ch != nil {
+				costSplit += c.nodeCost(ch, l+1)
+			}
+		}
+		if costSplit < costList {
+			w.WriteBit(0)
+			fanout := len(work.children)
+			for q := 0; q < fanout; q++ {
+				w.WriteBool(work.children[q] != nil)
+			}
+			for q := 0; q < fanout; q++ {
+				if work.children[q] != nil {
+					c.emitNode(w, work.children[q], l+1)
+				}
+			}
+			return
+		}
+	}
+	// List: flatten the subtree's points relative to this level.
+	var suffixes []zorder.Key
+	if n.leaf {
+		suffixes = n.suffixes
+	} else {
+		c.collectRel(n, l, 0, 0, &suffixes)
+	}
+	for _, s := range suffixes {
+		w.WriteBit(1)
+		w.WriteBits(s, c.suffix[l])
+	}
+	w.WriteBit(0)
+}
+
+// collectRel flattens points below n into suffixes relative to
+// topLevel (depth-first, so already sorted).
+func (c *Codec) collectRel(n *treeNode, topLevel, curOffset int, prefix zorder.Key, out *[]zorder.Key) {
+	l := topLevel + curOffset
+	if n.leaf {
+		shift := uint(c.suffix[l])
+		for _, s := range n.suffixes {
+			*out = append(*out, prefix<<shift|s)
+		}
+		return
+	}
+	for q, ch := range n.children {
+		if ch != nil {
+			c.collectRel(ch, topLevel, curOffset+1, prefix<<uint(c.levels[l])|zorder.Key(q), out)
+		}
+	}
+}
+
+// StreamContains tests membership by walking the encoding directly:
+// index-node masks prune absent quadrants immediately, subtrees on the
+// key's path are descended, and everything else is structurally skipped
+// without materializing points. This is how a sensor node checks its own
+// join-attribute tuple against a received filter.
+func (c *Codec) StreamContains(e Encoded, k zorder.Key) (bool, error) {
+	if e.Empty() {
+		return false, nil
+	}
+	r := bitstream.NewReader(e.Data, e.Bits)
+	found, err := c.walkContains(r, 0, k)
+	if err != nil {
+		return false, err
+	}
+	return found, r.Err()
+}
+
+func (c *Codec) walkContains(r *bitstream.Reader, l int, k zorder.Key) (bool, error) {
+	first := r.ReadBit()
+	if r.Err() != nil {
+		return false, r.Err()
+	}
+	if first == 1 {
+		// Point list: suffixes are sorted, so stop at the first suffix
+		// past the target.
+		rbits := c.suffix[l]
+		var want zorder.Key
+		if rbits < 64 {
+			want = k & ((zorder.Key(1) << uint(rbits)) - 1)
+		} else {
+			want = k
+		}
+		found := false
+		for {
+			s := r.ReadBits(rbits)
+			if r.Err() != nil {
+				return false, r.Err()
+			}
+			if s == want {
+				found = true
+			}
+			if r.ReadBit() == 0 {
+				return found, r.Err()
+			}
+			if r.Err() != nil {
+				return false, r.Err()
+			}
+		}
+	}
+	if l >= len(c.levels) {
+		return false, fmt.Errorf("quadtree: index node below the deepest level")
+	}
+	fanout := 1 << uint(c.levels[l])
+	mask := r.ReadBits(fanout)
+	if r.Err() != nil {
+		return false, r.Err()
+	}
+	if mask == 0 {
+		return false, fmt.Errorf("quadtree: index node with empty presence mask")
+	}
+	shift := uint(c.suffix[l+1])
+	want := int((k >> shift) & zorder.Key(fanout-1))
+	result := false
+	for q := 0; q < fanout; q++ {
+		if mask&(1<<uint(fanout-1-q)) == 0 {
+			continue
+		}
+		switch {
+		case q < want:
+			if err := c.skipSubtree(r, l+1); err != nil {
+				return false, err
+			}
+		case q == want:
+			f, err := c.walkContains(r, l+1, k)
+			if err != nil {
+				return false, err
+			}
+			result = f
+			// Remaining siblings are irrelevant: the answer is known.
+			return result, nil
+		default:
+			// Past the target quadrant without finding it.
+			return false, nil
+		}
+	}
+	return result, nil
+}
+
+// skipSubtree consumes one subtree's bits without building anything.
+func (c *Codec) skipSubtree(r *bitstream.Reader, l int) error {
+	first := r.ReadBit()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if first == 1 {
+		rbits := c.suffix[l]
+		for {
+			r.ReadBits(rbits)
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if r.ReadBit() == 0 {
+				return r.Err()
+			}
+			if r.Err() != nil {
+				return r.Err()
+			}
+		}
+	}
+	if l >= len(c.levels) {
+		return fmt.Errorf("quadtree: index node below the deepest level")
+	}
+	fanout := 1 << uint(c.levels[l])
+	mask := r.ReadBits(fanout)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for q := 0; q < fanout; q++ {
+		if mask&(1<<uint(fanout-1-q)) != 0 {
+			if err := c.skipSubtree(r, l+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StreamUnion computes the union in one parallel traversal of the two
+// encodings, without materializing absolute keys.
+func (c *Codec) StreamUnion(a, b Encoded) (Encoded, error) {
+	return c.streamOp(a, b, opUnion)
+}
+
+// StreamIntersect computes the intersection in one parallel traversal.
+func (c *Codec) StreamIntersect(a, b Encoded) (Encoded, error) {
+	return c.streamOp(a, b, opIntersect)
+}
+
+func (c *Codec) streamOp(a, b Encoded, op setOp) (Encoded, error) {
+	ta, err := c.parseEncoded(a)
+	if err != nil {
+		return Encoded{}, err
+	}
+	tb, err := c.parseEncoded(b)
+	if err != nil {
+		return Encoded{}, err
+	}
+	m := c.merge(ta, tb, 0, op)
+	if m == nil || m.count() == 0 {
+		return Encoded{}, nil
+	}
+	w := bitstream.NewWriter(m.count() * (c.total + 2))
+	c.emitNode(w, m, 0)
+	return Encoded{Data: w.Bytes(), Bits: w.Len()}, nil
+}

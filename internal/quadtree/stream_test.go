@@ -1,0 +1,181 @@
+package quadtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sensjoin/internal/zorder"
+)
+
+// The streaming operations must produce bit-identical output to the
+// decode-merge-encode reference path, for clustered and uniform data of
+// all sizes — the canonical-form guarantee that makes the two
+// implementations interchangeable on the wire.
+func TestQuickStreamOpsMatchReference(t *testing.T) {
+	c, g := testCodec(t)
+	f := func(seed int64, na, nb uint8, clustered bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := c.Encode(randomKeys(g, rng, int(na%80)+1, clustered))
+		b := c.Encode(randomKeys(g, rng, int(nb%80)+1, clustered))
+
+		wantU, err := c.Union(a, b)
+		if err != nil {
+			return false
+		}
+		gotU, err := c.StreamUnion(a, b)
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(wantU, gotU) {
+			return false
+		}
+		wantI, err := c.Intersect(a, b)
+		if err != nil {
+			return false
+		}
+		gotI, err := c.StreamIntersect(a, b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(wantI, gotI)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamOpsEmptyInputs(t *testing.T) {
+	c, g := testCodec(t)
+	keys := randomKeys(g, rand.New(rand.NewSource(3)), 30, true)
+	e := c.Encode(keys)
+
+	u, err := c.StreamUnion(e, Encoded{})
+	if err != nil || !reflect.DeepEqual(u, e) {
+		t.Fatalf("union with empty: %v %v", u, err)
+	}
+	u, err = c.StreamUnion(Encoded{}, e)
+	if err != nil || !reflect.DeepEqual(u, e) {
+		t.Fatal("union with empty (left) failed")
+	}
+	i, err := c.StreamIntersect(e, Encoded{})
+	if err != nil || !i.Empty() {
+		t.Fatal("intersect with empty should be empty")
+	}
+	i, err = c.StreamIntersect(Encoded{}, Encoded{})
+	if err != nil || !i.Empty() {
+		t.Fatal("intersect of empties should be empty")
+	}
+}
+
+func TestStreamDisjointSets(t *testing.T) {
+	c, g := testCodec(t)
+	// Two sets in different relation-flag subtrees never intersect.
+	var a, b []zorder.Key
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 40; i++ {
+		va := []float64{rng.Float64() * 40, rng.Float64() * 1050, rng.Float64() * 1050}
+		a = append(a, g.Encode(0b10, va))
+		b = append(b, g.Encode(0b01, va))
+	}
+	ea, eb := c.Encode(a), c.Encode(b)
+	i, err := c.StreamIntersect(ea, eb)
+	if err != nil || !i.Empty() {
+		t.Fatal("flag-disjoint sets must not intersect")
+	}
+	u, err := c.StreamUnion(ea, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Count(u)
+	if err != nil || n != len(NormalizeKeys(a))+len(NormalizeKeys(b)) {
+		t.Fatalf("union count = %d", n)
+	}
+}
+
+func TestStreamRejectsCorruptInput(t *testing.T) {
+	c, _ := testCodec(t)
+	bad := Encoded{Data: []byte{0x00}, Bits: 5} // index node, empty mask
+	if _, err := c.StreamUnion(bad, Encoded{}); err == nil {
+		t.Fatal("corrupt input must fail")
+	}
+	if _, err := c.StreamIntersect(Encoded{}, bad); err == nil {
+		t.Fatal("corrupt input must fail")
+	}
+}
+
+func BenchmarkStreamUnion(b *testing.B) {
+	c, ka, kb := benchSetup(b, 750, true)
+	ea, eb := c.Encode(ka), c.Encode(kb)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.StreamUnion(ea, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamIntersect(b *testing.B) {
+	c, ka, kb := benchSetup(b, 750, true)
+	ea, eb := c.Encode(ka), c.Encode(kb)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.StreamIntersect(ea, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// StreamContains must agree with the decode-based membership test on
+// present and absent keys alike.
+func TestQuickStreamContains(t *testing.T) {
+	c, g := testCodec(t)
+	f := func(seed int64, n uint8, clustered bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := NormalizeKeys(randomKeys(g, rng, int(n%100)+1, clustered))
+		e := c.Encode(keys)
+		// All present keys.
+		for _, k := range keys {
+			got, err := c.StreamContains(e, k)
+			if err != nil || !got {
+				return false
+			}
+		}
+		// Random probes (mostly absent).
+		for i := 0; i < 20; i++ {
+			probe := g.Encode(uint64(1+rng.Intn(3)), []float64{
+				rng.Float64() * 40, rng.Float64() * 1050, rng.Float64() * 1050,
+			})
+			want := ContainsKey(keys, probe)
+			got, err := c.StreamContains(e, probe)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamContainsEmpty(t *testing.T) {
+	c, g := testCodec(t)
+	k := g.Encode(0b11, []float64{20, 10, 10})
+	got, err := c.StreamContains(Encoded{}, k)
+	if err != nil || got {
+		t.Fatal("empty set contains nothing")
+	}
+}
+
+func BenchmarkStreamContains(b *testing.B) {
+	c, keys, _ := benchSetup(b, 1500, true)
+	e := c.Encode(keys)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.StreamContains(e, keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

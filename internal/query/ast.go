@@ -1,0 +1,609 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// AttrRef names an attribute of a FROM-clause relation. Alias is the
+// textual alias ("A"); Rel is its index in the FROM list, resolved by
+// binding (-1 until bound).
+type AttrRef struct {
+	Alias string
+	Name  string
+	Rel   int
+}
+
+// String formats the reference as written in queries.
+func (r AttrRef) String() string {
+	if r.Alias == "" {
+		return r.Name
+	}
+	return r.Alias + "." + r.Name
+}
+
+// Env supplies exact attribute values during evaluation: one bound tuple
+// per FROM-clause entry.
+type Env interface {
+	Value(ref AttrRef) float64
+}
+
+// BoundsEnv supplies attribute value ranges during interval evaluation:
+// the cell intervals of quantized join-attribute tuples.
+type BoundsEnv interface {
+	Range(ref AttrRef) Interval
+}
+
+// NumExpr is a numeric-valued expression.
+type NumExpr interface {
+	// Eval computes the exact value under env.
+	Eval(env Env) float64
+	// Bounds computes a sound enclosure of the value under benv.
+	Bounds(benv BoundsEnv) Interval
+	// String renders the expression in re-parsable query syntax.
+	String() string
+	// Visit calls fn on this node and every numeric subexpression.
+	Visit(fn func(NumExpr))
+}
+
+// BoolExpr is a boolean-valued expression (predicate).
+type BoolExpr interface {
+	// Eval computes the exact truth value under env.
+	Eval(env Env) bool
+	// Truth computes the tri-state truth value under benv.
+	Truth(benv BoundsEnv) Tri
+	// String renders the predicate in re-parsable query syntax.
+	String() string
+	// VisitNums calls fn on every numeric subexpression.
+	VisitNums(fn func(NumExpr))
+}
+
+// Const is a numeric literal.
+type Const struct{ V float64 }
+
+// Eval implements NumExpr.
+func (c Const) Eval(Env) float64 { return c.V }
+
+// Bounds implements NumExpr.
+func (c Const) Bounds(BoundsEnv) Interval { return Exact(c.V) }
+
+// String implements NumExpr.
+func (c Const) String() string { return strconv.FormatFloat(c.V, 'g', -1, 64) }
+
+// Visit implements NumExpr.
+func (c Const) Visit(fn func(NumExpr)) { fn(c) }
+
+// Attr is an attribute reference.
+type Attr struct{ Ref AttrRef }
+
+// Eval implements NumExpr.
+func (a Attr) Eval(env Env) float64 { return env.Value(a.Ref) }
+
+// Bounds implements NumExpr.
+func (a Attr) Bounds(benv BoundsEnv) Interval { return benv.Range(a.Ref) }
+
+// String implements NumExpr.
+func (a Attr) String() string { return a.Ref.String() }
+
+// Visit implements NumExpr.
+func (a Attr) Visit(fn func(NumExpr)) { fn(a) }
+
+// ArithOp is a binary arithmetic operator.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (o ArithOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	default:
+		return "/"
+	}
+}
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   ArithOp
+	L, R NumExpr
+}
+
+// Eval implements NumExpr.
+func (a Arith) Eval(env Env) float64 {
+	l, r := a.L.Eval(env), a.R.Eval(env)
+	switch a.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	default:
+		return l / r
+	}
+}
+
+// Bounds implements NumExpr.
+func (a Arith) Bounds(benv BoundsEnv) Interval {
+	l, r := a.L.Bounds(benv), a.R.Bounds(benv)
+	switch a.Op {
+	case OpAdd:
+		return l.Add(r)
+	case OpSub:
+		return l.Sub(r)
+	case OpMul:
+		return l.Mul(r)
+	default:
+		return l.Div(r)
+	}
+}
+
+// String implements NumExpr.
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L.String(), a.Op.String(), a.R.String())
+}
+
+// Visit implements NumExpr.
+func (a Arith) Visit(fn func(NumExpr)) {
+	fn(a)
+	a.L.Visit(fn)
+	a.R.Visit(fn)
+}
+
+// Neg is unary minus.
+type Neg struct{ X NumExpr }
+
+// Eval implements NumExpr.
+func (n Neg) Eval(env Env) float64 { return -n.X.Eval(env) }
+
+// Bounds implements NumExpr.
+func (n Neg) Bounds(benv BoundsEnv) Interval { return n.X.Bounds(benv).Neg() }
+
+// String implements NumExpr.
+func (n Neg) String() string { return "(-" + n.X.String() + ")" }
+
+// Visit implements NumExpr.
+func (n Neg) Visit(fn func(NumExpr)) { fn(n); n.X.Visit(fn) }
+
+// Abs is the absolute value, written abs(x) or |x|.
+type Abs struct{ X NumExpr }
+
+// Eval implements NumExpr.
+func (a Abs) Eval(env Env) float64 { return math.Abs(a.X.Eval(env)) }
+
+// Bounds implements NumExpr.
+func (a Abs) Bounds(benv BoundsEnv) Interval { return a.X.Bounds(benv).Abs() }
+
+// String implements NumExpr.
+func (a Abs) String() string { return "abs(" + a.X.String() + ")" }
+
+// Visit implements NumExpr.
+func (a Abs) Visit(fn func(NumExpr)) { fn(a); a.X.Visit(fn) }
+
+// Sqrt is the square root function.
+type Sqrt struct{ X NumExpr }
+
+// Eval implements NumExpr.
+func (s Sqrt) Eval(env Env) float64 { return math.Sqrt(s.X.Eval(env)) }
+
+// Bounds implements NumExpr.
+func (s Sqrt) Bounds(benv BoundsEnv) Interval { return s.X.Bounds(benv).Sqrt() }
+
+// String implements NumExpr.
+func (s Sqrt) String() string { return "sqrt(" + s.X.String() + ")" }
+
+// Visit implements NumExpr.
+func (s Sqrt) Visit(fn func(NumExpr)) { fn(s); s.X.Visit(fn) }
+
+// Distance is the planar Euclidean distance function over four
+// coordinates, as used by the paper's Q1 and Q2.
+type Distance struct {
+	X1, Y1, X2, Y2 NumExpr
+}
+
+// Eval implements NumExpr.
+func (d Distance) Eval(env Env) float64 {
+	dx := d.X1.Eval(env) - d.X2.Eval(env)
+	dy := d.Y1.Eval(env) - d.Y2.Eval(env)
+	return math.Hypot(dx, dy)
+}
+
+// Bounds implements NumExpr.
+func (d Distance) Bounds(benv BoundsEnv) Interval {
+	dx := d.X1.Bounds(benv).Sub(d.X2.Bounds(benv)).Square()
+	dy := d.Y1.Bounds(benv).Sub(d.Y2.Bounds(benv)).Square()
+	return dx.Add(dy).Sqrt()
+}
+
+// String implements NumExpr.
+func (d Distance) String() string {
+	return fmt.Sprintf("distance(%s, %s, %s, %s)", d.X1, d.Y1, d.X2, d.Y2)
+}
+
+// Visit implements NumExpr.
+func (d Distance) Visit(fn func(NumExpr)) {
+	fn(d)
+	d.X1.Visit(fn)
+	d.Y1.Visit(fn)
+	d.X2.Visit(fn)
+	d.Y2.Visit(fn)
+}
+
+// MinMax is the n-ary min or max function.
+type MinMax struct {
+	IsMax bool
+	Args  []NumExpr
+}
+
+// Eval implements NumExpr.
+func (m MinMax) Eval(env Env) float64 {
+	v := m.Args[0].Eval(env)
+	for _, a := range m.Args[1:] {
+		w := a.Eval(env)
+		if m.IsMax {
+			v = math.Max(v, w)
+		} else {
+			v = math.Min(v, w)
+		}
+	}
+	return v
+}
+
+// Bounds implements NumExpr.
+func (m MinMax) Bounds(benv BoundsEnv) Interval {
+	v := m.Args[0].Bounds(benv)
+	for _, a := range m.Args[1:] {
+		w := a.Bounds(benv)
+		if m.IsMax {
+			v = v.Max(w)
+		} else {
+			v = v.Min(w)
+		}
+	}
+	return v
+}
+
+// String implements NumExpr.
+func (m MinMax) String() string {
+	name := "least"
+	if m.IsMax {
+		name = "greatest"
+	}
+	parts := make([]string, len(m.Args))
+	for i, a := range m.Args {
+		parts[i] = a.String()
+	}
+	return name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Visit implements NumExpr.
+func (m MinMax) Visit(fn func(NumExpr)) {
+	fn(m)
+	for _, a := range m.Args {
+		a.Visit(fn)
+	}
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "="
+	default:
+		return "!="
+	}
+}
+
+// Cmp compares two numeric expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R NumExpr
+}
+
+// Eval implements BoolExpr.
+func (c Cmp) Eval(env Env) bool {
+	l, r := c.L.Eval(env), c.R.Eval(env)
+	switch c.Op {
+	case CmpLT:
+		return l < r
+	case CmpLE:
+		return l <= r
+	case CmpGT:
+		return l > r
+	case CmpGE:
+		return l >= r
+	case CmpEQ:
+		return l == r
+	default:
+		return l != r
+	}
+}
+
+// Truth implements BoolExpr.
+func (c Cmp) Truth(benv BoundsEnv) Tri {
+	l, r := c.L.Bounds(benv), c.R.Bounds(benv)
+	switch c.Op {
+	case CmpLT:
+		return CmpLess(l, r)
+	case CmpLE:
+		return CmpLessEq(l, r)
+	case CmpGT:
+		return CmpLess(r, l)
+	case CmpGE:
+		return CmpLessEq(r, l)
+	case CmpEQ:
+		return CmpEq(l, r)
+	default:
+		return CmpEq(l, r).Not()
+	}
+}
+
+// String implements BoolExpr.
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L.String(), c.Op.String(), c.R.String())
+}
+
+// VisitNums implements BoolExpr.
+func (c Cmp) VisitNums(fn func(NumExpr)) {
+	c.L.Visit(fn)
+	c.R.Visit(fn)
+}
+
+// And is logical conjunction.
+type And struct{ L, R BoolExpr }
+
+// Eval implements BoolExpr.
+func (a And) Eval(env Env) bool { return a.L.Eval(env) && a.R.Eval(env) }
+
+// Truth implements BoolExpr.
+func (a And) Truth(benv BoundsEnv) Tri { return a.L.Truth(benv).And(a.R.Truth(benv)) }
+
+// String implements BoolExpr.
+func (a And) String() string {
+	return fmt.Sprintf("(%s AND %s)", a.L.String(), a.R.String())
+}
+
+// VisitNums implements BoolExpr.
+func (a And) VisitNums(fn func(NumExpr)) {
+	a.L.VisitNums(fn)
+	a.R.VisitNums(fn)
+}
+
+// Or is logical disjunction.
+type Or struct{ L, R BoolExpr }
+
+// Eval implements BoolExpr.
+func (o Or) Eval(env Env) bool { return o.L.Eval(env) || o.R.Eval(env) }
+
+// Truth implements BoolExpr.
+func (o Or) Truth(benv BoundsEnv) Tri { return o.L.Truth(benv).Or(o.R.Truth(benv)) }
+
+// String implements BoolExpr.
+func (o Or) String() string {
+	return fmt.Sprintf("(%s OR %s)", o.L.String(), o.R.String())
+}
+
+// VisitNums implements BoolExpr.
+func (o Or) VisitNums(fn func(NumExpr)) {
+	o.L.VisitNums(fn)
+	o.R.VisitNums(fn)
+}
+
+// Not is logical negation.
+type Not struct{ X BoolExpr }
+
+// Eval implements BoolExpr.
+func (n Not) Eval(env Env) bool { return !n.X.Eval(env) }
+
+// Truth implements BoolExpr.
+func (n Not) Truth(benv BoundsEnv) Tri { return n.X.Truth(benv).Not() }
+
+// String implements BoolExpr.
+func (n Not) String() string { return "NOT (" + n.X.String() + ")" }
+
+// VisitNums implements BoolExpr.
+func (n Not) VisitNums(fn func(NumExpr)) { n.X.VisitNums(fn) }
+
+// AggKind is an optional aggregate wrapped around a SELECT item.
+type AggKind int
+
+// Aggregate kinds. AggNone marks a plain per-row expression.
+const (
+	AggNone AggKind = iota
+	AggMin
+	AggMax
+	AggSum
+	AggAvg
+	AggCount
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggCount:
+		return "COUNT"
+	default:
+		return ""
+	}
+}
+
+// SelectItem is one entry of the SELECT list.
+type SelectItem struct {
+	Agg  AggKind
+	Expr NumExpr
+	// As is the optional output column alias.
+	As string
+}
+
+// String renders the item as written in queries.
+func (s SelectItem) String() string {
+	out := s.Expr.String()
+	if s.Agg != AggNone {
+		out = s.Agg.String() + "(" + out + ")"
+	}
+	if s.As != "" {
+		out += " AS " + s.As
+	}
+	return out
+}
+
+// RelRef is one FROM-clause entry.
+type RelRef struct {
+	Relation string
+	Alias    string
+}
+
+// String renders the entry as written in queries.
+func (r RelRef) String() string {
+	if r.Alias == "" || r.Alias == r.Relation {
+		return r.Relation
+	}
+	return r.Relation + " " + r.Alias
+}
+
+// Mode distinguishes snapshot from continuous queries (§III).
+type Mode int
+
+// Query modes.
+const (
+	// Once computes the result on the current snapshot.
+	Once Mode = iota
+	// Periodic re-executes the query every Period seconds.
+	Periodic
+)
+
+// OrderKey is one ORDER BY entry: a 1-based output-column position and
+// direction (SQL positional ordering).
+type OrderKey struct {
+	Col  int
+	Desc bool
+}
+
+// Query is a parsed and bound join query.
+type Query struct {
+	// Star is true for SELECT *; Select is then filled during binding
+	// against a catalog, one item per attribute per relation.
+	Star   bool
+	Select []SelectItem
+	From   []RelRef
+	// Where is the full predicate; nil means no WHERE clause.
+	Where BoolExpr
+	// GroupBy holds the grouping expressions; aggregates in the SELECT
+	// list then apply per group, and non-aggregate items take the
+	// group's first row.
+	GroupBy []NumExpr
+	// OrderBy sorts the output rows; required when Limit is set so the
+	// result is deterministic across join methods.
+	OrderBy []OrderKey
+	// Limit truncates the ordered output; 0 means no limit.
+	Limit int
+	Mode  Mode
+	// Period is the SAMPLE PERIOD in seconds (Periodic mode only).
+	Period float64
+}
+
+// AliasIndex resolves a FROM alias to its index, or -1.
+func (q *Query) AliasIndex(alias string) int {
+	for i, r := range q.From {
+		if r.Alias == alias || (r.Alias == "" && r.Relation == alias) {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the query in re-parsable form.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Star {
+		b.WriteString("*")
+	} else {
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, r := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.String())
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", o.Col)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Mode == Periodic {
+		fmt.Fprintf(&b, " SAMPLE PERIOD %g", q.Period)
+	} else {
+		b.WriteString(" ONCE")
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mapEnv binds (rel, attr) pairs to values.
+type mapEnv map[int]map[string]float64
+
+func (m mapEnv) Value(ref AttrRef) float64 { return m[ref.Rel][ref.Name] }
+
+// cellsEnv binds (rel, attr) pairs to intervals.
+type cellsEnv map[int]map[string]Interval
+
+func (m cellsEnv) Range(ref AttrRef) Interval { return m[ref.Rel][ref.Name] }
+
+func mustPredicate(t *testing.T, src string) BoolExpr {
+	t.Helper()
+	q, err := Parse("SELECT A.x FROM S A, S B WHERE " + src + " ONCE")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q.Where
+}
+
+func TestEvalQ1Predicate(t *testing.T) {
+	p := mustPredicate(t, "A.temp - B.temp > 10.0")
+	env := mapEnv{
+		0: {"temp": 25},
+		1: {"temp": 10},
+	}
+	if !p.Eval(env) {
+		t.Fatal("25 - 10 > 10 should hold")
+	}
+	env[1]["temp"] = 20
+	if p.Eval(env) {
+		t.Fatal("25 - 20 > 10 should not hold")
+	}
+}
+
+func TestEvalQ2Predicate(t *testing.T) {
+	p := mustPredicate(t, "abs(A.temp - B.temp) < 0.3 AND distance(A.x, A.y, B.x, B.y) > 100")
+	env := mapEnv{
+		0: {"temp": 20.1, "x": 0, "y": 0},
+		1: {"temp": 20.2, "x": 200, "y": 0},
+	}
+	if !p.Eval(env) {
+		t.Fatal("similar temps 200 m apart should match")
+	}
+	env[1]["x"] = 50
+	if p.Eval(env) {
+		t.Fatal("50 m apart should fail the distance condition")
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	q, err := Parse("SELECT A.a + A.b * 2 - 6 / A.c FROM S A ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := mapEnv{0: {"a": 1, "b": 3, "c": 2}}
+	if got := q.Select[0].Expr.Eval(env); got != 4 {
+		t.Fatalf("1 + 3*2 - 6/2 = %g, want 4", got)
+	}
+}
+
+func TestEvalFunctions(t *testing.T) {
+	q, err := Parse("SELECT least(A.a, A.b), greatest(A.a, A.b), sqrt(A.a), abs(0 - A.b) FROM S A ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := mapEnv{0: {"a": 9, "b": 4}}
+	wants := []float64{4, 9, 3, 4}
+	for i, want := range wants {
+		if got := q.Select[i].Expr.Eval(env); got != want {
+			t.Fatalf("item %d = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestTruthPrunesDefinitelyFalse(t *testing.T) {
+	p := mustPredicate(t, "abs(A.temp - B.temp) < 0.3")
+	cells := cellsEnv{
+		0: {"temp": Interval{20.0, 20.1}},
+		1: {"temp": Interval{25.0, 25.1}},
+	}
+	if got := p.Truth(cells); got != False {
+		t.Fatalf("far-apart cells = %v, want False", got)
+	}
+	cells[1]["temp"] = Interval{20.0, 20.1}
+	if got := p.Truth(cells); got != True {
+		t.Fatalf("identical narrow cells = %v, want True", got)
+	}
+	cells[1]["temp"] = Interval{20.2, 20.4}
+	if got := p.Truth(cells); got != Maybe {
+		t.Fatalf("borderline cells = %v, want Maybe", got)
+	}
+}
+
+func TestTruthDistance(t *testing.T) {
+	p := mustPredicate(t, "distance(A.x, A.y, B.x, B.y) > 100")
+	cells := cellsEnv{
+		0: {"x": Interval{0, 1}, "y": Interval{0, 1}},
+		1: {"x": Interval{500, 501}, "y": Interval{0, 1}},
+	}
+	if got := p.Truth(cells); got != True {
+		t.Fatalf("500 m apart = %v, want True", got)
+	}
+	cells[1]["x"] = Interval{10, 11}
+	if got := p.Truth(cells); got != False {
+		t.Fatalf("10 m apart = %v, want False", got)
+	}
+	cells[1]["x"] = Interval{95, 105}
+	if got := p.Truth(cells); got != Maybe {
+		t.Fatalf("boundary = %v, want Maybe", got)
+	}
+}
+
+// Key soundness property (paper §V-B footnote 2): if the exact predicate
+// holds for values inside the cells, the tri-state evaluation must not
+// return False. Tested over random predicates from a small grammar.
+func TestQuickTruthSoundness(t *testing.T) {
+	preds := []string{
+		"A.t - B.t > 2",
+		"abs(A.t - B.t) < 1",
+		"A.t * B.t >= 4",
+		"distance(A.x, A.y, B.x, B.y) > 50",
+		"A.t + B.t = 10",
+		"NOT (A.t < B.t)",
+		"A.t > B.t OR abs(A.t) <= 1",
+		"A.t / B.t < 2",
+		"least(A.t, B.t) >= 1 AND greatest(A.t, B.t) < 9",
+		"sqrt(abs(A.t - B.t)) <= 1.2",
+	}
+	parsed := make([]BoolExpr, len(preds))
+	for i, src := range preds {
+		q, err := Parse("SELECT A.t FROM S A, S B WHERE " + src + " ONCE")
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		parsed[i] = q.Where
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mkCell := func() (Interval, float64) {
+			lo := rng.Float64()*20 - 10
+			w := rng.Float64() * 2
+			v := lo + rng.Float64()*w
+			return Interval{lo, lo + w}, v
+		}
+		cells := cellsEnv{0: {}, 1: {}}
+		env := mapEnv{0: {}, 1: {}}
+		for rel := 0; rel < 2; rel++ {
+			for _, name := range []string{"t", "x", "y"} {
+				c, v := mkCell()
+				cells[rel][name] = c
+				env[rel][name] = v
+			}
+		}
+		for _, p := range parsed {
+			exact := p.Eval(env)
+			tri := p.Truth(cells)
+			if exact && tri == False {
+				return false // false negative: unsound
+			}
+			if !exact && tri == True {
+				return false // claimed certainty wrongly
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsEnclosure(t *testing.T) {
+	q, err := Parse("SELECT distance(A.x, A.y, B.x, B.y) + abs(A.t) * 2 FROM S A, S B ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := q.Select[0].Expr
+	cells := cellsEnv{
+		0: {"x": Interval{0, 2}, "y": Interval{0, 2}, "t": Interval{-1, 1}},
+		1: {"x": Interval{10, 12}, "y": Interval{0, 2}, "t": Interval{0, 0}},
+	}
+	b := e.Bounds(cells)
+	// Sample the corners and midpoints: all values must fall in bounds.
+	for i := 0; i < 200; i++ {
+		env := mapEnv{
+			0: {"x": 2 * rnd(i, 1), "y": 2 * rnd(i, 2), "t": 2*rnd(i, 3) - 1},
+			1: {"x": 10 + 2*rnd(i, 4), "y": 2 * rnd(i, 5), "t": 0},
+		}
+		v := e.Eval(env)
+		if v < b.Lo-1e-9 || v > b.Hi+1e-9 {
+			t.Fatalf("value %g outside bounds [%g, %g]", v, b.Lo, b.Hi)
+		}
+	}
+}
+
+func rnd(i, j int) float64 {
+	return math.Mod(math.Abs(math.Sin(float64(i*31+j*17)))*997, 1)
+}
+
+func TestSingleEnv(t *testing.T) {
+	q, err := Parse("SELECT A.t FROM S A, S B WHERE A.t > 5 AND B.t < 3 ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA := SingleEnv{Rel: 0, Lookup: func(name string) float64 { return 7 }}
+	if !a.LocalPredicate(0).Eval(envA) {
+		t.Fatal("A.t=7 > 5 should hold")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-relation reference in SingleEnv must panic")
+		}
+	}()
+	a.LocalPredicate(1).Eval(envA)
+}

@@ -1,0 +1,89 @@
+package query
+
+// Constant folding: expressions whose operands are all literals collapse
+// to a single Const. The planner uses this so that conditions like
+// "A.temp - B.temp > 2 + 1" still match the band-join index patterns,
+// and constant predicates evaluate once instead of per pair.
+
+// Fold returns e with constant subexpressions evaluated. The result
+// evaluates identically to e under every environment.
+func Fold(e NumExpr) NumExpr {
+	switch n := e.(type) {
+	case Const, Attr:
+		return e
+	case Neg:
+		x := Fold(n.X)
+		if c, ok := x.(Const); ok {
+			return Const{-c.V}
+		}
+		return Neg{x}
+	case Abs:
+		x := Fold(n.X)
+		if c, ok := x.(Const); ok {
+			return Const{Abs{Const{c.V}}.Eval(nil)}
+		}
+		return Abs{x}
+	case Sqrt:
+		x := Fold(n.X)
+		if c, ok := x.(Const); ok {
+			return Const{Sqrt{Const{c.V}}.Eval(nil)}
+		}
+		return Sqrt{x}
+	case Arith:
+		l, r := Fold(n.L), Fold(n.R)
+		if lc, ok := l.(Const); ok {
+			if rc, ok := r.(Const); ok {
+				return Const{Arith{Op: n.Op, L: lc, R: rc}.Eval(nil)}
+			}
+		}
+		return Arith{Op: n.Op, L: l, R: r}
+	case Distance:
+		x1, y1 := Fold(n.X1), Fold(n.Y1)
+		x2, y2 := Fold(n.X2), Fold(n.Y2)
+		if allConst(x1, y1, x2, y2) {
+			return Const{Distance{x1, y1, x2, y2}.Eval(nil)}
+		}
+		return Distance{x1, y1, x2, y2}
+	case MinMax:
+		args := make([]NumExpr, len(n.Args))
+		folded := true
+		for i, a := range n.Args {
+			args[i] = Fold(a)
+			if _, ok := args[i].(Const); !ok {
+				folded = false
+			}
+		}
+		out := MinMax{IsMax: n.IsMax, Args: args}
+		if folded {
+			return Const{out.Eval(nil)}
+		}
+		return out
+	}
+	return e
+}
+
+func allConst(es ...NumExpr) bool {
+	for _, e := range es {
+		if _, ok := e.(Const); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FoldBool folds the numeric subexpressions of a predicate and collapses
+// comparisons of two constants.
+func FoldBool(e BoolExpr) BoolExpr {
+	switch n := e.(type) {
+	case Cmp:
+		l, r := Fold(n.L), Fold(n.R)
+		return Cmp{Op: n.Op, L: l, R: r}
+	case And:
+		return And{FoldBool(n.L), FoldBool(n.R)}
+	case Or:
+		return Or{FoldBool(n.L), FoldBool(n.R)}
+	case Not:
+		return Not{FoldBool(n.X)}
+	}
+	return e
+}

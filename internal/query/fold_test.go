@@ -1,0 +1,100 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldCollapsesConstants(t *testing.T) {
+	cases := map[string]float64{
+		"1 + 2 * 3":             7,
+		"abs(0 - 5) + sqrt(16)": 9,
+		"least(3, 1 + 1, 9)":    2,
+		"greatest(1, 2) * 4":    8,
+		"distance(0, 0, 3, 4)":  5,
+		"-(2 + 3)":              -5,
+	}
+	for src, want := range cases {
+		q, err := Parse("SELECT " + src + " FROM S A ONCE")
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		folded := Fold(q.Select[0].Expr)
+		c, ok := folded.(Const)
+		if !ok {
+			t.Fatalf("%q did not fold: %T", src, folded)
+		}
+		if math.Abs(c.V-want) > 1e-12 {
+			t.Fatalf("%q folded to %g, want %g", src, c.V, want)
+		}
+	}
+}
+
+func TestFoldKeepsAttrsUnfolded(t *testing.T) {
+	q, err := Parse("SELECT A.a + 2 * 3 FROM S A ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := Fold(q.Select[0].Expr)
+	a, ok := folded.(Arith)
+	if !ok || a.Op != OpAdd {
+		t.Fatalf("folded = %#v", folded)
+	}
+	if c, ok := a.R.(Const); !ok || c.V != 6 {
+		t.Fatalf("right side should fold to 6: %#v", a.R)
+	}
+}
+
+// Property: folding never changes the value under any environment.
+func TestQuickFoldPreservesSemantics(t *testing.T) {
+	exprs := []string{
+		"A.a + 2 * 3 - B.b / (1 + 1)",
+		"abs(A.a - B.b) * greatest(2, 1 + 0)",
+		"distance(A.x, A.y, 0 + 0, 4 * 25) + sqrt(4)",
+		"least(A.a, 10 - 3, B.b)",
+		"-(A.a - (2 + 3))",
+	}
+	parsed := make([]NumExpr, len(exprs))
+	for i, src := range exprs {
+		q, err := Parse("SELECT " + src + " FROM S A, S B WHERE A.a = B.b ONCE")
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		parsed[i] = q.Select[0].Expr
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := mapEnv{
+			0: {"a": rng.Float64()*20 - 10, "x": rng.Float64() * 100, "y": rng.Float64() * 100},
+			1: {"b": rng.Float64()*20 - 10},
+		}
+		for _, e := range parsed {
+			a, b := e.Eval(env), Fold(e).Eval(env)
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldBool(t *testing.T) {
+	p, err := ParsePredicate("A.a - B.b > 2 + 1 AND NOT (A.a < 1 * 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := FoldBool(p)
+	and := folded.(And)
+	if c, ok := and.L.(Cmp).R.(Const); !ok || c.V != 3 {
+		t.Fatalf("threshold should fold to 3: %#v", and.L)
+	}
+	not := and.R.(Not)
+	if c, ok := not.X.(Cmp).R.(Const); !ok || c.V != 4 {
+		t.Fatalf("inner bound should fold to 4: %#v", not.X)
+	}
+}

@@ -1,0 +1,128 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol  // ( ) , . | and arithmetic
+	tokCompare // < <= > >= = != <>
+	tokKeyword // SELECT FROM WHERE AND OR NOT ONCE SAMPLE PERIOD AS
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true,
+	"ONCE": true, "SAMPLE": true, "PERIOD": true, "AS": true,
+	"GROUP": true, "BY": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true,
+}
+
+// lex splits src into tokens. Keywords are recognized case-insensitively
+// and normalized to upper case; identifiers keep their spelling.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			start := i
+			seenDot := false
+			seenExp := false
+			for i < len(src) {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < len(src) && (src[i] == '+' || src[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokCompare, "<=", i})
+				i += 2
+			} else if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tokCompare, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokCompare, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokCompare, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokCompare, ">", i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokCompare, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokCompare, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected '!' at offset %d", i)
+			}
+		case strings.ContainsRune("(),.|+-*/", rune(c)):
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

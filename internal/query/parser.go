@@ -1,0 +1,703 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a query in the paper's SQL dialect and binds attribute
+// references to FROM-clause indexes. The grammar (§III):
+//
+//	SELECT item, ...  |  SELECT *
+//	FROM Relation [Alias], ...
+//	[WHERE predicate]
+//	SAMPLE PERIOD x  |  ONCE
+//
+// Predicates combine comparisons of arithmetic expressions over
+// attributes with AND/OR/NOT; abs(x) (also written |x|), sqrt,
+// distance(x1,y1,x2,y2), least and greatest are built-in functions;
+// MIN/MAX/SUM/AVG/COUNT aggregate SELECT items.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := bind(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParsePredicate parses a standalone boolean expression (used by tests
+// and by programmatic query construction). References are left unbound.
+func ParsePredicate(src string) (BoolExpr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	b, ok := n.(BoolExpr)
+	if !ok {
+		return nil, fmt.Errorf("query: expression %q is not a predicate", src)
+	}
+	return b, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return t, nil
+	}
+	return t, fmt.Errorf("query: expected %q at offset %d, found %q", text, t.pos, t.text)
+}
+
+func (p *parser) expectEOF() error {
+	if p.cur().kind != tokEOF {
+		return fmt.Errorf("query: trailing input at offset %d: %q", p.cur().pos, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.accept(tokSymbol, "*") {
+		q.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		rel, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := RelRef{Relation: rel.text}
+		if p.cur().kind == tokIdent {
+			ref.Alias = p.next().text
+		} else {
+			ref.Alias = rel.text
+		}
+		q.From = append(q.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		b, ok := n.(BoolExpr)
+		if !ok {
+			return nil, fmt.Errorf("query: WHERE clause is not a predicate")
+		}
+		q.Where = b
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			n, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			num, ok := n.(NumExpr)
+			if !ok {
+				return nil, fmt.Errorf("query: GROUP BY expressions must be numeric")
+			}
+			q.GroupBy = append(q.GroupBy, num)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expect(tokNumber, "")
+			if err != nil {
+				return nil, fmt.Errorf("query: ORDER BY takes 1-based output column positions: %w", err)
+			}
+			col, err := strconv.Atoi(t.text)
+			if err != nil || col < 1 || col > len(q.Select) {
+				return nil, fmt.Errorf("query: ORDER BY column %q out of range 1..%d", t.text, len(q.Select))
+			}
+			key := OrderKey{Col: col}
+			if p.accept(tokKeyword, "DESC") {
+				key.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(t.text)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("query: bad LIMIT %q", t.text)
+		}
+		if len(q.OrderBy) == 0 {
+			return nil, fmt.Errorf("query: LIMIT requires ORDER BY (otherwise the chosen rows depend on the execution strategy)")
+		}
+		q.Limit = v
+	}
+	switch {
+	case p.accept(tokKeyword, "ONCE"):
+		q.Mode = Once
+	case p.accept(tokKeyword, "SAMPLE"):
+		if _, err := p.expect(tokKeyword, "PERIOD"); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("query: bad sample period %q", t.text)
+		}
+		q.Mode = Periodic
+		q.Period = v
+	default:
+		return nil, fmt.Errorf("query: expected ONCE or SAMPLE PERIOD at offset %d", p.cur().pos)
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+var aggNames = map[string]AggKind{
+	"MIN": AggMin, "MAX": AggMax, "SUM": AggSum, "AVG": AggAvg, "COUNT": AggCount,
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	item := SelectItem{}
+	if p.cur().kind == tokIdent {
+		if agg, ok := aggNames[strings.ToUpper(p.cur().text)]; ok &&
+			p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.pos += 2
+			item.Agg = agg
+			n, err := p.parseAdditive()
+			if err != nil {
+				return item, err
+			}
+			num, ok := n.(NumExpr)
+			if !ok {
+				return item, fmt.Errorf("query: aggregate argument must be numeric")
+			}
+			item.Expr = num
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return item, err
+			}
+			return p.finishSelectItem(item)
+		}
+	}
+	n, err := p.parseAdditive()
+	if err != nil {
+		return item, err
+	}
+	num, ok := n.(NumExpr)
+	if !ok {
+		return item, fmt.Errorf("query: SELECT item must be numeric")
+	}
+	item.Expr = num
+	return p.finishSelectItem(item)
+}
+
+func (p *parser) finishSelectItem(item SelectItem) (SelectItem, error) {
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return item, err
+		}
+		item.As = t.text
+	}
+	return item, nil
+}
+
+// node is either a NumExpr or a BoolExpr; combination operators
+// type-check their operands.
+
+func (p *parser) parseOr() (any, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lb, lok := l.(BoolExpr)
+		rb, rok := r.(BoolExpr)
+		if !lok || !rok {
+			return nil, fmt.Errorf("query: OR requires predicates on both sides")
+		}
+		l = Or{lb, rb}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (any, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		lb, lok := l.(BoolExpr)
+		rb, rok := r.(BoolExpr)
+		if !lok || !rok {
+			return nil, fmt.Errorf("query: AND requires predicates on both sides")
+		}
+		l = And{lb, rb}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (any, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		b, ok := x.(BoolExpr)
+		if !ok {
+			return nil, fmt.Errorf("query: NOT requires a predicate")
+		}
+		return Not{b}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (any, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokCompare {
+		return l, nil
+	}
+	opText := p.next().text
+	r, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	ln, lok := l.(NumExpr)
+	rn, rok := r.(NumExpr)
+	if !lok || !rok {
+		return nil, fmt.Errorf("query: comparison requires numeric operands")
+	}
+	var op CmpOp
+	switch opText {
+	case "<":
+		op = CmpLT
+	case "<=":
+		op = CmpLE
+	case ">":
+		op = CmpGT
+	case ">=":
+		op = CmpGE
+	case "=":
+		op = CmpEQ
+	default:
+		op = CmpNE
+	}
+	return Cmp{Op: op, L: ln, R: rn}, nil
+}
+
+func (p *parser) parseAdditive() (any, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		if p.accept(tokSymbol, "+") {
+			op = OpAdd
+		} else if p.accept(tokSymbol, "-") {
+			op = OpSub
+		} else {
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		ln, lok := l.(NumExpr)
+		rn, rok := r.(NumExpr)
+		if !lok || !rok {
+			return nil, fmt.Errorf("query: arithmetic requires numeric operands")
+		}
+		l = Arith{Op: op, L: ln, R: rn}
+	}
+}
+
+func (p *parser) parseMultiplicative() (any, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		if p.accept(tokSymbol, "*") {
+			op = OpMul
+		} else if p.accept(tokSymbol, "/") {
+			op = OpDiv
+		} else {
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		ln, lok := l.(NumExpr)
+		rn, rok := r.(NumExpr)
+		if !lok || !rok {
+			return nil, fmt.Errorf("query: arithmetic requires numeric operands")
+		}
+		l = Arith{Op: op, L: ln, R: rn}
+	}
+}
+
+func (p *parser) parseUnary() (any, error) {
+	if p.accept(tokSymbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		n, ok := x.(NumExpr)
+		if !ok {
+			return nil, fmt.Errorf("query: unary minus requires a numeric operand")
+		}
+		return Neg{n}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (any, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad number %q at offset %d", t.text, t.pos)
+		}
+		return Const{v}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case t.kind == tokSymbol && t.text == "|":
+		// |expr| is absolute value, as written in the paper's Q2.
+		p.pos++
+		n, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "|"); err != nil {
+			return nil, err
+		}
+		num, ok := n.(NumExpr)
+		if !ok {
+			return nil, fmt.Errorf("query: |...| requires a numeric operand")
+		}
+		return Abs{num}, nil
+	case t.kind == tokIdent:
+		p.pos++
+		// Function call?
+		if p.cur().kind == tokSymbol && p.cur().text == "(" {
+			return p.parseCall(t.text)
+		}
+		// Qualified attribute?
+		if p.accept(tokSymbol, ".") {
+			a, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return Attr{Ref: AttrRef{Alias: t.text, Name: a.text, Rel: -1}}, nil
+		}
+		return Attr{Ref: AttrRef{Name: t.text, Rel: -1}}, nil
+	}
+	return nil, fmt.Errorf("query: unexpected token %q at offset %d", t.text, t.pos)
+}
+
+func (p *parser) parseCall(name string) (any, error) {
+	p.pos++ // consume '('
+	var args []NumExpr
+	if !(p.cur().kind == tokSymbol && p.cur().text == ")") {
+		for {
+			n, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			num, ok := n.(NumExpr)
+			if !ok {
+				return nil, fmt.Errorf("query: function arguments must be numeric")
+			}
+			args = append(args, num)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("query: %s expects %d arguments, got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch strings.ToLower(name) {
+	case "abs":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return Abs{args[0]}, nil
+	case "sqrt":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return Sqrt{args[0]}, nil
+	case "distance":
+		if err := arity(4); err != nil {
+			return nil, err
+		}
+		return Distance{args[0], args[1], args[2], args[3]}, nil
+	case "least":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("query: least needs at least 2 arguments")
+		}
+		return MinMax{IsMax: false, Args: args}, nil
+	case "greatest":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("query: greatest needs at least 2 arguments")
+		}
+		return MinMax{IsMax: true, Args: args}, nil
+	}
+	return nil, fmt.Errorf("query: unknown function %q", name)
+}
+
+// bind resolves every attribute reference against the FROM list. A bare
+// attribute (no alias) is allowed only when the FROM list has a single
+// entry.
+func bind(q *Query) error {
+	var err error
+	for i := range q.Select {
+		q.Select[i].Expr, err = rebindNum(q, q.Select[i].Expr)
+		if err != nil {
+			return err
+		}
+	}
+	if q.Where != nil {
+		q.Where, err = rebindBool(q, q.Where)
+		if err != nil {
+			return err
+		}
+	}
+	for i := range q.GroupBy {
+		q.GroupBy[i], err = rebindNum(q, q.GroupBy[i])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func resolveRef(q *Query, ref AttrRef) (AttrRef, error) {
+	if ref.Alias == "" {
+		if len(q.From) != 1 {
+			return ref, fmt.Errorf("query: unqualified attribute %q is ambiguous with %d relations", ref.Name, len(q.From))
+		}
+		ref.Alias = q.From[0].Alias
+		ref.Rel = 0
+		return ref, nil
+	}
+	idx := q.AliasIndex(ref.Alias)
+	if idx < 0 {
+		return ref, fmt.Errorf("query: unknown alias %q", ref.Alias)
+	}
+	ref.Rel = idx
+	return ref, nil
+}
+
+func rebindNum(q *Query, e NumExpr) (NumExpr, error) {
+	switch n := e.(type) {
+	case Const:
+		return n, nil
+	case Attr:
+		ref, err := resolveRef(q, n.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return Attr{Ref: ref}, nil
+	case Neg:
+		x, err := rebindNum(q, n.X)
+		if err != nil {
+			return nil, err
+		}
+		return Neg{x}, nil
+	case Abs:
+		x, err := rebindNum(q, n.X)
+		if err != nil {
+			return nil, err
+		}
+		return Abs{x}, nil
+	case Sqrt:
+		x, err := rebindNum(q, n.X)
+		if err != nil {
+			return nil, err
+		}
+		return Sqrt{x}, nil
+	case Arith:
+		l, err := rebindNum(q, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rebindNum(q, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return Arith{Op: n.Op, L: l, R: r}, nil
+	case Distance:
+		x1, err := rebindNum(q, n.X1)
+		if err != nil {
+			return nil, err
+		}
+		y1, err := rebindNum(q, n.Y1)
+		if err != nil {
+			return nil, err
+		}
+		x2, err := rebindNum(q, n.X2)
+		if err != nil {
+			return nil, err
+		}
+		y2, err := rebindNum(q, n.Y2)
+		if err != nil {
+			return nil, err
+		}
+		return Distance{x1, y1, x2, y2}, nil
+	case MinMax:
+		args := make([]NumExpr, len(n.Args))
+		for i, a := range n.Args {
+			x, err := rebindNum(q, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return MinMax{IsMax: n.IsMax, Args: args}, nil
+	}
+	return nil, fmt.Errorf("query: unknown numeric node %T", e)
+}
+
+func rebindBool(q *Query, e BoolExpr) (BoolExpr, error) {
+	switch n := e.(type) {
+	case Cmp:
+		l, err := rebindNum(q, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rebindNum(q, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return Cmp{Op: n.Op, L: l, R: r}, nil
+	case And:
+		l, err := rebindBool(q, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rebindBool(q, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return And{l, r}, nil
+	case Or:
+		l, err := rebindBool(q, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rebindBool(q, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return Or{l, r}, nil
+	case Not:
+		x, err := rebindBool(q, n.X)
+		if err != nil {
+			return nil, err
+		}
+		return Not{x}, nil
+	}
+	return nil, fmt.Errorf("query: unknown boolean node %T", e)
+}

@@ -1,0 +1,345 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's running examples must parse.
+const q1Src = `SELECT MIN(distance(A.x, A.y, B.x, B.y))
+FROM Sensors A, Sensors B
+WHERE A.temp - B.temp > 10.0
+ONCE`
+
+const q2Src = `SELECT |A.hum - B.hum|, |A.pres - B.pres|
+FROM Sensors A, Sensors B
+WHERE |A.temp - B.temp| < 0.3
+AND distance(A.x, A.y, B.x, B.y) > 100
+ONCE`
+
+func TestParseQ1(t *testing.T) {
+	q, err := Parse(q1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 2 || q.From[0].Alias != "A" || q.From[1].Alias != "B" {
+		t.Fatalf("FROM = %+v", q.From)
+	}
+	if q.From[0].Relation != "Sensors" || q.From[1].Relation != "Sensors" {
+		t.Fatal("self-join relations wrong")
+	}
+	if len(q.Select) != 1 || q.Select[0].Agg != AggMin {
+		t.Fatalf("SELECT = %+v", q.Select)
+	}
+	if _, ok := q.Select[0].Expr.(Distance); !ok {
+		t.Fatalf("Q1 select expr is %T, want Distance", q.Select[0].Expr)
+	}
+	if q.Mode != Once {
+		t.Fatal("mode should be Once")
+	}
+	cmp, ok := q.Where.(Cmp)
+	if !ok || cmp.Op != CmpGT {
+		t.Fatalf("WHERE = %+v", q.Where)
+	}
+}
+
+func TestParseQ2(t *testing.T) {
+	q, err := Parse(q2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 {
+		t.Fatalf("SELECT has %d items", len(q.Select))
+	}
+	for _, s := range q.Select {
+		if _, ok := s.Expr.(Abs); !ok {
+			t.Fatalf("select item %T, want Abs from |...|", s.Expr)
+		}
+	}
+	and, ok := q.Where.(And)
+	if !ok {
+		t.Fatalf("WHERE = %T, want And", q.Where)
+	}
+	if _, ok := and.L.(Cmp); !ok {
+		t.Fatal("left conjunct should be a comparison")
+	}
+}
+
+func TestParseSamplePeriod(t *testing.T) {
+	q, err := Parse("SELECT A.temp FROM Sensors A SAMPLE PERIOD 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mode != Periodic || q.Period != 30 {
+		t.Fatalf("mode/period = %v/%g", q.Mode, q.Period)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q, err := Parse("SELECT * FROM Sensors ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Star {
+		t.Fatal("Star not set")
+	}
+	if q.From[0].Alias != "Sensors" {
+		t.Fatal("default alias should equal relation name")
+	}
+}
+
+func TestParseUnqualifiedAttr(t *testing.T) {
+	q, err := Parse("SELECT temp FROM Sensors WHERE temp > 20 ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := q.Select[0].Expr.(Attr)
+	if at.Ref.Rel != 0 || at.Ref.Alias != "Sensors" {
+		t.Fatalf("unqualified binding = %+v", at.Ref)
+	}
+}
+
+func TestParseUnqualifiedAmbiguous(t *testing.T) {
+	if _, err := Parse("SELECT temp FROM Sensors A, Sensors B ONCE"); err == nil {
+		t.Fatal("ambiguous unqualified attribute must fail to bind")
+	}
+}
+
+func TestParseUnknownAlias(t *testing.T) {
+	if _, err := Parse("SELECT C.temp FROM Sensors A ONCE"); err == nil {
+		t.Fatal("unknown alias must fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT FROM Sensors ONCE",
+		"SELECT A.t FROM Sensors A", // missing mode
+		"SELECT A.t FROM Sensors A SAMPLE PERIOD -5",           // bad period
+		"SELECT A.t FROM Sensors A WHERE A.t ONCE",             // non-predicate WHERE
+		"SELECT A.t FROM Sensors A WHERE A.t > ONCE",           // comparison missing operand
+		"SELECT A.t AND A.u FROM Sensors A ONCE",               // boolean select
+		"SELECT A.t FROM Sensors A WHERE foo(A.t) ONCE",        // unknown function
+		"SELECT A.t FROM Sensors A WHERE abs(A.t, 2) > 1 ONCE", // wrong arity
+		"SELECT A.t FROM Sensors A WHERE A.t ! 3 ONCE",         // lone '!'
+		"SELECT A.t FROM Sensors A WHERE A.t > 3 ONCE trailing",
+		"SELECT A.t FROM Sensors A WHERE NOT A.t ONCE",           // NOT over numeric
+		"SELECT A.t FROM Sensors A WHERE (A.t > 1) + 2 > 0 ONCE", // bool in arithmetic
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	q, err := Parse("SELECT A.a FROM S A WHERE A.a + 2 * 3 = 7 ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := q.Where.(Cmp)
+	add, ok := cmp.L.(Arith)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("expected + at top of LHS, got %+v", cmp.L)
+	}
+	mul, ok := add.R.(Arith)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("expected * bound tighter: %+v", add.R)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	// AND binds tighter than OR; NOT tighter than AND.
+	q, err := Parse("SELECT A.a FROM S A WHERE A.a > 1 OR A.a < 0 AND NOT A.a = 5 ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := q.Where.(Or)
+	if !ok {
+		t.Fatalf("top = %T, want Or", q.Where)
+	}
+	and, ok := or.R.(And)
+	if !ok {
+		t.Fatalf("right of OR = %T, want And", or.R)
+	}
+	if _, ok := and.R.(Not); !ok {
+		t.Fatalf("right of AND = %T, want Not", and.R)
+	}
+}
+
+func TestParseComparisonVariants(t *testing.T) {
+	ops := map[string]CmpOp{
+		"<": CmpLT, "<=": CmpLE, ">": CmpGT, ">=": CmpGE,
+		"=": CmpEQ, "!=": CmpNE, "<>": CmpNE,
+	}
+	for src, want := range ops {
+		q, err := Parse("SELECT A.a FROM S A WHERE A.a " + src + " 1 ONCE")
+		if err != nil {
+			t.Fatalf("op %q: %v", src, err)
+		}
+		if got := q.Where.(Cmp).Op; got != want {
+			t.Fatalf("op %q parsed as %v", src, got)
+		}
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	q, err := Parse("SELECT least(A.a, A.b), greatest(A.a, A.b, 3), sqrt(A.a), abs(A.a - 1) FROM S A ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Select[0].Expr.(MinMax); !ok {
+		t.Fatal("least should parse to MinMax")
+	}
+	mm := q.Select[1].Expr.(MinMax)
+	if !mm.IsMax || len(mm.Args) != 3 {
+		t.Fatalf("greatest = %+v", mm)
+	}
+	if _, ok := q.Select[2].Expr.(Sqrt); !ok {
+		t.Fatal("sqrt should parse")
+	}
+	if _, ok := q.Select[3].Expr.(Abs); !ok {
+		t.Fatal("abs should parse")
+	}
+}
+
+func TestParseSelectAlias(t *testing.T) {
+	q, err := Parse("SELECT A.temp AS t1, MAX(A.hum) AS peak FROM Sensors A ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0].As != "t1" || q.Select[1].As != "peak" {
+		t.Fatalf("aliases = %+v", q.Select)
+	}
+	if q.Select[1].Agg != AggMax {
+		t.Fatal("aggregate lost")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse("select A.temp from Sensors A where A.temp > 1 once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where == nil {
+		t.Fatal("lower-case keywords not recognized")
+	}
+}
+
+func TestParseScientificNumbers(t *testing.T) {
+	q, err := Parse("SELECT A.a FROM S A WHERE A.a < 1.5e3 ONCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := q.Where.(Cmp).R.(Const); c.V != 1500 {
+		t.Fatalf("1.5e3 parsed as %g", c.V)
+	}
+}
+
+// Property: String() output re-parses to an identical rendering
+// (idempotent round-trip).
+func TestStringRoundtrip(t *testing.T) {
+	sources := []string{
+		q1Src,
+		q2Src,
+		"SELECT A.a FROM S A WHERE NOT (A.a > 1 OR A.a < -1) AND A.b <= 2 ONCE",
+		"SELECT A.a + A.b * 3 - 2 / A.c FROM S A SAMPLE PERIOD 15",
+		"SELECT least(A.a, 1), greatest(A.b, 2) FROM S A ONCE",
+		"SELECT COUNT(A.a) FROM S A WHERE sqrt(abs(A.a)) != 2 ONCE",
+		"SELECT A.a FROM S A, T B WHERE A.a = B.b ONCE",
+	}
+	for _, src := range sources {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", s1, err)
+		}
+		s2 := q2.String()
+		if s1 != s2 {
+			t.Fatalf("round-trip mismatch:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestParsePredicateStandalone(t *testing.T) {
+	b, err := ParsePredicate("abs(A.t - B.t) < 0.3 AND A.x > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "AND") {
+		t.Fatalf("predicate = %s", b.String())
+	}
+	if _, err := ParsePredicate("A.t + 1"); err == nil {
+		t.Fatal("numeric expression is not a predicate")
+	}
+	if _, err := ParsePredicate("A.t > 1 trailing"); err == nil {
+		t.Fatal("trailing tokens must fail")
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	q, err := Parse(`SELECT A.temp, COUNT(B.temp) FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 3
+		GROUP BY A.temp ORDER BY 1 DESC, 2 LIMIT 10 ONCE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 1 {
+		t.Fatalf("GroupBy = %v", q.GroupBy)
+	}
+	if at, ok := q.GroupBy[0].(Attr); !ok || at.Ref.Rel != 0 {
+		t.Fatalf("GroupBy expression not bound: %+v", q.GroupBy[0])
+	}
+	if len(q.OrderBy) != 2 || q.OrderBy[0] != (OrderKey{Col: 1, Desc: true}) || q.OrderBy[1] != (OrderKey{Col: 2}) {
+		t.Fatalf("OrderBy = %+v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Fatalf("Limit = %d", q.Limit)
+	}
+}
+
+func TestParseGroupOrderLimitErrors(t *testing.T) {
+	bad := []string{
+		"SELECT A.t FROM S A GROUP BY ONCE",            // missing expr
+		"SELECT A.t FROM S A ORDER BY A.t ONCE",        // non-positional order key
+		"SELECT A.t FROM S A ORDER BY 2 ONCE",          // out of range
+		"SELECT A.t FROM S A ORDER BY 0 ONCE",          // out of range
+		"SELECT A.t FROM S A LIMIT 5 ONCE",             // limit without order
+		"SELECT A.t FROM S A ORDER BY 1 LIMIT 0 ONCE",  // bad limit
+		"SELECT A.t FROM S A ORDER BY 1 LIMIT -3 ONCE", // bad limit
+		"SELECT A.t FROM S A GROUP A.t ONCE",           // missing BY
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestGroupOrderLimitStringRoundtrip(t *testing.T) {
+	sources := []string{
+		"SELECT A.temp, COUNT(B.temp) FROM S A, S B WHERE A.temp > B.temp GROUP BY A.temp ORDER BY 1 DESC LIMIT 5 ONCE",
+		"SELECT MIN(A.a) FROM S A GROUP BY A.b, A.c ONCE",
+		"SELECT A.a, A.b FROM S A ORDER BY 2, 1 DESC ONCE",
+	}
+	for _, src := range sources {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", s1, err)
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Fatalf("round trip:\n  %s\n  %s", s1, s2)
+		}
+	}
+}

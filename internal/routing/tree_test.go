@@ -1,0 +1,195 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sensjoin/internal/geom"
+	"sensjoin/internal/topology"
+)
+
+func deployment(t *testing.T, seed int64, n int, side float64) *topology.Deployment {
+	t.Helper()
+	d, err := topology.Generate(topology.Config{
+		Nodes: n, Area: geom.Square(side), Range: 50, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildTreeSpanning(t *testing.T) {
+	d := deployment(t, 1, 300, 500)
+	tr := BuildTree(d.Neighbors, topology.BaseStation)
+	if tr.ReachableCount() != d.N() {
+		t.Fatalf("tree reaches %d of %d nodes", tr.ReachableCount(), d.N())
+	}
+	if err := tr.Validate(d.Neighbors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTreeMinHop(t *testing.T) {
+	// BFS depths are the true minimum hop counts; verify against an
+	// independent Bellman-Ford relaxation.
+	d := deployment(t, 2, 200, 400)
+	tr := BuildTree(d.Neighbors, topology.BaseStation)
+	n := d.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	dist[0] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			for _, v := range d.Neighbors[u] {
+				if dist[u]+1 < dist[v] {
+					dist[v] = dist[u] + 1
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		if tr.Depth[i] != dist[i] {
+			t.Fatalf("node %d: tree depth %d, true min-hop %d", i, tr.Depth[i], dist[i])
+		}
+	}
+}
+
+func TestPostOrderProperty(t *testing.T) {
+	d := deployment(t, 3, 150, 350)
+	tr := BuildTree(d.Neighbors, topology.BaseStation)
+	seen := make(map[topology.NodeID]int)
+	for idx, u := range tr.PostOrder() {
+		seen[u] = idx
+	}
+	if len(seen) != tr.ReachableCount() {
+		t.Fatalf("post-order visits %d nodes, want %d", len(seen), tr.ReachableCount())
+	}
+	for u, pidx := range seen {
+		for _, c := range tr.Children[u] {
+			if seen[c] > pidx {
+				t.Fatalf("child %d after parent %d in post-order", c, u)
+			}
+		}
+	}
+	// Root must come last.
+	if order := tr.PostOrder(); order[len(order)-1] != tr.Root {
+		t.Fatal("root not last in post-order")
+	}
+}
+
+func TestPreOrderProperty(t *testing.T) {
+	d := deployment(t, 4, 150, 350)
+	tr := BuildTree(d.Neighbors, topology.BaseStation)
+	order := tr.PreOrder()
+	if order[0] != tr.Root {
+		t.Fatal("root not first in pre-order")
+	}
+	pos := make(map[topology.NodeID]int)
+	for idx, u := range order {
+		pos[u] = idx
+	}
+	for u := range tr.Children {
+		for _, c := range tr.Children[u] {
+			if pos[c] < pos[topology.NodeID(u)] {
+				t.Fatalf("child %d before parent %d in pre-order", c, u)
+			}
+		}
+	}
+}
+
+func TestDescendantCounts(t *testing.T) {
+	d := deployment(t, 5, 150, 350)
+	tr := BuildTree(d.Neighbors, topology.BaseStation)
+	// Root's descendants = all other reachable nodes.
+	if tr.Descendants[tr.Root] != tr.ReachableCount()-1 {
+		t.Fatalf("root descendants = %d, want %d", tr.Descendants[tr.Root], tr.ReachableCount()-1)
+	}
+	for u := range tr.Children {
+		sum := 0
+		for _, c := range tr.Children[u] {
+			sum += 1 + tr.Descendants[c]
+		}
+		if tr.Descendants[u] != sum {
+			t.Fatalf("node %d descendants inconsistent", u)
+		}
+	}
+	// Leaves have zero descendants.
+	for u := range tr.Children {
+		if tr.IsLeaf(topology.NodeID(u)) && tr.Descendants[u] != 0 {
+			t.Fatalf("leaf %d has %d descendants", u, tr.Descendants[u])
+		}
+	}
+}
+
+func TestFromParentsRoundtrip(t *testing.T) {
+	d := deployment(t, 6, 120, 300)
+	tr := BuildTree(d.Neighbors, topology.BaseStation)
+	tr2, err := FromParents(tr.Parent, topology.BaseStation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Depth {
+		if tr.Depth[i] != tr2.Depth[i] {
+			t.Fatalf("node %d: depth %d vs %d", i, tr.Depth[i], tr2.Depth[i])
+		}
+		if tr.Descendants[i] != tr2.Descendants[i] {
+			t.Fatalf("node %d: descendants differ", i)
+		}
+	}
+	if tr2.MaxDepth != tr.MaxDepth {
+		t.Fatal("max depth differs after roundtrip")
+	}
+}
+
+func TestFromParentsRejectsOutOfRange(t *testing.T) {
+	if _, err := FromParents([]topology.NodeID{NoParent, 99}, 0); err == nil {
+		t.Fatal("expected error for out-of-range parent")
+	}
+}
+
+func TestFromParentsCycleUnreachable(t *testing.T) {
+	// 1 and 2 point at each other: both must stay unreachable, no hang.
+	tr, err := FromParents([]topology.NodeID{NoParent, 2, 1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Reachable(1) || tr.Reachable(2) {
+		t.Fatal("cycle nodes must be unreachable")
+	}
+	if !tr.Reachable(3) {
+		t.Fatal("node 3 hangs off the root and must be reachable")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := deployment(t, 7, 100, 300)
+	tr := BuildTree(d.Neighbors, topology.BaseStation)
+	tr.Depth[5] += 3
+	if err := tr.Validate(d.Neighbors); err == nil {
+		t.Fatal("Validate must catch a corrupted depth")
+	}
+}
+
+func TestQuickTreeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := topology.Generate(topology.Config{
+			Nodes: 80, Area: geom.Square(260), Range: 50, Seed: seed % 10000,
+		})
+		if err != nil {
+			return true // skip unlucky sparse draws
+		}
+		tr := BuildTree(d.Neighbors, topology.BaseStation)
+		return tr.Validate(d.Neighbors) == nil && tr.ReachableCount() == d.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package stats accounts for communication costs.
+//
+// The paper's evaluation metric is the number of packet transmissions,
+// reported overall, per node, and broken down by protocol step (§VI). The
+// Collector records transmissions and receptions per node and per phase
+// label; summaries answer the questions the paper's figures ask: total
+// transmissions per method (Fig. 10, 12-14, 16), per-node load versus
+// descendant count and the most-loaded nodes (Fig. 11), and per-step
+// breakdowns (Fig. 15). An energy model converts counts to Joules for
+// users who want hardware-specific figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sensjoin/internal/topology"
+)
+
+// Counter accumulates packets and bytes.
+type Counter struct {
+	Packets int64
+	Bytes   int64
+}
+
+// Add accumulates other into c.
+func (c *Counter) Add(packets, bytes int) {
+	c.Packets += int64(packets)
+	c.Bytes += int64(bytes)
+}
+
+// Collector implements netsim.Accountant: per-node, per-phase counters.
+type Collector struct {
+	n      int
+	tx     []map[string]*Counter
+	rx     []map[string]*Counter
+	phases map[string]struct{}
+}
+
+// NewCollector returns a collector for n nodes.
+func NewCollector(n int) *Collector {
+	c := &Collector{
+		n:      n,
+		tx:     make([]map[string]*Counter, n),
+		rx:     make([]map[string]*Counter, n),
+		phases: make(map[string]struct{}),
+	}
+	for i := range c.tx {
+		c.tx[i] = make(map[string]*Counter)
+		c.rx[i] = make(map[string]*Counter)
+	}
+	return c
+}
+
+// OnTx records a transmission by node.
+func (c *Collector) OnTx(node topology.NodeID, phase string, packets, bytes int) {
+	c.counter(c.tx, node, phase).Add(packets, bytes)
+}
+
+// OnRx records a reception at node.
+func (c *Collector) OnRx(node topology.NodeID, phase string, packets, bytes int) {
+	c.counter(c.rx, node, phase).Add(packets, bytes)
+}
+
+func (c *Collector) counter(side []map[string]*Counter, node topology.NodeID, phase string) *Counter {
+	c.phases[phase] = struct{}{}
+	ctr := side[node][phase]
+	if ctr == nil {
+		ctr = &Counter{}
+		side[node][phase] = ctr
+	}
+	return ctr
+}
+
+// Reset clears all counters.
+func (c *Collector) Reset() {
+	for i := range c.tx {
+		c.tx[i] = make(map[string]*Counter)
+		c.rx[i] = make(map[string]*Counter)
+	}
+	c.phases = make(map[string]struct{})
+}
+
+// Phases returns the phase labels seen, sorted.
+func (c *Collector) Phases() []string {
+	out := make([]string, 0, len(c.phases))
+	for p := range c.phases {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// N returns the node count.
+func (c *Collector) N() int { return c.n }
+
+// match reports whether phase is selected by the filter: an empty filter
+// selects everything; otherwise the phase must equal one of the entries.
+func match(phase string, filter []string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if f == phase {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeTx returns the transmitted (packets, bytes) of node over the given
+// phases (all phases when none given).
+func (c *Collector) NodeTx(node topology.NodeID, phases ...string) (int64, int64) {
+	var p, b int64
+	for ph, ctr := range c.tx[node] {
+		if match(ph, phases) {
+			p += ctr.Packets
+			b += ctr.Bytes
+		}
+	}
+	return p, b
+}
+
+// NodeRx returns the received (packets, bytes) of node over the given
+// phases.
+func (c *Collector) NodeRx(node topology.NodeID, phases ...string) (int64, int64) {
+	var p, b int64
+	for ph, ctr := range c.rx[node] {
+		if match(ph, phases) {
+			p += ctr.Packets
+			b += ctr.Bytes
+		}
+	}
+	return p, b
+}
+
+// TotalTx sums transmitted packets over all nodes for the given phases.
+func (c *Collector) TotalTx(phases ...string) int64 {
+	var p int64
+	for i := 0; i < c.n; i++ {
+		pp, _ := c.NodeTx(topology.NodeID(i), phases...)
+		p += pp
+	}
+	return p
+}
+
+// TotalTxBytes sums transmitted bytes over all nodes for the given phases.
+func (c *Collector) TotalTxBytes(phases ...string) int64 {
+	var b int64
+	for i := 0; i < c.n; i++ {
+		_, bb := c.NodeTx(topology.NodeID(i), phases...)
+		b += bb
+	}
+	return b
+}
+
+// PerNodeTx returns transmitted packets per node for the given phases.
+func (c *Collector) PerNodeTx(phases ...string) []int64 {
+	out := make([]int64, c.n)
+	for i := range out {
+		out[i], _ = c.NodeTx(topology.NodeID(i), phases...)
+	}
+	return out
+}
+
+// MaxTx returns the highest per-node transmitted packet count and the
+// node that incurred it, excluding the base station (it is powered).
+func (c *Collector) MaxTx(phases ...string) (topology.NodeID, int64) {
+	var best topology.NodeID
+	var bestP int64 = -1
+	for i := 1; i < c.n; i++ {
+		p, _ := c.NodeTx(topology.NodeID(i), phases...)
+		if p > bestP {
+			bestP, best = p, topology.NodeID(i)
+		}
+	}
+	return best, bestP
+}
+
+// TopK returns the k highest per-node transmitted packet counts in
+// descending order, excluding the base station.
+func (c *Collector) TopK(k int, phases ...string) []int64 {
+	loads := make([]int64, 0, c.n-1)
+	for i := 1; i < c.n; i++ {
+		p, _ := c.NodeTx(topology.NodeID(i), phases...)
+		loads = append(loads, p)
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i] > loads[j] })
+	if k > len(loads) {
+		k = len(loads)
+	}
+	return loads[:k]
+}
+
+// EnergyModel converts packet/byte counts to Joules with a linear model.
+type EnergyModel struct {
+	TxPerPacketJ float64 // fixed cost per transmitted packet
+	TxPerByteJ   float64 // marginal cost per transmitted byte
+	RxPerPacketJ float64 // fixed cost per received packet
+	RxPerByteJ   float64 // marginal cost per received byte
+}
+
+// CC2420Model returns rough constants for a CC2420-class 802.15.4 radio
+// at 250 kbit/s and ~0 dBm: dominated by fixed per-packet overhead, as the
+// paper argues (footnote 1).
+func CC2420Model() EnergyModel {
+	return EnergyModel{
+		TxPerPacketJ: 165e-6,
+		TxPerByteJ:   1.8e-6,
+		RxPerPacketJ: 180e-6,
+		RxPerByteJ:   2.0e-6,
+	}
+}
+
+// NodeEnergy returns the energy in Joules spent by node under m.
+func (c *Collector) NodeEnergy(m EnergyModel, node topology.NodeID, phases ...string) float64 {
+	tp, tb := c.NodeTx(node, phases...)
+	rp, rb := c.NodeRx(node, phases...)
+	return float64(tp)*m.TxPerPacketJ + float64(tb)*m.TxPerByteJ +
+		float64(rp)*m.RxPerPacketJ + float64(rb)*m.RxPerByteJ
+}
+
+// TotalEnergy returns the summed energy over all sensor nodes (the base
+// station is powered and excluded).
+func (c *Collector) TotalEnergy(m EnergyModel, phases ...string) float64 {
+	var e float64
+	for i := 1; i < c.n; i++ {
+		e += c.NodeEnergy(m, topology.NodeID(i), phases...)
+	}
+	return e
+}
+
+// PhaseTable formats per-phase total transmissions as aligned text rows.
+func (c *Collector) PhaseTable() string {
+	var b strings.Builder
+	for _, ph := range c.Phases() {
+		fmt.Fprintf(&b, "%-24s %8d packets %10d bytes\n", ph, c.TotalTx(ph), c.TotalTxBytes(ph))
+	}
+	return b.String()
+}
+
+// LifetimeRounds estimates how many executions of a workload the network
+// survives: given each node's energy per round and a battery budget, it
+// returns the number of complete rounds until the first sensor node
+// depletes, and which node dies first. The paper's motivation ("when the
+// energy of the nodes near the root is depleted, the network ceases
+// operation", §VI) makes the most loaded node the lifetime bottleneck.
+func LifetimeRounds(perRoundJ []float64, batteryJ float64) (rounds int, firstDead int) {
+	firstDead = -1
+	max := 0.0
+	for i := 1; i < len(perRoundJ); i++ { // node 0 is the powered base station
+		if perRoundJ[i] > max {
+			max = perRoundJ[i]
+			firstDead = i
+		}
+	}
+	if max <= 0 {
+		return 1 << 30, firstDead
+	}
+	return int(batteryJ / max), firstDead
+}
+
+// PerNodeEnergy returns each node's energy in Joules under m for the
+// given phases.
+func (c *Collector) PerNodeEnergy(m EnergyModel, phases ...string) []float64 {
+	out := make([]float64, c.n)
+	for i := range out {
+		out[i] = c.NodeEnergy(m, topology.NodeID(i), phases...)
+	}
+	return out
+}
+
+// LoadByDescendants bins per-node transmitted packets by the node's
+// descendant count in the routing tree; used for Fig. 11-style series.
+// desc[i] is the number of descendants of node i; boundaries are the
+// inclusive upper edges of the bins.
+func LoadByDescendants(perNode []int64, desc []int, boundaries []int) (mean []float64, count []int) {
+	mean = make([]float64, len(boundaries))
+	count = make([]int, len(boundaries))
+	sums := make([]float64, len(boundaries))
+	for i := 1; i < len(perNode); i++ { // skip base station
+		for b, up := range boundaries {
+			if desc[i] <= up {
+				sums[b] += float64(perNode[i])
+				count[b]++
+				break
+			}
+		}
+	}
+	for b := range boundaries {
+		if count[b] > 0 {
+			mean[b] = sums[b] / float64(count[b])
+		}
+	}
+	return mean, count
+}

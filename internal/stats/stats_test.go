@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersAndFilters(t *testing.T) {
+	c := NewCollector(3)
+	c.OnTx(1, "collect", 2, 50)
+	c.OnTx(1, "filter", 1, 10)
+	c.OnTx(2, "collect", 3, 100)
+	c.OnRx(0, "collect", 5, 150)
+
+	if p, b := c.NodeTx(1); p != 3 || b != 60 {
+		t.Fatalf("NodeTx(1) = %d/%d, want 3/60", p, b)
+	}
+	if p, _ := c.NodeTx(1, "collect"); p != 2 {
+		t.Fatalf("NodeTx(1, collect) = %d, want 2", p)
+	}
+	if p, b := c.NodeRx(0, "collect"); p != 5 || b != 150 {
+		t.Fatalf("NodeRx = %d/%d", p, b)
+	}
+	if tot := c.TotalTx(); tot != 6 {
+		t.Fatalf("TotalTx = %d, want 6", tot)
+	}
+	if tot := c.TotalTx("collect"); tot != 5 {
+		t.Fatalf("TotalTx(collect) = %d, want 5", tot)
+	}
+	if b := c.TotalTxBytes("filter"); b != 10 {
+		t.Fatalf("TotalTxBytes(filter) = %d, want 10", b)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	c := NewCollector(2)
+	c.OnTx(0, "b", 1, 1)
+	c.OnTx(1, "a", 1, 1)
+	got := c.Phases()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Phases = %v, want [a b]", got)
+	}
+}
+
+func TestPerNodeAndMax(t *testing.T) {
+	c := NewCollector(4)
+	c.OnTx(0, "p", 100, 0) // base station: must be excluded from Max/TopK
+	c.OnTx(1, "p", 5, 0)
+	c.OnTx(2, "p", 9, 0)
+	c.OnTx(3, "p", 1, 0)
+	per := c.PerNodeTx()
+	if per[2] != 9 || per[0] != 100 {
+		t.Fatalf("PerNodeTx = %v", per)
+	}
+	node, load := c.MaxTx()
+	if node != 2 || load != 9 {
+		t.Fatalf("MaxTx = node %d load %d, want node 2 load 9", node, load)
+	}
+	top := c.TopK(2)
+	if len(top) != 2 || top[0] != 9 || top[1] != 5 {
+		t.Fatalf("TopK(2) = %v, want [9 5]", top)
+	}
+	if got := c.TopK(99); len(got) != 3 {
+		t.Fatalf("TopK(99) should clamp to %d sensor nodes, got %d", 3, len(got))
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector(2)
+	c.OnTx(1, "p", 5, 10)
+	c.Reset()
+	if c.TotalTx() != 0 || len(c.Phases()) != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	c := NewCollector(3)
+	c.OnTx(1, "p", 2, 100)
+	c.OnRx(1, "p", 1, 40)
+	m := EnergyModel{TxPerPacketJ: 10, TxPerByteJ: 1, RxPerPacketJ: 5, RxPerByteJ: 0.5}
+	want := 2.0*10 + 100*1 + 1*5 + 40*0.5
+	if got := c.NodeEnergy(m, 1); got != want {
+		t.Fatalf("NodeEnergy = %g, want %g", got, want)
+	}
+	// Base station excluded from TotalEnergy.
+	c.OnTx(0, "p", 1000, 0)
+	if got := c.TotalEnergy(m); got != want {
+		t.Fatalf("TotalEnergy = %g, want %g (base station excluded)", got, want)
+	}
+	cc := CC2420Model()
+	if cc.TxPerPacketJ <= 0 || cc.RxPerPacketJ <= 0 {
+		t.Fatal("CC2420Model must have positive per-packet costs")
+	}
+}
+
+func TestPhaseTable(t *testing.T) {
+	c := NewCollector(2)
+	c.OnTx(1, "collect", 2, 80)
+	out := c.PhaseTable()
+	if !strings.Contains(out, "collect") || !strings.Contains(out, "2 packets") {
+		t.Fatalf("PhaseTable output unexpected:\n%s", out)
+	}
+}
+
+func TestLoadByDescendants(t *testing.T) {
+	perNode := []int64{999, 1, 3, 10, 20} // node 0 = base station, ignored
+	desc := []int{100, 0, 1, 10, 50}
+	mean, count := LoadByDescendants(perNode, desc, []int{1, 20, 1000})
+	if count[0] != 2 || count[1] != 1 || count[2] != 1 {
+		t.Fatalf("counts = %v", count)
+	}
+	if mean[0] != 2 { // (1+3)/2
+		t.Fatalf("bin 0 mean = %g, want 2", mean[0])
+	}
+	if mean[1] != 10 || mean[2] != 20 {
+		t.Fatalf("means = %v", mean)
+	}
+}
+
+func TestLifetimeRounds(t *testing.T) {
+	perRound := []float64{99, 0.5, 2.0, 1.0} // node 0 = base station, ignored
+	rounds, dead := LifetimeRounds(perRound, 10)
+	if dead != 2 {
+		t.Fatalf("first dead = %d, want 2 (highest drain)", dead)
+	}
+	if rounds != 5 {
+		t.Fatalf("rounds = %d, want 5", rounds)
+	}
+	rounds, _ = LifetimeRounds([]float64{0, 0, 0}, 10)
+	if rounds < 1<<29 {
+		t.Fatal("zero drain should yield effectively infinite lifetime")
+	}
+}
+
+func TestPerNodeEnergy(t *testing.T) {
+	c := NewCollector(3)
+	c.OnTx(1, "p", 2, 100)
+	m := EnergyModel{TxPerPacketJ: 1, TxPerByteJ: 0.01}
+	e := c.PerNodeEnergy(m)
+	if len(e) != 3 {
+		t.Fatalf("len = %d", len(e))
+	}
+	if e[1] != 3 || e[0] != 0 || e[2] != 0 {
+		t.Fatalf("energies = %v", e)
+	}
+}

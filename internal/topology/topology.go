@@ -1,0 +1,278 @@
+// Package topology places sensor nodes and derives the communication
+// graph of a deployment.
+//
+// The paper's setting (§VI, "General setting"): nodes are distributed
+// uniformly at random over a square area, the communication range is 50 m,
+// links are bidirectional (unit-disk model), and a powered base station
+// serves as access point. Node 0 is always the base station.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sensjoin/internal/geom"
+)
+
+// NodeID identifies a node. The base station is node 0.
+type NodeID int
+
+// BaseStation is the id of the base station.
+const BaseStation NodeID = 0
+
+// BasePlacement selects where the base station sits.
+type BasePlacement int
+
+const (
+	// BaseCorner puts the base station in the lower-left corner,
+	// maximizing routing-tree depth (the common data-collection layout).
+	BaseCorner BasePlacement = iota
+	// BaseCenter puts the base station at the center of the area.
+	BaseCenter
+)
+
+// Config describes a deployment to generate.
+type Config struct {
+	// Nodes is the number of sensor nodes, excluding the base station.
+	Nodes int
+	// Area is the deployment region.
+	Area geom.Rect
+	// Range is the communication radius in meters (paper: 50 m).
+	Range float64
+	// Base selects the base-station placement.
+	Base BasePlacement
+	// Seed makes placement reproducible.
+	Seed int64
+	// MaxRetries bounds re-sampling attempts when the random placement
+	// is disconnected. Zero means a sensible default.
+	MaxRetries int
+}
+
+// Deployment is a concrete placement with its communication graph.
+type Deployment struct {
+	// Pos holds node positions; Pos[0] is the base station.
+	Pos []geom.Point
+	// Range is the communication radius.
+	Range float64
+	// Area is the deployment region.
+	Area geom.Rect
+	// Neighbors lists, per node, the ids within communication range,
+	// sorted ascending.
+	Neighbors [][]NodeID
+}
+
+// Generate places nodes per cfg and returns a connected deployment.
+// It re-samples with derived seeds until the unit-disk graph is connected.
+func Generate(cfg Config) (*Deployment, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("topology: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.Range <= 0 {
+		return nil, fmt.Errorf("topology: non-positive range %g", cfg.Range)
+	}
+	retries := cfg.MaxRetries
+	if retries == 0 {
+		retries = 50
+	}
+	for attempt := 0; attempt < retries; attempt++ {
+		d := place(cfg, cfg.Seed+int64(attempt)*1_000_003)
+		if d.Connected() {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: no connected placement of %d nodes in %.0fx%.0f after %d attempts (density too low?)",
+		cfg.Nodes, cfg.Area.Width(), cfg.Area.Height(), retries)
+}
+
+func place(cfg Config, seed int64) *Deployment {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]geom.Point, cfg.Nodes+1)
+	switch cfg.Base {
+	case BaseCenter:
+		pos[0] = cfg.Area.Center()
+	default:
+		pos[0] = cfg.Area.Corner()
+	}
+	for i := 1; i <= cfg.Nodes; i++ {
+		pos[i] = cfg.Area.Lerp(rng.Float64(), rng.Float64())
+	}
+	d := &Deployment{Pos: pos, Range: cfg.Range, Area: cfg.Area}
+	d.buildNeighbors()
+	return d
+}
+
+// buildNeighbors fills the neighbor lists using a uniform grid so that
+// construction is O(n) at constant density rather than O(n^2).
+func (d *Deployment) buildNeighbors() {
+	n := len(d.Pos)
+	d.Neighbors = make([][]NodeID, n)
+	cell := d.Range
+	cols := int(d.Area.Width()/cell) + 2
+	rows := int(d.Area.Height()/cell) + 2
+	grid := make(map[int][]NodeID, n)
+	key := func(p geom.Point) (int, int) {
+		cx := int((p.X - d.Area.MinX) / cell)
+		cy := int((p.Y - d.Area.MinY) / cell)
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		return cx, cy
+	}
+	for i, p := range d.Pos {
+		cx, cy := key(p)
+		grid[cy*cols+cx] = append(grid[cy*cols+cx], NodeID(i))
+	}
+	r2 := d.Range * d.Range
+	for i, p := range d.Pos {
+		cx, cy := key(p)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				gx, gy := cx+dx, cy+dy
+				if gx < 0 || gy < 0 || gx >= cols || gy >= rows {
+					continue
+				}
+				for _, j := range grid[gy*cols+gx] {
+					if int(j) == i {
+						continue
+					}
+					if geom.Dist2(p, d.Pos[j]) <= r2 {
+						d.Neighbors[i] = append(d.Neighbors[i], j)
+					}
+				}
+			}
+		}
+		sortIDs(d.Neighbors[i])
+	}
+}
+
+func sortIDs(ids []NodeID) {
+	// Insertion sort: neighbor lists are short (typically 6-15 entries).
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// N returns the total number of nodes including the base station.
+func (d *Deployment) N() int { return len(d.Pos) }
+
+// Connected reports whether every node can reach the base station.
+func (d *Deployment) Connected() bool {
+	seen := make([]bool, d.N())
+	queue := []NodeID{BaseStation}
+	seen[BaseStation] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range d.Neighbors[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == d.N()
+}
+
+// AvgDegree returns the mean neighborhood size over all nodes.
+func (d *Deployment) AvgDegree() float64 {
+	var sum int
+	for _, nb := range d.Neighbors {
+		sum += len(nb)
+	}
+	return float64(sum) / float64(d.N())
+}
+
+// IsNeighbor reports whether a and b are within communication range.
+func (d *Deployment) IsNeighbor(a, b NodeID) bool {
+	for _, v := range d.Neighbors[a] {
+		if v == b {
+			return true
+		}
+		if v > b {
+			return false
+		}
+	}
+	return false
+}
+
+// Line builds a path deployment: the base station at one end and n
+// sensor nodes spaced `spacing` meters apart with the given range, so
+// node i talks exactly to i-1 and i+1 when spacing < range < 2*spacing.
+// Deterministic topologies like this make protocol behaviour exactly
+// predictable in tests.
+func Line(n int, spacing, rng float64) *Deployment {
+	pos := make([]geom.Point, n+1)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i) * spacing, Y: 1}
+	}
+	d := &Deployment{
+		Pos:   pos,
+		Range: rng,
+		Area:  geom.Rect{MinX: 0, MinY: 0, MaxX: float64(n)*spacing + 1, MaxY: 2},
+	}
+	d.buildNeighbors()
+	return d
+}
+
+// Grid builds a cols x rows lattice deployment with the given spacing;
+// the base station replaces the corner node at (0,0).
+func Grid(cols, rows int, spacing, rng float64) *Deployment {
+	pos := make([]geom.Point, 0, cols*rows)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			pos = append(pos, geom.Point{X: float64(x) * spacing, Y: float64(y) * spacing})
+		}
+	}
+	d := &Deployment{
+		Pos:   pos,
+		Range: rng,
+		Area: geom.Rect{
+			MinX: 0, MinY: 0,
+			MaxX: float64(cols-1)*spacing + 1, MaxY: float64(rows-1)*spacing + 1,
+		},
+	}
+	d.buildNeighbors()
+	return d
+}
+
+// Star builds a hub-and-spokes deployment: the base station at the
+// center with n nodes on a circle of the given radius (all within range
+// of the hub, none of each other when the radius exceeds half the
+// range... depending on n).
+func Star(n int, radius, rng float64) *Deployment {
+	pos := make([]geom.Point, n+1)
+	pos[0] = geom.Point{X: 0, Y: 0}
+	for i := 1; i <= n; i++ {
+		ang := 2 * math.Pi * float64(i-1) / float64(n)
+		pos[i] = geom.Point{X: radius * math.Cos(ang), Y: radius * math.Sin(ang)}
+	}
+	d := &Deployment{
+		Pos:   pos,
+		Range: rng,
+		Area:  geom.Rect{MinX: -radius, MinY: -radius, MaxX: radius, MaxY: radius},
+	}
+	d.buildNeighbors()
+	return d
+}
+
+// ScaledArea returns a square area for n nodes that keeps the node density
+// of the paper's default setting (1500 nodes on 1050x1050 m).
+func ScaledArea(n int) geom.Rect {
+	const refNodes, refSide = 1500.0, 1050.0
+	side := refSide * math.Sqrt(float64(n)/refNodes)
+	return geom.Square(side)
+}

@@ -1,0 +1,243 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sensjoin/internal/geom"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Nodes: 200,
+		Area:  geom.Square(400),
+		Range: 50,
+		Seed:  seed,
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	d, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 201 {
+		t.Fatalf("N = %d, want 201", d.N())
+	}
+	if !d.Connected() {
+		t.Fatal("Generate returned a disconnected deployment")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Nodes: 0, Area: geom.Square(100), Range: 50}); err == nil {
+		t.Fatal("expected error for zero nodes")
+	}
+	if _, err := Generate(Config{Nodes: 10, Area: geom.Square(100), Range: 0}); err == nil {
+		t.Fatal("expected error for zero range")
+	}
+}
+
+func TestGenerateFailsWhenTooSparse(t *testing.T) {
+	_, err := Generate(Config{
+		Nodes: 5, Area: geom.Square(10000), Range: 10,
+		Seed: 1, MaxRetries: 3,
+	})
+	if err == nil {
+		t.Fatal("expected failure for a hopelessly sparse deployment")
+	}
+}
+
+func TestBaseStationPlacement(t *testing.T) {
+	dc, err := Generate(Config{Nodes: 100, Area: geom.Square(300), Range: 60, Base: BaseCorner, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Pos[0] != (geom.Point{X: 0, Y: 0}) {
+		t.Fatalf("corner base at %+v, want (0,0)", dc.Pos[0])
+	}
+	dm, err := Generate(Config{Nodes: 100, Area: geom.Square(300), Range: 60, Base: BaseCenter, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Pos[0] != (geom.Point{X: 150, Y: 150}) {
+		t.Fatalf("center base at %+v, want (150,150)", dm.Pos[0])
+	}
+}
+
+func TestNeighborsSymmetricAndInRange(t *testing.T) {
+	d, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nbs := range d.Neighbors {
+		for _, j := range nbs {
+			if geom.Dist(d.Pos[i], d.Pos[j]) > d.Range+1e-9 {
+				t.Fatalf("neighbor %d of %d out of range", j, i)
+			}
+			if !d.IsNeighbor(j, NodeID(i)) {
+				t.Fatalf("asymmetric neighborhood: %d has %d but not vice versa", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	d, err := Generate(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nbs := range d.Neighbors {
+		for k := 1; k < len(nbs); k++ {
+			if nbs[k] <= nbs[k-1] {
+				t.Fatalf("neighbors of %d not strictly sorted: %v", i, nbs)
+			}
+		}
+	}
+}
+
+func TestIsNeighborNegative(t *testing.T) {
+	d, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find some non-neighbor pair.
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < d.N(); j++ {
+			if i != j && geom.Dist(d.Pos[i], d.Pos[j]) > d.Range {
+				if d.IsNeighbor(NodeID(i), NodeID(j)) {
+					t.Fatalf("IsNeighbor(%d,%d) true for out-of-range pair", i, j)
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	d1, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Pos {
+		if d1.Pos[i] != d2.Pos[i] {
+			t.Fatalf("placement not deterministic at node %d", i)
+		}
+	}
+}
+
+func TestGridNeighborMatchesBruteForce(t *testing.T) {
+	// The grid-accelerated neighbor construction must agree exactly with
+	// the O(n^2) definition.
+	f := func(seed int64) bool {
+		cfg := Config{Nodes: 60, Area: geom.Square(250), Range: 50, Seed: seed % 1000}
+		d := place(cfg, cfg.Seed)
+		r2 := d.Range * d.Range
+		for i := 0; i < d.N(); i++ {
+			want := []NodeID{}
+			for j := 0; j < d.N(); j++ {
+				if i != j && geom.Dist2(d.Pos[i], d.Pos[j]) <= r2 {
+					want = append(want, NodeID(j))
+				}
+			}
+			got := d.Neighbors[i]
+			if len(got) != len(want) {
+				return false
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgDegreePaperDensity(t *testing.T) {
+	// Paper setting: 1500 nodes, 1050x1050 m, 50 m range. Expected average
+	// neighborhood size around 6-15 (paper §IV-B cites [3], [8]).
+	d, err := Generate(Config{Nodes: 1500, Area: geom.Square(1050), Range: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := d.AvgDegree()
+	if deg < 6 || deg > 15 {
+		t.Fatalf("average degree %g outside the paper's 6-15 band", deg)
+	}
+}
+
+func TestScaledAreaKeepsDensity(t *testing.T) {
+	a1000 := ScaledArea(1000)
+	a2500 := ScaledArea(2500)
+	d1 := 1000 / a1000.Area()
+	d2 := 2500 / a2500.Area()
+	if d1/d2 < 0.99 || d1/d2 > 1.01 {
+		t.Fatalf("densities differ: %g vs %g", d1, d2)
+	}
+	ref := ScaledArea(1500)
+	if ref.Width() < 1049 || ref.Width() > 1051 {
+		t.Fatalf("ScaledArea(1500) side = %g, want 1050", ref.Width())
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	d := Line(5, 40, 50)
+	if d.N() != 6 {
+		t.Fatalf("N = %d, want 6", d.N())
+	}
+	for i := 0; i < 6; i++ {
+		want := 2
+		if i == 0 || i == 5 {
+			want = 1
+		}
+		if len(d.Neighbors[i]) != want {
+			t.Fatalf("node %d has %d neighbors, want %d", i, len(d.Neighbors[i]), want)
+		}
+	}
+	if !d.Connected() {
+		t.Fatal("line must be connected")
+	}
+}
+
+func TestGridTopology(t *testing.T) {
+	d := Grid(4, 3, 40, 50)
+	if d.N() != 12 {
+		t.Fatalf("N = %d, want 12", d.N())
+	}
+	if !d.Connected() {
+		t.Fatal("grid must be connected")
+	}
+	// Interior node (1,1) = index 5 has 4 lattice neighbors at spacing
+	// 40 < range 50 < diagonal ~56.6.
+	if len(d.Neighbors[5]) != 4 {
+		t.Fatalf("interior node has %d neighbors, want 4", len(d.Neighbors[5]))
+	}
+	// Corner has 2.
+	if len(d.Neighbors[0]) != 2 {
+		t.Fatalf("corner has %d neighbors, want 2", len(d.Neighbors[0]))
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	d := Star(8, 40, 50)
+	if d.N() != 9 {
+		t.Fatalf("N = %d, want 9", d.N())
+	}
+	// Every spoke sees the hub.
+	for i := 1; i <= 8; i++ {
+		if !d.IsNeighbor(NodeID(i), BaseStation) {
+			t.Fatalf("spoke %d cannot reach the hub", i)
+		}
+	}
+	if !d.Connected() {
+		t.Fatal("star must be connected")
+	}
+}

@@ -1,0 +1,130 @@
+// Package wire defines the byte-level encodings behind the simulator's
+// size accounting.
+//
+// The accounting follows the paper: two bytes per attribute value
+// (§IV-B), the quadtree bitstring for join-attribute sets (§V-C), and a
+// fixed per-packet header. This package makes those numbers concrete: a
+// fixed-point codec that fits any attribute into exactly two bytes at
+// its native sensor resolution, batch tuple marshalling whose length
+// equals the accounted message size, and the documented header allowance
+// for the per-message metadata (tuple counts, relation flags) that rides
+// in the packet headers already charged by the radio model.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AttrCodec encodes one attribute as an unsigned 16-bit fixed-point
+// value over [Min, Max] — the form an ADC reports.
+type AttrCodec struct {
+	Min, Max float64
+}
+
+// Step returns the codec's quantization step (the worst-case roundtrip
+// error is half a step).
+func (c AttrCodec) Step() float64 {
+	return (c.Max - c.Min) / 65535
+}
+
+// Encode clamps v into [Min, Max] and returns its fixed-point code.
+func (c AttrCodec) Encode(v float64) uint16 {
+	if c.Max <= c.Min {
+		return 0
+	}
+	f := (v - c.Min) / (c.Max - c.Min)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return uint16(math.Round(f * 65535))
+}
+
+// Decode returns the value at the center of the code's quantization
+// cell.
+func (c AttrCodec) Decode(code uint16) float64 {
+	return c.Min + float64(code)/65535*(c.Max-c.Min)
+}
+
+// TupleCodec marshals complete tuples: one AttrCodec per attribute, two
+// bytes per value, little endian.
+type TupleCodec struct {
+	Attrs []AttrCodec
+}
+
+// TupleBytes returns the wire size of one tuple.
+func (t TupleCodec) TupleBytes() int { return 2 * len(t.Attrs) }
+
+// MarshalTuple appends one tuple's encoding to dst.
+func (t TupleCodec) MarshalTuple(dst []byte, vals []float64) ([]byte, error) {
+	if len(vals) != len(t.Attrs) {
+		return nil, fmt.Errorf("wire: %d values for %d attributes", len(vals), len(t.Attrs))
+	}
+	for i, v := range vals {
+		dst = binary.LittleEndian.AppendUint16(dst, t.Attrs[i].Encode(v))
+	}
+	return dst, nil
+}
+
+// UnmarshalTuple decodes one tuple from the front of b.
+func (t TupleCodec) UnmarshalTuple(b []byte) ([]float64, []byte, error) {
+	need := t.TupleBytes()
+	if len(b) < need {
+		return nil, nil, fmt.Errorf("wire: tuple needs %d bytes, have %d", need, len(b))
+	}
+	vals := make([]float64, len(t.Attrs))
+	for i := range t.Attrs {
+		vals[i] = t.Attrs[i].Decode(binary.LittleEndian.Uint16(b[2*i:]))
+	}
+	return vals, b[need:], nil
+}
+
+// MarshalBatch encodes a batch of tuples; the result's length is exactly
+// count * TupleBytes — the size the accounting charges for a
+// complete-tuples message.
+func (t TupleCodec) MarshalBatch(tuples [][]float64) ([]byte, error) {
+	out := make([]byte, 0, len(tuples)*t.TupleBytes())
+	for _, vals := range tuples {
+		var err error
+		out, err = t.MarshalTuple(out, vals)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBatch decodes count tuples.
+func (t TupleCodec) UnmarshalBatch(b []byte, count int) ([][]float64, error) {
+	out := make([][]float64, 0, count)
+	for i := 0; i < count; i++ {
+		vals, rest, err := t.UnmarshalTuple(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals)
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %d tuples", len(b), count)
+	}
+	return out, nil
+}
+
+// HeaderAllowance returns the per-message metadata bytes that ride in
+// the packet headers the radio model already charges: a one-byte tuple
+// count per message plus the relation-membership flags (nRelations bits
+// per tuple, packed). The default 8-byte packet header leaves room for
+// this next to source, type and sequence fields on messages of typical
+// size; the allowance quantifies it for audits.
+func HeaderAllowance(tupleCount, nRelations int) int {
+	if tupleCount <= 0 {
+		return 0
+	}
+	flagBits := tupleCount * nRelations
+	return 1 + (flagBits+7)/8
+}

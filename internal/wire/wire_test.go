@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrCodecRoundtripPrecision(t *testing.T) {
+	c := AttrCodec{Min: 0, Max: 40} // the temperature attribute
+	step := c.Step()
+	for i := 0; i < 2000; i++ {
+		v := rand.New(rand.NewSource(int64(i))).Float64() * 40
+		got := c.Decode(c.Encode(v))
+		if math.Abs(got-v) > step/2+1e-12 {
+			t.Fatalf("roundtrip error %g exceeds half step %g", math.Abs(got-v), step/2)
+		}
+	}
+}
+
+func TestAttrCodecClamps(t *testing.T) {
+	c := AttrCodec{Min: 0, Max: 100}
+	if c.Encode(-5) != 0 {
+		t.Fatal("below range must clamp to 0")
+	}
+	if c.Encode(1e9) != 65535 {
+		t.Fatal("above range must clamp to max code")
+	}
+	if c.Decode(0) != 0 || c.Decode(65535) != 100 {
+		t.Fatal("boundary decode wrong")
+	}
+}
+
+func TestAttrCodecDegenerate(t *testing.T) {
+	c := AttrCodec{Min: 5, Max: 5}
+	if c.Encode(7) != 0 {
+		t.Fatal("degenerate range must encode to 0")
+	}
+}
+
+func TestQuickAttrCodecMonotone(t *testing.T) {
+	c := AttrCodec{Min: -50, Max: 150}
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 200) - 50
+		b = math.Mod(math.Abs(b), 200) - 50
+		if a > b {
+			a, b = b, a
+		}
+		return c.Encode(a) <= c.Encode(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testCodec() TupleCodec {
+	return TupleCodec{Attrs: []AttrCodec{
+		{Min: 0, Max: 40},     // temp
+		{Min: 0, Max: 100},    // hum
+		{Min: 0, Max: 1050},   // x
+		{Min: 990, Max: 1040}, // pres
+	}}
+}
+
+func TestBatchSizeMatchesAccounting(t *testing.T) {
+	// The central claim: the marshalled batch is exactly the accounted
+	// 2 bytes per attribute per tuple.
+	tc := testCodec()
+	rng := rand.New(rand.NewSource(3))
+	var tuples [][]float64
+	for i := 0; i < 57; i++ {
+		tuples = append(tuples, []float64{
+			rng.Float64() * 40, rng.Float64() * 100,
+			rng.Float64() * 1050, 990 + rng.Float64()*50,
+		})
+	}
+	b, err := tc.MarshalBatch(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 57*tc.TupleBytes() {
+		t.Fatalf("batch = %d bytes, accounted %d", len(b), 57*tc.TupleBytes())
+	}
+	back, err := tc.UnmarshalBatch(b, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, vals := range back {
+		for j, v := range vals {
+			if math.Abs(v-tuples[i][j]) > tc.Attrs[j].Step()/2+1e-9 {
+				t.Fatalf("tuple %d attr %d: %g vs %g", i, j, v, tuples[i][j])
+			}
+		}
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	tc := testCodec()
+	if _, err := tc.MarshalBatch([][]float64{{1, 2}}); err == nil {
+		t.Fatal("wrong arity must fail")
+	}
+	if _, _, err := tc.UnmarshalTuple([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer must fail")
+	}
+	b, _ := tc.MarshalBatch([][]float64{{1, 2, 3, 1000}})
+	if _, err := tc.UnmarshalBatch(append(b, 0xff), 1); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	if _, err := tc.UnmarshalBatch(b, 2); err == nil {
+		t.Fatal("over-count must fail")
+	}
+}
+
+func TestHeaderAllowance(t *testing.T) {
+	if HeaderAllowance(0, 2) != 0 {
+		t.Fatal("empty message needs no allowance")
+	}
+	// 4 tuples x 2 relations = 8 flag bits = 1 byte, + 1 count byte.
+	if got := HeaderAllowance(4, 2); got != 2 {
+		t.Fatalf("allowance = %d, want 2", got)
+	}
+	if got := HeaderAllowance(5, 2); got != 3 {
+		t.Fatalf("allowance = %d, want 3", got)
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sensjoin/internal/core"
+	"sensjoin/internal/query"
+)
+
+func runner(t *testing.T, nodes int) *core.Runner {
+	t.Helper()
+	r, err := core.NewRunner(core.SetupConfig{Nodes: nodes, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPresetRatios(t *testing.T) {
+	if r := Ratio33().Ratio(); math.Abs(r-1.0/3) > 1e-9 {
+		t.Fatalf("Ratio33 ratio = %g", r)
+	}
+	if r := Ratio60().Ratio(); math.Abs(r-0.6) > 1e-9 {
+		t.Fatalf("Ratio60 ratio = %g", r)
+	}
+}
+
+// The built queries must parse and their analysis must exhibit exactly
+// the advertised join-attribute and shipped-attribute counts.
+func TestPresetAnalysis(t *testing.T) {
+	presets := []Preset{Ratio33(), Ratio60()}
+	presets = append(presets, RatioSweep3JA()...)
+	presets = append(presets, RatioSweep1JA()...)
+	for _, p := range presets {
+		src := p.Build(1.5)
+		q, err := query.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.Name, err)
+		}
+		a, err := query.Analyze(q)
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", p.Name, err)
+		}
+		for alias := 0; alias < 2; alias++ {
+			if got := len(a.JoinAttrs[alias]); got != p.JoinAttrs {
+				t.Fatalf("%s alias %d: %d join attrs, want %d (%v)",
+					p.Name, alias, got, p.JoinAttrs, a.JoinAttrs[alias])
+			}
+			if got := len(a.ShippedAttrs[alias]); got != p.TotalAttrs {
+				t.Fatalf("%s alias %d: %d shipped attrs, want %d (%v)",
+					p.Name, alias, got, p.TotalAttrs, a.ShippedAttrs[alias])
+			}
+		}
+	}
+}
+
+func TestSweepSizes(t *testing.T) {
+	if got := len(RatioSweep3JA()); got != 3 {
+		t.Fatalf("RatioSweep3JA has %d presets, want 3", got)
+	}
+	if got := len(RatioSweep1JA()); got != 5 {
+		t.Fatalf("RatioSweep1JA has %d presets, want 5", got)
+	}
+}
+
+func TestBuildQueryShape(t *testing.T) {
+	src := Ratio60().Build(2.5)
+	for _, want := range []string{"A.temp - B.temp > 2.5", "distance(A.x, A.y, B.x, B.y) > 100", "ONCE"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("query %q missing %q", src, want)
+		}
+	}
+	if strings.Contains(Ratio33().Build(1), "distance") {
+		t.Fatal("Ratio33 must not have a distance condition")
+	}
+}
+
+// Fraction must match the ground-truth contributing fraction from the
+// actual join machinery.
+func TestFractionMatchesGroundTruth(t *testing.T) {
+	r := runner(t, 120)
+	for _, p := range []Preset{Ratio33(), Ratio60()} {
+		for _, delta := range []float64{0.5, 2, 5} {
+			want := Fraction(r, p, delta)
+			x, err := r.ExecSQL(p.Build(delta), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := core.GroundTruth(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(want-truth.Fraction()) > 1e-9 {
+				t.Fatalf("%s delta=%g: Fraction=%g, ground truth=%g",
+					p.Name, delta, want, truth.Fraction())
+			}
+		}
+	}
+}
+
+func TestFractionMonotone(t *testing.T) {
+	r := runner(t, 150)
+	p := Ratio33()
+	prev := 2.0
+	for _, delta := range []float64{0, 0.5, 1, 2, 4, 8, 100} {
+		f := Fraction(r, p, delta)
+		if f > prev+1e-12 {
+			t.Fatalf("fraction increased with delta at %g: %g > %g", delta, f, prev)
+		}
+		prev = f
+	}
+	if Fraction(r, p, 1000) != 0 {
+		t.Fatal("impossible delta should yield zero fraction")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	r := runner(t, 300)
+	for _, p := range []Preset{Ratio33(), Ratio60()} {
+		for _, target := range []float64{0.05, 0.25, 0.6} {
+			delta, frac := Calibrate(r, p, target)
+			if delta < 0 {
+				t.Fatalf("negative delta %g", delta)
+			}
+			// With 300 nodes the fraction is quantized in steps of
+			// 1/300; allow a generous band.
+			if math.Abs(frac-target) > 0.05 {
+				t.Fatalf("%s target %.2f: calibrated fraction %.3f (delta %g)",
+					p.Name, target, frac, delta)
+			}
+		}
+	}
+}
+
+func TestCalibratedQueryRunsAtTargetFraction(t *testing.T) {
+	r := runner(t, 200)
+	p := Ratio33()
+	delta, want := Calibrate(r, p, 0.10)
+	res, err := r.Run(p.Build(delta), core.External{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Fraction()-want) > 1e-9 {
+		t.Fatalf("simulated fraction %.3f != calibrated %.3f", res.Fraction(), want)
+	}
+}

@@ -1,0 +1,304 @@
+package sensjoin_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sensjoin"
+)
+
+func testNet(t *testing.T, nodes int, seed int64) *sensjoin.Network {
+	t.Helper()
+	net, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: nodes, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+const apiQuery = `
+	SELECT A.temp, B.temp, distance(A.x, A.y, B.x, B.y)
+	FROM Sensors A, Sensors B
+	WHERE A.temp - B.temp > 5.0 ONCE`
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 0}); err == nil {
+		t.Fatal("zero nodes must fail")
+	}
+	net := testNet(t, 150, 3)
+	if net.Nodes() != 150 {
+		t.Fatalf("Nodes = %d", net.Nodes())
+	}
+	if net.Area().Width() <= 0 || net.Area().Height() <= 0 {
+		t.Fatal("degenerate area")
+	}
+	if net.TreeDepth() < 2 {
+		t.Fatalf("tree depth %d suspicious", net.TreeDepth())
+	}
+	if d := net.AvgDegree(); d < 4 || d > 20 {
+		t.Fatalf("avg degree %g out of plausible band", d)
+	}
+}
+
+func TestExecuteMatchesGroundTruth(t *testing.T) {
+	net := testNet(t, 150, 5)
+	truth, err := net.GroundTruth(apiQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []sensjoin.Method{
+		sensjoin.SENSJoin(),
+		sensjoin.ExternalJoin(),
+		sensjoin.SENSJoinNoQuad(),
+		sensjoin.SENSJoinZlib(),
+		sensjoin.SENSJoinBWZ(),
+		sensjoin.SENSJoinWithOptions(sensjoin.Options{Dmax: 60}),
+	} {
+		res, err := net.Execute(apiQuery, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(res.Rows) != len(truth.Rows) {
+			t.Fatalf("%s: %d rows, oracle %d", m.Name(), len(res.Rows), len(truth.Rows))
+		}
+		if !res.Complete {
+			t.Fatalf("%s: incomplete on healthy network", m.Name())
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	net := testNet(t, 50, 7)
+	if err := net.Validate(apiQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate("SELECT garbage FROM"); err == nil {
+		t.Fatal("bad syntax must fail validation")
+	}
+	if err := net.Validate("SELECT A.temp FROM Unknown A ONCE"); err == nil {
+		t.Fatal("unknown relation must fail validation")
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	net := testNet(t, 150, 9)
+	if _, err := net.Execute(apiQuery, sensjoin.SENSJoin()); err != nil {
+		t.Fatal(err)
+	}
+	total := net.TotalPackets(sensjoin.SENSJoin())
+	if total <= 0 {
+		t.Fatal("no packets counted")
+	}
+	per := net.PerNodePackets(sensjoin.SENSJoin())
+	if len(per) != 151 {
+		t.Fatalf("PerNodePackets len %d", len(per))
+	}
+	var sum int64
+	for _, p := range per {
+		sum += p
+	}
+	if sum != total {
+		t.Fatalf("per-node sum %d != total %d", sum, total)
+	}
+	node, load := net.MaxLoadedNode(sensjoin.SENSJoin())
+	if node <= 0 || load <= 0 || load != maxI(per[1:]) {
+		t.Fatalf("MaxLoadedNode = %d/%d", node, load)
+	}
+	if net.TotalEnergy() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if !strings.Contains(net.PhaseTable(), "ja-collect") {
+		t.Fatalf("PhaseTable missing phases:\n%s", net.PhaseTable())
+	}
+	net.ResetStats()
+	if net.TotalPackets(sensjoin.SENSJoin()) != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func maxI(v []int64) int64 {
+	var m int64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestFailureInjectionAndRecovery(t *testing.T) {
+	net := testNet(t, 150, 11)
+	victim := 23
+	parent := net.RoutingParent(victim)
+	if parent < 0 {
+		t.Skip("node 23 unreachable in this draw")
+	}
+	net.FailLink(victim, parent)
+	res, err := net.Execute(apiQuery, sensjoin.SENSJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("loss not detected")
+	}
+	rec, err := net.ExecuteWithRecovery(apiQuery, sensjoin.SENSJoin(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Complete || rec.Executions < 2 {
+		t.Fatalf("recovery failed: complete=%v executions=%d", rec.Complete, rec.Executions)
+	}
+	net.RestoreLink(victim, parent)
+	net.RepairRouting()
+}
+
+func TestMonitorAdvancesClock(t *testing.T) {
+	net := testNet(t, 100, 13)
+	results, err := net.Monitor(`
+		SELECT COUNT(A.temp) FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 4 SAMPLE PERIOD 120`, sensjoin.SENSJoin(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("rounds = %d", len(results))
+	}
+	if net.Clock() != 360 {
+		t.Fatalf("clock = %g, want 360", net.Clock())
+	}
+	if err := checkMonitorRejectsOnce(net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkMonitorRejectsOnce(net *sensjoin.Network) error {
+	_, err := net.Monitor("SELECT A.temp FROM Sensors A ONCE", sensjoin.SENSJoin(), 1)
+	if err == nil {
+		return errOnceAccepted
+	}
+	return nil
+}
+
+var errOnceAccepted = errString("Monitor accepted a ONCE query")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestFractionHelper(t *testing.T) {
+	r := &sensjoin.Result{ContributingNodes: 25, MemberNodes: 100}
+	if r.Fraction() != 0.25 {
+		t.Fatalf("Fraction = %g", r.Fraction())
+	}
+	empty := &sensjoin.Result{}
+	if empty.Fraction() != 0 || math.IsNaN(empty.Fraction()) {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+func TestKillAndReviveNode(t *testing.T) {
+	net := testNet(t, 100, 17)
+	base, err := net.Execute(apiQuery, sensjoin.ExternalJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.KillNode(40)
+	net.RepairRouting()
+	res, err := net.Execute(apiQuery, sensjoin.ExternalJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemberNodes != base.MemberNodes-1 {
+		t.Fatalf("members %d, want %d", res.MemberNodes, base.MemberNodes-1)
+	}
+	net.ReviveNode(40)
+	net.RepairRouting()
+	res, err = net.Execute(apiQuery, sensjoin.ExternalJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemberNodes != base.MemberNodes {
+		t.Fatal("revived node did not rejoin")
+	}
+}
+
+func TestDisseminateQuery(t *testing.T) {
+	net := testNet(t, 80, 19)
+	if err := net.DisseminateQuery(apiQuery); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(net.PhaseTable(), "query-dissem") {
+		t.Fatal("flood not accounted")
+	}
+}
+
+func TestCustomPacketSize(t *testing.T) {
+	small, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 150, Seed: 21, MaxPacket: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 150, Seed: 21, MaxPacket: 124})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Execute(apiQuery, sensjoin.ExternalJoin()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.Execute(apiQuery, sensjoin.ExternalJoin()); err != nil {
+		t.Fatal(err)
+	}
+	if big.TotalPackets(sensjoin.ExternalJoin()) >= small.TotalPackets(sensjoin.ExternalJoin()) {
+		t.Fatal("larger packets should reduce packet count")
+	}
+}
+
+func TestBaseAtCenterShortensTree(t *testing.T) {
+	corner := testNet(t, 400, 23)
+	center, err := sensjoin.NewNetwork(sensjoin.Config{Nodes: 400, Seed: 23, BaseAtCenter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if center.TreeDepth() >= corner.TreeDepth() {
+		t.Fatalf("center depth %d should be below corner depth %d",
+			center.TreeDepth(), corner.TreeDepth())
+	}
+}
+
+func TestPacketLossDetectedAndRecoverable(t *testing.T) {
+	net := testNet(t, 150, 51)
+	net.SetPacketLoss(0.05, 99)
+	res, err := net.Execute(apiQuery, sensjoin.SENSJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Skip("lucky run: no result-relevant packet lost") // seed-dependent but stable
+	}
+	// Recovery keeps re-executing; with 5% loss a few attempts usually
+	// succeed. If not, the result must still honestly say incomplete.
+	rec, err := net.ExecuteWithRecovery(apiQuery, sensjoin.SENSJoin(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Executions < 1 {
+		t.Fatal("no executions recorded")
+	}
+	if rec.Complete {
+		truth, err := net.GroundTruth(apiQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Rows) != len(truth.Rows) {
+			t.Fatalf("complete result has %d rows, oracle %d", len(rec.Rows), len(truth.Rows))
+		}
+	}
+	net.SetPacketLoss(0, 0)
+	res, err = net.Execute(apiQuery, sensjoin.SENSJoin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("disabling loss should restore completeness")
+	}
+}
