@@ -4,17 +4,25 @@
 // Usage:
 //
 //	experiments [-nodes 1500] [-seed 42] [-packet 48] [-only E1a,E8]
+//	            [-parallel N] [-csv] [-json]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Output is a sequence of aligned text tables, one per experiment, with
-// notes comparing the measured shape to the paper's claims. Absolute
-// packet counts depend on this simulator; EXPERIMENTS.md records the
-// paper-vs-measured comparison.
+// notes comparing the measured shape to the paper's claims; -csv and
+// -json switch the representation. Tables go to stdout in experiment
+// order and are byte-identical for every -parallel value; per-experiment
+// wall-clock lines go to stderr so timing noise never pollutes diffable
+// output. Absolute packet counts depend on this simulator;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,14 +31,25 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	nodes := flag.Int("nodes", 1500, "sensor node count (paper default 1500)")
 	seed := flag.Int64("seed", 42, "placement and field seed")
 	packet := flag.Int("packet", 48, "maximum packet size in bytes")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1a,E8); empty = all")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit one JSON document with tables, packet totals and timings")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for experiment/sweep-cell fan-out; 1 = sequential")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	cfg := bench.Config{Nodes: *nodes, Seed: *seed, MaxPacket: *packet}
+	cfg := bench.Config{Nodes: *nodes, Seed: *seed, MaxPacket: *packet, Parallel: *parallel}
 
 	type entry struct {
 		id  string
@@ -67,25 +86,114 @@ func main() {
 			selected[strings.TrimSpace(id)] = true
 		}
 	}
-
-	fmt.Printf("SENS-Join experiment suite — %d nodes, seed %d, %dB packets\n\n", *nodes, *seed, *packet)
-	start := time.Now()
+	var active []entry
 	for _, e := range entries {
 		if len(selected) > 0 && !selected[e.id] {
 			continue
 		}
-		t0 := time.Now()
-		tbl, err := e.run()
+		active = append(active, e)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
-			os.Exit(1)
+			return err
 		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Run everything first (whole experiments fan out on top of the
+	// per-experiment sweep-cell fan-out), then print in declaration
+	// order: stdout stays byte-identical for every -parallel value.
+	type result struct {
+		tbl     *bench.Table
+		elapsed time.Duration
+	}
+	jobs := make([]func() (result, error), len(active))
+	for i, e := range active {
+		jobs[i] = func() (result, error) {
+			t0 := time.Now()
+			tbl, err := e.run()
+			if err != nil {
+				return result{}, fmt.Errorf("%s failed: %w", e.id, err)
+			}
+			return result{tbl: tbl, elapsed: time.Since(t0)}, nil
+		}
+	}
+	start := time.Now()
+	results, err := bench.Fanout(*parallel, jobs)
+	if err != nil {
+		return err
+	}
+	total := time.Since(start)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		doc := jsonDoc{
+			Nodes: cfg.Nodes, Seed: cfg.Seed, MaxPacket: cfg.MaxPacket,
+			Parallel: *parallel, Total: total.Seconds(),
+		}
+		for i := range active {
+			tbl := results[i].tbl
+			doc.Experiments = append(doc.Experiments, jsonExperiment{
+				ID: tbl.ID, Title: tbl.Title, Header: tbl.Header,
+				Rows: tbl.Rows, Notes: tbl.Notes,
+				TxPackets: tbl.TxPackets,
+				Elapsed:   results[i].elapsed.Seconds(),
+			})
+			doc.TxPackets += tbl.TxPackets
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Printf("SENS-Join experiment suite — %d nodes, seed %d, %dB packets\n\n", *nodes, *seed, *packet)
+	for i, e := range active {
+		tbl := results[i].tbl
 		if *csv {
 			fmt.Printf("# %s — %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
 		} else {
 			fmt.Println(tbl)
-			fmt.Printf("(%s in %.1fs)\n\n", e.id, time.Since(t0).Seconds())
 		}
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", e.id, results[i].elapsed.Seconds())
 	}
-	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "total: %.1fs (parallel %d)\n", total.Seconds(), *parallel)
+	return nil
+}
+
+// jsonExperiment is one experiment in -json output.
+type jsonExperiment struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	TxPackets int64      `json:"tx_packets"`
+	Elapsed   float64    `json:"elapsed_sec"`
+}
+
+type jsonDoc struct {
+	Nodes       int              `json:"nodes"`
+	Seed        int64            `json:"seed"`
+	MaxPacket   int              `json:"max_packet"`
+	Parallel    int              `json:"parallel"`
+	Experiments []jsonExperiment `json:"experiments"`
+	TxPackets   int64            `json:"tx_packets"`
+	Total       float64          `json:"total_sec"`
 }

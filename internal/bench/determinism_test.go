@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll runs every experiment at cfg and renders the tables to one
+// string, the same representation cmd/experiments prints.
+func renderAll(t *testing.T, cfg Config) string {
+	t.Helper()
+	tables, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tbl := range tables {
+		b.WriteString(tbl.String())
+	}
+	return b.String()
+}
+
+// TestAllDeterministicAcrossParallelism is the harness's core
+// correctness claim: the rendered tables are byte-identical whether the
+// experiments run sequentially or fanned out over many workers, and
+// across repeated runs (the shared deployment cache and the memoized
+// calibration must not leak state between runs).
+func TestAllDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite three times")
+	}
+	cfg := smallConfig()
+
+	cfg.Parallel = 1
+	seq := renderAll(t, cfg)
+
+	cfg.Parallel = 8
+	par := renderAll(t, cfg)
+	if seq != par {
+		t.Fatalf("tables differ between Parallel=1 and Parallel=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+
+	again := renderAll(t, cfg)
+	if par != again {
+		t.Fatal("tables differ between repeated Parallel=8 runs")
+	}
+}

@@ -27,6 +27,10 @@ type Config struct {
 	Fractions []float64
 	// DefaultFraction is the fraction used where the paper fixes 5%.
 	DefaultFraction float64
+	// Parallel is the worker count for experiment and sweep-cell
+	// fan-out (see pool.go); 0 or 1 runs everything sequentially.
+	// Output is byte-identical for every value.
+	Parallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,10 +75,6 @@ func runTotal(r *core.Runner, src string, m core.Method) (int64, *core.Result, e
 // 10(b)).
 func RunOverallSavings(cfg Config, preset workload.Preset) (*Table, error) {
 	cfg = cfg.withDefaults()
-	r, err := cfg.runner()
-	if err != nil {
-		return nil, err
-	}
 	id := "E1a / Fig. 10(a)"
 	if preset.Ratio() > 0.5 {
 		id = "E1b / Fig. 10(b)"
@@ -84,31 +84,50 @@ func RunOverallSavings(cfg Config, preset workload.Preset) (*Table, error) {
 		Title:  fmt.Sprintf("overall transmissions vs result fraction (%s, %d nodes)", preset.Name, cfg.Nodes),
 		Header: []string{"target f", "actual f", "external", "sens-join", "savings", "winner"},
 	}
-	var bestSavings float64
-	var breakEven float64 = -1
-	for _, f := range cfg.Fractions {
+	// Each fraction is an independent sweep cell with a private runner;
+	// the shared deployment cache makes the extra runners cheap and the
+	// cells' observables identical to a sequential shared-runner sweep.
+	type cell struct {
+		actual    float64
+		ext, sens int64
+	}
+	cells, err := Fanout(cfg.Parallel, cellJobs(cfg.Fractions, func(f float64) (cell, error) {
+		r, err := cfg.runner()
+		if err != nil {
+			return cell{}, err
+		}
 		delta, actual := workload.Calibrate(r, preset, f)
 		src := preset.Build(delta)
 		ext, _, err := runTotal(r, src, core.External{})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		sens, _, err := runTotal(r, src, core.NewSENSJoin())
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		s := savings(ext, sens)
+		return cell{actual: actual, ext: ext, sens: sens}, nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	var bestSavings float64
+	var breakEven float64 = -1
+	for i, f := range cfg.Fractions {
+		c := cells[i]
+		s := savings(c.ext, c.sens)
 		if s > bestSavings {
 			bestSavings = s
 		}
 		winner := "sens-join"
-		if sens >= ext {
+		if c.sens >= c.ext {
 			winner = "external"
 			if breakEven < 0 {
-				breakEven = actual
+				breakEven = c.actual
 			}
 		}
-		t.AddRow(fmtFrac(f), fmtFrac(actual), fmtInt(ext), fmtInt(sens), fmtFrac(s), winner)
+		t.AddRow(fmtFrac(f), fmtFrac(c.actual), fmtInt(c.ext), fmtInt(c.sens), fmtFrac(s), winner)
+		t.AddTx(c.ext + c.sens)
 	}
 	t.Note("max savings %.0f%% (paper: up to 80%% at 33%%, ~67%% at 60%%)", 100*bestSavings)
 	if breakEven >= 0 {
@@ -134,11 +153,13 @@ func RunPerNodeSavings(cfg Config, preset workload.Preset) (*Table, error) {
 	delta, actual := workload.Calibrate(r, preset, cfg.DefaultFraction)
 	src := preset.Build(delta)
 
-	if _, _, err := runTotal(r, src, core.External{}); err != nil {
+	extTotal, _, err := runTotal(r, src, core.External{})
+	if err != nil {
 		return nil, err
 	}
 	extPer := r.Stats.PerNodeTx(core.ExternalPhases...)
-	if _, _, err := runTotal(r, src, core.NewSENSJoin()); err != nil {
+	sensTotal, _, err := runTotal(r, src, core.NewSENSJoin())
+	if err != nil {
 		return nil, err
 	}
 	sensPer := r.Stats.PerNodeTx(core.SENSPhases...)
@@ -172,6 +193,7 @@ func RunPerNodeSavings(cfg Config, preset workload.Preset) (*Table, error) {
 	maxSens := maxOf(sensPer)
 	t.Note("most-loaded node: external %d vs sens %d packets = %s reduction (paper: >10x at 33%%, >75%% at 60%%)",
 		maxExt, maxSens, fmtFactor(maxExt, maxSens))
+	t.AddTx(extTotal + sensTotal)
 	return t, nil
 }
 
@@ -190,30 +212,41 @@ func maxOf(v []int64) int64 {
 // fraction.
 func RunRatioSweep(cfg Config, presets []workload.Preset, id string) (*Table, error) {
 	cfg = cfg.withDefaults()
-	r, err := cfg.runner()
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID:     id,
 		Title:  fmt.Sprintf("transmissions vs join-attribute ratio (f=%.0f%%, %d nodes)", 100*cfg.DefaultFraction, cfg.Nodes),
 		Header: []string{"ratio", "external", "sens-join", "savings"},
 	}
-	prev := 2.0 // presets are ordered high ratio -> low; savings must grow
-	monotone := true
-	for _, p := range presets {
+	type cell struct {
+		ext, sens int64
+	}
+	cells, err := Fanout(cfg.Parallel, cellJobs(presets, func(p workload.Preset) (cell, error) {
+		r, err := cfg.runner()
+		if err != nil {
+			return cell{}, err
+		}
 		delta, _ := workload.Calibrate(r, p, cfg.DefaultFraction)
 		src := p.Build(delta)
 		ext, _, err := runTotal(r, src, core.External{})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		sens, _, err := runTotal(r, src, core.NewSENSJoin())
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		s := savings(ext, sens)
-		t.AddRow(p.Name, fmtInt(ext), fmtInt(sens), fmtFrac(s))
+		return cell{ext: ext, sens: sens}, nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	prev := 2.0 // presets are ordered high ratio -> low; savings must grow
+	monotone := true
+	for i, p := range presets {
+		c := cells[i]
+		s := savings(c.ext, c.sens)
+		t.AddRow(p.Name, fmtInt(c.ext), fmtInt(c.sens), fmtFrac(s))
+		t.AddTx(c.ext + c.sens)
 		if prev <= 1.0 && s < prev-0.02 {
 			monotone = false
 		}
@@ -239,26 +272,37 @@ func RunNetworkSize(cfg Config, sizes []int, preset workload.Preset) (*Table, er
 		Title:  fmt.Sprintf("transmissions vs network size (%s, f=%.0f%%)", preset.Name, 100*cfg.DefaultFraction),
 		Header: []string{"nodes", "external", "sens-join", "savings"},
 	}
-	var firstS, lastS float64
-	for i, n := range sizes {
+	type cell struct {
+		ext, sens int64
+	}
+	cells, err := Fanout(cfg.Parallel, cellJobs(sizes, func(n int) (cell, error) {
 		c := cfg
 		c.Nodes = n
 		r, err := c.runner()
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		delta, _ := workload.Calibrate(r, preset, cfg.DefaultFraction)
 		src := preset.Build(delta)
 		ext, _, err := runTotal(r, src, core.External{})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		sens, _, err := runTotal(r, src, core.NewSENSJoin())
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		s := savings(ext, sens)
-		t.AddRow(fmtInt(int64(n)), fmtInt(ext), fmtInt(sens), fmtFrac(s))
+		return cell{ext: ext, sens: sens}, nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	var firstS, lastS float64
+	for i, n := range sizes {
+		c := cells[i]
+		s := savings(c.ext, c.sens)
+		t.AddRow(fmtInt(int64(n)), fmtInt(c.ext), fmtInt(c.sens), fmtFrac(s))
+		t.AddTx(c.ext + c.sens)
 		if i == 0 {
 			firstS = s
 		}
@@ -302,6 +346,7 @@ func RunPacketSize(cfg Config, preset workload.Preset) (*Table, error) {
 		me, ms := maxOf(extPer), maxOf(sensPer)
 		t.AddRow(fmt.Sprintf("%dB", size), fmtInt(ext), fmtInt(sens),
 			fmtFrac(savings(ext, sens)), fmtInt(me), fmtInt(ms), fmtFactor(me, ms))
+		t.AddTx(ext + sens)
 	}
 	t.Note("paper: at 124B the external join profits more overall, but near-root nodes still see ~an order of magnitude fewer packets with SENS-Join")
 	return t, nil
@@ -330,6 +375,7 @@ func RunStepBreakdown(cfg Config, fractions []float64, preset workload.Preset) (
 		return nil, err
 	}
 	t.AddRow(fmt.Sprintf("external (f=%.0f%%)", 100*cfg.DefaultFraction), "-", "-", "-", fmtInt(ext))
+	t.AddTx(ext)
 
 	var jaCosts []int64
 	for _, f := range fractions {
@@ -345,6 +391,7 @@ func RunStepBreakdown(cfg Config, fractions []float64, preset workload.Preset) (
 		jaCosts = append(jaCosts, ja)
 		t.AddRow(fmt.Sprintf("sens-join (f=%.0f%%)", 100*actual),
 			fmtInt(ja), fmtInt(fd), fmtInt(fc), fmtInt(ja+fd+fc))
+		t.AddTx(ja + fd + fc)
 	}
 	fixed := true
 	for _, c := range jaCosts[1:] {
@@ -405,6 +452,7 @@ func RunCompressionComparison(cfg Config) (*Table, error) {
 			name = "none (raw tuples)"
 		}
 		t.AddRow(name, fmtInt(ja), rel)
+		t.AddTx(ja)
 	}
 	t.Note("paper (1500 nodes): none 5619, bzip2 5666 (101%%), zlib 4571 (81%%), quadtree 2762 (49%%)")
 	return t, nil
@@ -432,6 +480,7 @@ func RunQuadInfluence(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	t.AddRow("external join", "-", fmtInt(ext))
+	t.AddTx(ext)
 
 	var noquadJA, quadJA int64
 	for _, m := range []core.Method{
@@ -452,6 +501,7 @@ func RunQuadInfluence(cfg Config) (*Table, error) {
 			noquadJA = ja
 		}
 		t.AddRow(name, fmtInt(ja), fmtInt(total))
+		t.AddTx(total)
 	}
 	t.Note("collection saves %.0f%% vs external without the quadtree (paper: ~38%%) and the quadtree roughly halves it again (here %.0f%% of no-quad)",
 		100*(1-float64(noquadJA)/float64(ext)), 100*float64(quadJA)/float64(noquadJA))
@@ -473,18 +523,32 @@ func RunTreecutAblation(cfg Config, preset workload.Preset) (*Table, error) {
 		Title:  fmt.Sprintf("Treecut threshold ablation (%s, f=%.0f%%)", preset.Name, 100*cfg.DefaultFraction),
 		Header: []string{"Dmax", "ja-collect", "total"},
 	}
-	for _, dmax := range []int{-1, 10, 30, 60, 120} {
+	type cell struct {
+		label     string
+		ja, total int64
+	}
+	cells, err := Fanout(cfg.Parallel, cellJobs([]int{-1, 10, 30, 60, 120}, func(dmax int) (cell, error) {
 		opt := core.Options{Dmax: dmax}
 		label := fmtInt(int64(dmax))
 		if dmax < 0 {
 			opt = core.Options{DisableTreecut: true}
 			label = "off"
 		}
-		r.Stats.Reset()
-		if _, err := r.Run(src, &core.SENSJoin{Options: opt}, 0); err != nil {
-			return nil, err
+		cr, err := cfg.runner()
+		if err != nil {
+			return cell{}, err
 		}
-		t.AddRow(label, fmtInt(r.Stats.TotalTx(core.PhaseJACollect)), fmtInt(r.Stats.TotalTx(core.SENSPhases...)))
+		if _, err := cr.Run(src, &core.SENSJoin{Options: opt}, 0); err != nil {
+			return cell{}, err
+		}
+		return cell{label: label, ja: cr.Stats.TotalTx(core.PhaseJACollect), total: cr.Stats.TotalTx(core.SENSPhases...)}, nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		t.AddRow(c.label, fmtInt(c.ja), fmtInt(c.total))
+		t.AddTx(c.total)
 	}
 	t.Note("the paper argues Dmax ~30B (below the packet payload) balances treecut savings against foregone filtering")
 	return t, nil
@@ -505,18 +569,32 @@ func RunFilterLimitAblation(cfg Config, preset workload.Preset) (*Table, error) 
 		Title:  fmt.Sprintf("Selective Filter Forwarding ablation (%s, f=%.0f%%)", preset.Name, 100*cfg.DefaultFraction),
 		Header: []string{"limit", "filter-dissem", "total"},
 	}
-	for _, limit := range []int{-1, 50, 500, 5000} {
+	type cell struct {
+		label     string
+		fd, total int64
+	}
+	cells, err := Fanout(cfg.Parallel, cellJobs([]int{-1, 50, 500, 5000}, func(limit int) (cell, error) {
 		opt := core.Options{FilterMemLimit: limit}
 		label := fmtInt(int64(limit)) + "B"
 		if limit < 0 {
 			opt = core.Options{DisableSelectiveForwarding: true}
 			label = "off"
 		}
-		r.Stats.Reset()
-		if _, err := r.Run(src, &core.SENSJoin{Options: opt}, 0); err != nil {
-			return nil, err
+		cr, err := cfg.runner()
+		if err != nil {
+			return cell{}, err
 		}
-		t.AddRow(label, fmtInt(r.Stats.TotalTx(core.PhaseFilterDissem)), fmtInt(r.Stats.TotalTx(core.SENSPhases...)))
+		if _, err := cr.Run(src, &core.SENSJoin{Options: opt}, 0); err != nil {
+			return cell{}, err
+		}
+		return cell{label: label, fd: cr.Stats.TotalTx(core.PhaseFilterDissem), total: cr.Stats.TotalTx(core.SENSPhases...)}, nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		t.AddRow(c.label, fmtInt(c.fd), fmtInt(c.total))
+		t.AddTx(c.total)
 	}
 	t.Note("the paper argues the 500B limit barely hurts: the structure only outgrows it near the root, where pruning saves little anyway")
 	return t, nil
@@ -537,10 +615,10 @@ func RunIncrementalFilter(cfg Config, rounds int, period float64) (*Table, error
 	}
 	preset := workload.Ratio60()
 
-	run := func(m core.Method) ([]int64, *core.Runner, error) {
+	run := func(m core.Method) ([]int64, int64, error) {
 		r, err := cfg.runner()
 		if err != nil {
-			return nil, nil, err
+			return nil, 0, err
 		}
 		r.Env = quietEnv(r, cfg.Seed)
 		delta, _ := workload.Calibrate(r, preset, cfg.DefaultFraction)
@@ -549,20 +627,20 @@ func RunIncrementalFilter(cfg Config, rounds int, period float64) (*Table, error
 		var prev int64
 		for round := 0; round < rounds; round++ {
 			if _, err := r.Run(src, m, float64(round)*period); err != nil {
-				return nil, nil, err
+				return nil, 0, err
 			}
 			cur := r.Stats.TotalTxBytes(core.PhaseFilterDissem)
 			perRound = append(perRound, cur-prev)
 			prev = cur
 		}
-		return perRound, r, nil
+		return perRound, r.Stats.TotalTx(m.Phases()...), nil
 	}
 
-	full, _, err := run(core.NewSENSJoin())
+	full, fullTx, err := run(core.NewSENSJoin())
 	if err != nil {
 		return nil, err
 	}
-	incr, _, err := run(core.NewContinuousSENSJoin())
+	incr, incrTx, err := run(core.NewContinuousSENSJoin())
 	if err != nil {
 		return nil, err
 	}
@@ -579,6 +657,7 @@ func RunIncrementalFilter(cfg Config, rounds int, period float64) (*Table, error
 	}
 	t.Note("total filter bytes: full %d vs incremental %d (%.0f%% saved); round 1 is identical by design",
 		sumFull, sumIncr, 100*savings(sumFull, sumIncr))
+	t.AddTx(fullTx + incrTx)
 	return t, nil
 }
 
@@ -621,6 +700,7 @@ func RunRelatedWork(cfg Config) (*Table, error) {
 			extGeneral = pk
 		}
 		t.AddRow("general", m.Name(), fmtInt(pk), fmt.Sprintf("%.0f%%", 100*float64(pk)/float64(extGeneral)))
+		t.AddTx(pk)
 	}
 
 	// Niche setting: members clustered in a far region, selective join.
@@ -645,6 +725,7 @@ func RunRelatedWork(cfg Config) (*Table, error) {
 			extNiche = pk
 		}
 		t.AddRow("niche (clustered, selective)", m.Name(), fmtInt(pk), fmt.Sprintf("%.0f%%", 100*float64(pk)/float64(extNiche)))
+		t.AddTx(pk)
 	}
 	t.Note("paper §VI: the external join outperforms the specialized methods on arbitrary placements; they only win with small, close regions and high selectivity")
 	return t, nil
@@ -695,6 +776,7 @@ func RunLifetime(cfg Config) (*Table, error) {
 				}
 			}
 			t.AddRow(preset.Name, m.Name(), fmt.Sprintf("%.4f", bottleneck), fmtInt(int64(rounds)), ext)
+			t.AddTx(r.Stats.TotalTx(m.Phases()...))
 		}
 	}
 	t.Note("paper conclusion: the most-loaded-node savings prolong the network lifetime significantly")
@@ -708,34 +790,46 @@ func RunLifetime(cfg Config) (*Table, error) {
 // wave (of smaller data) plus the filter dissemination.
 func RunResponseTime(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	r, err := cfg.runner()
-	if err != nil {
-		return nil, err
-	}
 	preset := workload.Ratio33()
 	t := &Table{
 		ID:     "X4 / §VII response time",
 		Title:  fmt.Sprintf("simulated response time (%s, %d nodes)", preset.Name, cfg.Nodes),
 		Header: []string{"fraction", "external (s)", "sens-join (s)", "ratio"},
 	}
-	worst := 0.0
-	for _, f := range []float64{0.01, 0.05, 0.25, 0.60} {
+	type cell struct {
+		actual      float64
+		extT, sensT float64
+		ext, sens   int64
+	}
+	cells, err := Fanout(cfg.Parallel, cellJobs([]float64{0.01, 0.05, 0.25, 0.60}, func(f float64) (cell, error) {
+		r, err := cfg.runner()
+		if err != nil {
+			return cell{}, err
+		}
 		delta, actual := workload.Calibrate(r, preset, f)
 		src := preset.Build(delta)
-		_, extRes, err := runTotal(r, src, core.External{})
+		ext, extRes, err := runTotal(r, src, core.External{})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		_, sensRes, err := runTotal(r, src, core.NewSENSJoin())
+		sens, sensRes, err := runTotal(r, src, core.NewSENSJoin())
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		ratio := sensRes.ResponseTime / extRes.ResponseTime
+		return cell{actual: actual, extT: extRes.ResponseTime, sensT: sensRes.ResponseTime, ext: ext, sens: sens}, nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	worst := 0.0
+	for _, c := range cells {
+		ratio := c.sensT / c.extT
 		if ratio > worst {
 			worst = ratio
 		}
-		t.AddRow(fmtFrac(actual), fmt.Sprintf("%.1f", extRes.ResponseTime),
-			fmt.Sprintf("%.1f", sensRes.ResponseTime), fmt.Sprintf("%.2fx", ratio))
+		t.AddRow(fmtFrac(c.actual), fmt.Sprintf("%.1f", c.extT),
+			fmt.Sprintf("%.1f", c.sensT), fmt.Sprintf("%.2fx", ratio))
+		t.AddTx(c.ext + c.sens)
 	}
 	t.Note("worst ratio %.2fx (paper §VII: upper bounded by ~2x)", worst)
 	return t, nil
@@ -777,15 +871,17 @@ func RunMemory(cfg Config) (*Table, error) {
 	t.AddRow("received filter (transient)", fmt.Sprintf("%d B", rep.MaxFilterBytes), "-")
 	t.AddRow("nodes over the structure limit", fmtInt(int64(rep.OverflowNodes)), "-")
 	t.Note("both stores stay within the paper's bounds; a SunSPOT-class node (512 KB RAM) uses a tiny fraction")
+	t.AddTx(r.Stats.TotalTx(core.SENSPhases...))
 	return t, nil
 }
 
 // All runs every experiment at the given configuration, in paper order.
+// Whole experiments fan out over cfg.Parallel workers (on top of the
+// per-experiment sweep-cell fan-out); the returned tables are in
+// declaration order and byte-identical for every worker count.
 func All(cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
-	var out []*Table
-	type job func() (*Table, error)
-	jobs := []job{
+	jobs := []func() (*Table, error){
 		func() (*Table, error) { return RunOverallSavings(cfg, workload.Ratio33()) },
 		func() (*Table, error) { return RunOverallSavings(cfg, workload.Ratio60()) },
 		func() (*Table, error) { return RunPerNodeSavings(cfg, workload.Ratio33()) },
@@ -805,12 +901,5 @@ func All(cfg Config) ([]*Table, error) {
 		func() (*Table, error) { return RunResponseTime(cfg) },
 		func() (*Table, error) { return RunMemory(cfg) },
 	}
-	for _, j := range jobs {
-		tbl, err := j()
-		if err != nil {
-			return out, err
-		}
-		out = append(out, tbl)
-	}
-	return out, nil
+	return Fanout(cfg.Parallel, jobs)
 }

@@ -1,0 +1,62 @@
+package bench
+
+import "sync"
+
+// Worker-pool scheduler for the experiment harness.
+//
+// Experiments — and the sweep cells inside them — are embarrassingly
+// parallel: every job owns a private core.Runner whose expensive
+// artifacts (deployment, environment, routing tree) come from core's
+// immutable shared cache, and all simulation observables (packet
+// counts, response times) are functions of the job's own deterministic
+// simulation only. Fanout therefore runs jobs concurrently but returns
+// results strictly in declaration order, so rendered tables are
+// byte-identical regardless of worker count or GOMAXPROCS.
+
+// Fanout runs jobs with at most workers goroutines and returns their
+// results in declaration order. workers <= 1 runs the jobs sequentially
+// on the calling goroutine. On failure the first error in declaration
+// order is returned together with the results of the jobs declared
+// before it (matching what a sequential early-exit loop would have
+// produced); later jobs may or may not have run.
+func Fanout[T any](workers int, jobs []func() (T, error)) ([]T, error) {
+	out := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, job := range jobs {
+			out[i], errs[i] = job()
+			if errs[i] != nil {
+				return out[:i], errs[i]
+			}
+		}
+		return out, nil
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, job := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = job()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return out[:i], err
+		}
+	}
+	return out, nil
+}
+
+// cellJobs adapts a per-item function to a Fanout job list, preserving
+// item order.
+func cellJobs[I, R any](items []I, run func(I) (R, error)) []func() (R, error) {
+	out := make([]func() (R, error), len(items))
+	for i, item := range items {
+		out[i] = func() (R, error) { return run(item) }
+	}
+	return out
+}

@@ -22,12 +22,19 @@ type Table struct {
 	Rows [][]string
 	// Notes carries observations (savings, break-even, ratios).
 	Notes []string
+	// TxPackets totals the packet transmissions the experiment's
+	// measured runs charged, for machine-readable output (-json).
+	TxPackets int64
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
+
+// AddTx accumulates measured packet transmissions into the experiment's
+// total.
+func (t *Table) AddTx(n int64) { t.TxPackets += n }
 
 // Note appends a formatted observation line.
 func (t *Table) Note(format string, args ...any) {

@@ -85,6 +85,20 @@ func NewReader(buf []byte, nbits int) *Reader {
 	return &Reader{buf: buf, nbits: nbits}
 }
 
+// Reset points the reader at the first nbits bits of buf, clearing any
+// recorded error. If nbits is negative, all of buf (8*len) is available.
+// It allows a zero-value or stack-allocated Reader to be reused without
+// heap allocation.
+func (r *Reader) Reset(buf []byte, nbits int) {
+	if nbits < 0 || nbits > 8*len(buf) {
+		nbits = 8 * len(buf)
+	}
+	r.buf = buf
+	r.nbits = nbits
+	r.pos = 0
+	r.err = nil
+}
+
 // ErrShortRead is recorded when a read runs past the end of the stream.
 var ErrShortRead = fmt.Errorf("bitstream: read past end of stream")
 

@@ -4,7 +4,6 @@ import (
 	"math"
 	"sort"
 
-	"sensjoin/internal/quadtree"
 	"sensjoin/internal/query"
 	"sensjoin/internal/zorder"
 )
@@ -131,25 +130,36 @@ func computeFilterBand(p *plan, keys []zorder.Key, bc bandCond) []zorder.Key {
 			return nil
 		}
 	}
-	leftKeys := keysOfAlias(p, keys, bc.left)
-	rightKeys := keysOfAlias(p, keys, bc.right)
-	if len(leftKeys) == 0 || len(rightKeys) == 0 {
+	// Same pooled index-based scratch as the generic path (see
+	// filterscratch.go): marking by position in the sorted unique key
+	// universe, cell bounds precomputed once per call.
+	s := getFilterScratch()
+	defer putFilterScratch(s)
+	uniq := s.setUniq(keys)
+	if !s.fillAliases(p, uniq, n) {
 		return nil
 	}
+	s.fillBounds(p, uniq)
+	marked := s.markedBuf(len(uniq))
+	assign := s.assignBuf(n)
+	benv := s.boundsEnv(p, assign)
 
 	dim := p.grid.Dims[bc.dim]
-	coordOf := func(k zorder.Key) int {
-		_, coords := p.grid.Deinterleave(k)
+	nd := len(p.grid.Dims)
+	coordOf := func(idx int32) int {
+		_, coords := p.grid.DeinterleaveInto(uniq[idx], s.coords[:nd])
 		return int(coords[bc.dim])
 	}
 	// Right keys sorted by their cell coordinate in the index dimension.
-	type entry struct {
-		key   zorder.Key
-		coord int
+	rightIdx := s.aliasIdx[bc.right]
+	if cap(s.rights) < len(rightIdx) {
+		s.rights = make([]bandEntry, len(rightIdx))
+	} else {
+		s.rights = s.rights[:len(rightIdx)]
 	}
-	rights := make([]entry, len(rightKeys))
-	for i, k := range rightKeys {
-		rights[i] = entry{key: k, coord: coordOf(k)}
+	rights := s.rights
+	for i, idx := range rightIdx {
+		rights[i] = bandEntry{idx: idx, coord: coordOf(idx)}
 	}
 	sort.Slice(rights, func(i, j int) bool { return rights[i].coord < rights[j].coord })
 	maxCell := int(dim.Size) - 1
@@ -159,12 +169,6 @@ func computeFilterBand(p *plan, keys []zorder.Key, bc bandCond) []zorder.Key {
 	// closed intervals; boundary cells are handled separately).
 	cells := bc.c / dim.Res
 
-	marked := make(map[zorder.Key]bool, len(keys))
-	assignment := make([]zorder.Key, n)
-	benv := query.CellEnv{Lookup: func(rel int, name string) query.Interval {
-		return p.cellOf(assignment[rel], name)
-	}}
-
 	lowerBound := func(coord int) int {
 		return sort.Search(len(rights), func(i int) bool { return rights[i].coord >= coord })
 	}
@@ -172,22 +176,22 @@ func computeFilterBand(p *plan, keys []zorder.Key, bc bandCond) []zorder.Key {
 		return sort.Search(len(rights), func(i int) bool { return rights[i].coord > coord })
 	}
 
-	tryPair := func(lk, rk zorder.Key) {
-		if marked[lk] && marked[rk] {
+	tryPair := func(li, ri int32) {
+		if marked[li] && marked[ri] {
 			return
 		}
-		assignment[bc.left], assignment[bc.right] = lk, rk
+		assign[bc.left], assign[bc.right] = li, ri
 		for _, c := range conds {
 			if !c.Truth(benv).Possible() {
 				return
 			}
 		}
-		marked[lk] = true
-		marked[rk] = true
+		marked[li] = true
+		marked[ri] = true
 	}
 
-	for _, lk := range leftKeys {
-		ca := coordOf(lk)
+	for _, li := range s.aliasIdx[bc.left] {
+		ca := coordOf(li)
 		var lo, hi int // candidate index range [lo, hi) in rights
 		switch bc.kind {
 		case bandDiffGT:
@@ -203,21 +207,17 @@ func computeFilterBand(p *plan, keys []zorder.Key, bc bandCond) []zorder.Key {
 			lo, hi = lowerBound(ca-span), upperBound(ca+span)
 		}
 		for i := lo; i < hi; i++ {
-			tryPair(lk, rights[i].key)
+			tryPair(li, rights[i].idx)
 		}
 		// Boundary cells of the right side extend to infinity and can
 		// match regardless of the window; include them explicitly.
 		for i := 0; i < len(rights) && rights[i].coord == 0; i++ {
-			tryPair(lk, rights[i].key)
+			tryPair(li, rights[i].idx)
 		}
 		for i := len(rights) - 1; i >= 0 && rights[i].coord == maxCell; i-- {
-			tryPair(lk, rights[i].key)
+			tryPair(li, rights[i].idx)
 		}
 	}
 
-	out := make([]zorder.Key, 0, len(marked))
-	for k := range marked {
-		out = append(out, k)
-	}
-	return quadtree.NormalizeKeys(out)
+	return collectMarked(uniq, marked)
 }

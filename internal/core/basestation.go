@@ -5,7 +5,6 @@ import (
 	"strconv"
 	"strings"
 
-	"sensjoin/internal/quadtree"
 	"sensjoin/internal/query"
 	"sensjoin/internal/topology"
 	"sensjoin/internal/zorder"
@@ -47,68 +46,38 @@ func computeFilter(p *plan, keys []zorder.Key, useIndex bool) []zorder.Key {
 		}
 	}
 
-	byAlias := make([][]zorder.Key, n)
-	for i := 0; i < n; i++ {
-		byAlias[i] = keysOfAlias(p, keys, i)
-		if len(byAlias[i]) == 0 {
-			return nil
-		}
+	// Index-based evaluation over the sorted unique key universe: alias
+	// partitions, marking and cell bounds all live in pooled scratch
+	// buffers (see filterscratch.go). Marking is idempotent, so working
+	// on the deduplicated universe yields the same filter as the seed's
+	// map-based enumeration over the raw key stream.
+	s := getFilterScratch()
+	defer putFilterScratch(s)
+	uniq := s.setUniq(keys)
+	if !s.fillAliases(p, uniq, n) {
+		return nil
 	}
-
-	marked := make(map[zorder.Key]bool, len(keys))
-	assignment := make([]zorder.Key, n)
+	s.fillBounds(p, uniq)
+	marked := s.markedBuf(len(uniq))
+	assign := s.assignBuf(n)
+	benv := s.boundsEnv(p, assign)
 
 	// Backtracking n-way join over keys with early pruning: a condition
 	// is checked as soon as all aliases it references are bound.
-	condRels := make([][]int, len(conds))
-	for ci, c := range conds {
-		seen := map[int]bool{}
-		c.VisitNums(func(e query.NumExpr) {
-			if at, ok := e.(query.Attr); ok {
-				seen[at.Ref.Rel] = true
-			}
-		})
-		for r := range seen {
-			condRels[ci] = append(condRels[ci], r)
-		}
-		sort.Ints(condRels[ci])
-	}
-	checkAt := func(level int) []int {
-		var out []int
-		for ci, rels := range condRels {
-			max := 0
-			for _, r := range rels {
-				if r > max {
-					max = r
-				}
-			}
-			if max == level {
-				out = append(out, ci)
-			}
-		}
-		return out
-	}
-	checksPerLevel := make([][]int, n)
-	for l := 0; l < n; l++ {
-		checksPerLevel[l] = checkAt(l)
-	}
-
-	benv := query.CellEnv{Lookup: func(rel int, name string) query.Interval {
-		return p.cellOf(assignment[rel], name)
-	}}
+	checks := s.fillChecks(conds, n)
 
 	var recurse func(level int)
 	recurse = func(level int) {
 		if level == n {
-			for _, k := range assignment {
-				marked[k] = true
+			for _, idx := range assign {
+				marked[idx] = true
 			}
 			return
 		}
-		for _, k := range byAlias[level] {
-			assignment[level] = k
+		for _, idx := range s.aliasIdx[level] {
+			assign[level] = idx
 			ok := true
-			for _, ci := range checksPerLevel[level] {
+			for _, ci := range checks[level] {
 				if !conds[ci].Truth(benv).Possible() {
 					ok = false
 					break
@@ -121,10 +90,10 @@ func computeFilter(p *plan, keys []zorder.Key, useIndex bool) []zorder.Key {
 			// again adds nothing (the dominant saving for selective
 			// queries).
 			if level == n-1 {
-				all := marked[k]
+				all := marked[idx]
 				if all {
-					for _, kk := range assignment[:level] {
-						if !marked[kk] {
+					for _, prev := range assign[:level] {
+						if !marked[prev] {
 							all = false
 							break
 						}
@@ -139,11 +108,7 @@ func computeFilter(p *plan, keys []zorder.Key, useIndex bool) []zorder.Key {
 	}
 	recurse(0)
 
-	out := make([]zorder.Key, 0, len(marked))
-	for k := range marked {
-		out = append(out, k)
-	}
-	return quadtree.NormalizeKeys(out)
+	return collectMarked(uniq, marked)
 }
 
 // keysOfAlias filters keys whose flags include alias i.
@@ -203,12 +168,28 @@ func exactJoin(x *Exec, tuples []finalTuple) ([]Row, map[topology.NodeID]bool) {
 		}
 	}
 
-	assignment := make([]finalTuple, n)
-	env := query.TupleEnv{Lookup: func(rel int, name string) float64 {
-		return assignment[rel].vals[name]
-	}}
+	// Compile every expression once, assigning each distinct (rel, attr)
+	// reference a dense slot; the nested loop then reads float slots
+	// instead of paying a string-map lookup per reference per tuple
+	// combination.
+	type slotRef struct {
+		name string
+		slot int
+	}
+	slotsOf := make([][]slotRef, n)
+	nextSlot := 0
+	resolve := func(ref query.AttrRef) int {
+		for _, s := range slotsOf[ref.Rel] {
+			if s.name == ref.Name {
+				return s.slot
+			}
+		}
+		slotsOf[ref.Rel] = append(slotsOf[ref.Rel], slotRef{ref.Name, nextSlot})
+		nextSlot++
+		return nextSlot - 1
+	}
 
-	condsAtLevel := make([][]query.BoolExpr, n)
+	condsAtLevel := make([][]query.CompiledBool, n)
 	for _, c := range conds {
 		max := 0
 		c.VisitNums(func(e query.NumExpr) {
@@ -216,7 +197,46 @@ func exactJoin(x *Exec, tuples []finalTuple) ([]Row, map[topology.NodeID]bool) {
 				max = at.Ref.Rel
 			}
 		})
-		condsAtLevel[max] = append(condsAtLevel[max], c)
+		condsAtLevel[max] = append(condsAtLevel[max], query.CompileBool(c, resolve))
+	}
+	selects := make([]query.CompiledNum, len(x.Query.Select))
+	for i, it := range x.Query.Select {
+		selects[i] = query.CompileNum(it.Expr, resolve)
+	}
+	groupBy := make([]query.CompiledNum, len(x.Query.GroupBy))
+	for i, e := range x.Query.GroupBy {
+		groupBy[i] = query.CompileNum(e, resolve)
+	}
+
+	// Extract each candidate tuple's referenced values once (one map
+	// lookup per tuple per attribute, not per combination).
+	pre := make([][]float64, n) // pre[level]: len(slotsOf[level]) stride
+	for level, ts := range byAlias {
+		slots := slotsOf[level]
+		flat := make([]float64, len(ts)*len(slots))
+		for ti, t := range ts {
+			for k, s := range slots {
+				flat[ti*len(slots)+k] = t.vals[s.name]
+			}
+		}
+		pre[level] = flat
+	}
+
+	assignment := make([]finalTuple, n)
+	vals := make([]float64, nextSlot)
+
+	// Result rows are carved from grow-only slabs: one allocation per
+	// few thousand rows instead of one per row. Carved rows stay valid
+	// because full slabs are abandoned, never reused.
+	var slab []float64
+	width := len(selects)
+	newRow := func() Row {
+		if len(slab) < width {
+			slab = make([]float64, 4096*max(width, 1))
+		}
+		row := Row(slab[:width:width])
+		slab = slab[width:]
+		return row
 	}
 
 	var rows []Row
@@ -230,16 +250,16 @@ func exactJoin(x *Exec, tuples []finalTuple) ([]Row, map[topology.NodeID]bool) {
 	var recurse func(level int)
 	recurse = func(level int) {
 		if level == n {
-			row := make(Row, len(x.Query.Select))
-			for i, it := range x.Query.Select {
-				row[i] = it.Expr.Eval(env)
+			row := newRow()
+			for i, f := range selects {
+				row[i] = f(vals)
 			}
 			for _, t := range assignment {
 				contrib[t.node] = true
 			}
 			switch {
 			case grouped:
-				key := groupKeyOf(x.Query.GroupBy, env)
+				key := groupKeyOfCompiled(groupBy, vals)
 				g := groups[key]
 				if g == nil {
 					g = newAggState(x.Query.Select)
@@ -254,11 +274,16 @@ func exactJoin(x *Exec, tuples []finalTuple) ([]Row, map[topology.NodeID]bool) {
 			}
 			return
 		}
-		for _, t := range byAlias[level] {
+		slots := slotsOf[level]
+		flat := pre[level]
+		for ti, t := range byAlias[level] {
 			assignment[level] = t
+			for k, s := range slots {
+				vals[s.slot] = flat[ti*len(slots)+k]
+			}
 			ok := true
 			for _, c := range condsAtLevel[level] {
-				if !c.Eval(env) {
+				if !c(vals) {
 					ok = false
 					break
 				}
@@ -290,6 +315,16 @@ func groupKeyOf(exprs []query.NumExpr, env query.Env) string {
 	var b strings.Builder
 	for _, e := range exprs {
 		b.WriteString(strconv.FormatFloat(e.Eval(env), 'g', -1, 64))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// groupKeyOfCompiled is groupKeyOf over compiled expressions.
+func groupKeyOfCompiled(exprs []query.CompiledNum, vals []float64) string {
+	var b strings.Builder
+	for _, f := range exprs {
+		b.WriteString(strconv.FormatFloat(f(vals), 'g', -1, 64))
 		b.WriteByte('|')
 	}
 	return b.String()

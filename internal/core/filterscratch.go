@@ -1,0 +1,189 @@
+package core
+
+import (
+	"slices"
+	"sync"
+
+	"sensjoin/internal/query"
+	"sensjoin/internal/zorder"
+)
+
+// filterScratch holds the reusable buffers of the base station's filter
+// computation (computeFilter / computeFilterBand). The hot loop of the
+// pre-computation join visits O(pairs · conds) cell lookups; with the
+// seed implementation every lookup deinterleaved a key and allocated
+// fresh bound slices, and marking went through a map[Key]bool. The
+// scratch replaces all of that with index-based buffers over a sorted,
+// duplicate-free key universe:
+//
+//   - uniq is the sorted unique key set; all other buffers are indexed
+//     by position in uniq, so "marked" is a []bool and alias partitions
+//     are []int32 index lists.
+//   - bounds caches the per-dimension cell interval of every unique key,
+//     computed once per filter call (O(m·d) deinterleaves) instead of
+//     once per visited pair per referenced attribute.
+//
+// Scratches are pooled; a scratch must not be shared between goroutines
+// while in use.
+type filterScratch struct {
+	uniq     []zorder.Key
+	aliasIdx [][]int32
+	marked   []bool
+	assign   []int32
+	bounds   []query.Interval // len(uniq) × len(dims), row-major by key
+	coords   []uint32
+	checks   [][]int32
+	rights   []bandEntry
+}
+
+// bandEntry pairs a right-hand key (by uniq index) with its cell
+// coordinate in the band dimension.
+type bandEntry struct {
+	idx   int32
+	coord int
+}
+
+var filterPool = sync.Pool{New: func() any { return new(filterScratch) }}
+
+func getFilterScratch() *filterScratch  { return filterPool.Get().(*filterScratch) }
+func putFilterScratch(s *filterScratch) { filterPool.Put(s) }
+
+// setUniq fills s.uniq with the sorted, duplicate-free form of keys and
+// returns it. The result stays valid until the next setUniq call.
+func (s *filterScratch) setUniq(keys []zorder.Key) []zorder.Key {
+	s.uniq = append(s.uniq[:0], keys...)
+	slices.Sort(s.uniq)
+	s.uniq = slices.Compact(s.uniq)
+	return s.uniq
+}
+
+// fillAliases partitions uniq into per-alias index lists by relation
+// flag. It reports false when some alias has no keys (nothing joins).
+func (s *filterScratch) fillAliases(p *plan, uniq []zorder.Key, n int) bool {
+	for len(s.aliasIdx) < n {
+		s.aliasIdx = append(s.aliasIdx, nil)
+	}
+	ok := true
+	for i := 0; i < n; i++ {
+		buf := s.aliasIdx[i][:0]
+		flag := zorder.FlagFor(i, n)
+		for idx, k := range uniq {
+			if p.grid.Flags(k)&flag != 0 {
+				buf = append(buf, int32(idx))
+			}
+		}
+		s.aliasIdx[i] = buf
+		if len(buf) == 0 {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// fillBounds precomputes the per-dimension cell interval of every key in
+// uniq into s.bounds (row-major: bounds[i*nd+di] is key i, dimension di).
+func (s *filterScratch) fillBounds(p *plan, uniq []zorder.Key) {
+	nd := len(p.grid.Dims)
+	need := len(uniq) * nd
+	if cap(s.bounds) < need {
+		s.bounds = make([]query.Interval, need)
+	} else {
+		s.bounds = s.bounds[:need]
+	}
+	if cap(s.coords) < nd {
+		s.coords = make([]uint32, nd)
+	} else {
+		s.coords = s.coords[:nd]
+	}
+	for i, k := range uniq {
+		_, coords := p.grid.DeinterleaveInto(k, s.coords)
+		for di, d := range p.grid.Dims {
+			lo, hi := d.Bounds(coords[di])
+			s.bounds[i*nd+di] = query.Interval{Lo: lo, Hi: hi}
+		}
+	}
+}
+
+// boundsEnv returns a tri-state evaluation environment resolving
+// attribute references through the precomputed bounds of the keys
+// currently assigned per alias in assign. The environment is built (and
+// boxed) once per filter call, not once per visited pair.
+func (s *filterScratch) boundsEnv(p *plan, assign []int32) query.BoundsEnv {
+	nd := len(p.grid.Dims)
+	return query.CellEnv{Lookup: func(rel int, name string) query.Interval {
+		di, ok := p.dimIndex[name]
+		if !ok {
+			// A join condition referencing a non-join attribute cannot
+			// happen (Analyze defines join attrs from join conditions),
+			// but stay sound.
+			return query.Everything()
+		}
+		return s.bounds[int(assign[rel])*nd+di]
+	}}
+}
+
+// markedBuf returns a zeroed m-entry marking buffer.
+func (s *filterScratch) markedBuf(m int) []bool {
+	if cap(s.marked) < m {
+		s.marked = make([]bool, m)
+	} else {
+		s.marked = s.marked[:m]
+		clear(s.marked)
+	}
+	return s.marked
+}
+
+// assignBuf returns an n-entry assignment buffer.
+func (s *filterScratch) assignBuf(n int) []int32 {
+	if cap(s.assign) < n {
+		s.assign = make([]int32, n)
+	} else {
+		s.assign = s.assign[:n]
+	}
+	return s.assign
+}
+
+// fillChecks groups join conditions by the highest alias they reference:
+// checks[l] lists the conditions that become checkable once alias l is
+// bound (early pruning in the backtracking join).
+func (s *filterScratch) fillChecks(conds []query.BoolExpr, n int) [][]int32 {
+	for len(s.checks) < n {
+		s.checks = append(s.checks, nil)
+	}
+	checks := s.checks[:n]
+	for l := range checks {
+		checks[l] = checks[l][:0]
+	}
+	for ci, c := range conds {
+		max := 0
+		c.VisitNums(func(e query.NumExpr) {
+			if at, ok := e.(query.Attr); ok && at.Ref.Rel > max {
+				max = at.Ref.Rel
+			}
+		})
+		checks[max] = append(checks[max], int32(ci))
+	}
+	return checks
+}
+
+// collectMarked materializes the marked subset of uniq. uniq is sorted
+// and duplicate-free, so the result is already canonical; nil when
+// nothing is marked, matching quadtree.NormalizeKeys of an empty set.
+func collectMarked(uniq []zorder.Key, marked []bool) []zorder.Key {
+	count := 0
+	for _, m := range marked {
+		if m {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]zorder.Key, 0, count)
+	for i, k := range uniq {
+		if marked[i] {
+			out = append(out, k)
+		}
+	}
+	return out
+}

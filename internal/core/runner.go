@@ -25,6 +25,12 @@ type SetupConfig struct {
 	Seed int64
 	// Base selects base-station placement.
 	Base topology.BasePlacement
+	// Private opts out of the shared deployment cache (see cache.go):
+	// the runner gets its own freshly generated Deployment, Environment
+	// and Tree that callers may mutate. The default (shared) is correct
+	// for all callers that treat them as read-only, which is everything
+	// in this repository.
+	Private bool
 }
 
 // Runner owns a simulated deployment and executes queries on it with any
@@ -58,20 +64,34 @@ func NewRunner(cfg SetupConfig) (*Runner, error) {
 	tcfg.Nodes = cfg.Nodes
 	tcfg.Seed = cfg.Seed
 	tcfg.Base = cfg.Base
-	dep, err := topology.Generate(tcfg)
-	if err != nil {
-		return nil, err
+	var (
+		dep  *topology.Deployment
+		env  *field.Environment
+		tree *routing.Tree
+	)
+	if cfg.Private {
+		var err error
+		dep, err = topology.Generate(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		env = field.StandardEnvironment(dep.Area, cfg.Seed+1000)
+		tree = routing.BuildTree(dep.Neighbors, topology.BaseStation)
+	} else {
+		shared, err := sharedSetupFor(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		dep, env, tree = shared.dep, shared.env, shared.tree
 	}
 	radio := cfg.Radio
 	if radio.MaxPacket == 0 {
 		radio = netsim.DefaultRadio()
 	}
-	env := field.StandardEnvironment(dep.Area, cfg.Seed+1000)
 	schema := relation.StandardSchema(dep.Area)
 	sim := netsim.NewSim()
 	coll := stats.NewCollector(dep.N())
 	net := netsim.NewNetwork(sim, dep, radio, coll)
-	tree := routing.BuildTree(dep.Neighbors, topology.BaseStation)
 	return &Runner{
 		Dep:     dep,
 		Env:     env,

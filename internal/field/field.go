@@ -138,6 +138,13 @@ func wrap(v, lo, hi float64) float64 {
 // Environment bundles the fields of one deployment and maps attribute
 // names to values. Location attributes ("x", "y") are served from the
 // node position rather than a field.
+//
+// Immutability contract: Add and Couple may only be called while the
+// environment is being constructed (StandardEnvironment and
+// QuietEnvironment do exactly that). After construction, Read/Has/Names
+// only read the maps, so a fully built Environment is safe to share
+// across concurrently running simulations (core's deployment cache
+// relies on it).
 type Environment struct {
 	fields map[string]*Field
 	// Couplings derives one quantity from another:

@@ -1,0 +1,59 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The stream operations and Encode run on every simulated packet hop,
+// so their allocation counts are regression-tested: the pooled scratch
+// arenas keep the steady state at a handful of allocations (the owned
+// result copy), where the naive tree build allocated per node. Bounds
+// carry generous headroom over measured values so only a structural
+// regression (per-node or per-key allocation) trips them.
+func TestStreamOpAllocs(t *testing.T) {
+	c, g := testCodec(t)
+	rng := rand.New(rand.NewSource(11))
+	ea := c.Encode(randomKeys(g, rng, 400, true))
+	eb := c.Encode(randomKeys(g, rng, 400, true))
+	keys := randomKeys(g, rng, 50, true)
+
+	if _, err := c.StreamUnion(ea, eb); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := c.StreamUnion(ea, eb); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 50 {
+		t.Errorf("StreamUnion: %.0f allocs/run, want <= 50", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(10, func() {
+		if _, err := c.StreamIntersect(ea, eb); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 50 {
+		t.Errorf("StreamIntersect: %.0f allocs/run, want <= 50", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(10, func() {
+		for _, k := range keys {
+			if _, err := c.StreamContains(ea, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("StreamContains: %.0f allocs per %d probes, want none", allocs, len(keys))
+	}
+
+	allocs = testing.AllocsPerRun(10, func() {
+		c.Encode(keys)
+	})
+	if allocs > 20 {
+		t.Errorf("Encode: %.0f allocs/run, want <= 20", allocs)
+	}
+}

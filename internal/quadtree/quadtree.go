@@ -21,6 +21,7 @@ package quadtree
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sensjoin/internal/bitstream"
 	"sensjoin/internal/zorder"
@@ -81,72 +82,112 @@ func (c *Codec) Encode(keys []zorder.Key) Encoded {
 	if len(set) == 0 {
 		return Encoded{}
 	}
-	w := bitstream.NewWriter(len(set) * (c.total + 2))
-	c.emit(w, set, 0)
-	return Encoded{Data: w.Bytes(), Bits: w.Len()}
+	// The decomposition of a sorted key set is fully determined by the
+	// key bits: at level l the subtree starting at index i always covers
+	// the same contiguous range, whatever the enclosing list/split
+	// choices. Costs are therefore memoized per (level, start index),
+	// computed once and reused by every emit decision on the path.
+	s := encodePool.Get().(*encodeState)
+	defer encodePool.Put(s)
+	s.c = c
+	s.keys = set
+	depth := len(c.levels) + 1
+	if need := depth * len(set); cap(s.memo) < need {
+		s.memo = make([]int32, need)
+	} else {
+		s.memo = s.memo[:need]
+	}
+	for i := range s.memo {
+		s.memo[i] = -1
+	}
+	s.w.Reset()
+	s.emit(0, len(set), 0)
+	e := Encoded{Data: append([]byte(nil), s.w.Bytes()...), Bits: s.w.Len()}
+	s.keys = nil
+	return e
 }
 
-// cost returns the encoded size in bits of keys at level l when choosing
-// optimally between a point list and a subdivision.
-func (c *Codec) cost(keys []zorder.Key, l int) int {
-	costList := len(keys)*(1+c.suffix[l]) + 1
-	if l == len(c.levels) || len(keys) == 1 {
-		return costList
+// encodeState carries one Encode call's memo and writer; pooled so
+// steady-state encoding does not allocate per call.
+type encodeState struct {
+	c    *Codec
+	keys []zorder.Key
+	memo []int32 // memo[l*len(keys)+start]: subtree cost, -1 unset
+	w    bitstream.Writer
+}
+
+var encodePool = sync.Pool{New: func() any { return new(encodeState) }}
+
+// run returns the end of the quadrant run starting at index start on
+// level l, together with the quadrant number.
+func (s *encodeState) run(start, end, l int) (int, zorder.Key) {
+	shift := uint(s.c.suffix[l+1])
+	mask := zorder.Key(1)<<uint(s.c.levels[l]) - 1
+	q := (s.keys[start] >> shift) & mask
+	en := start
+	for en < end && (s.keys[en]>>shift)&mask == q {
+		en++
 	}
-	costSplit := 1 + (1 << uint(c.levels[l]))
-	for _, part := range c.partition(keys, l) {
-		if len(part) > 0 {
-			costSplit += c.cost(part, l+1)
+	return en, q
+}
+
+// cost returns the encoded size in bits of keys[start:end] at level l
+// when choosing optimally between a point list and a subdivision.
+func (s *encodeState) cost(start, end, l int) int {
+	m := &s.memo[l*len(s.keys)+start]
+	if *m >= 0 {
+		return int(*m)
+	}
+	c := s.c
+	costList := (end-start)*(1+c.suffix[l]) + 1
+	v := costList
+	if l != len(c.levels) && end-start > 1 {
+		costSplit := 1 + (1 << uint(c.levels[l]))
+		for st := start; st < end; {
+			en, _ := s.run(st, end, l)
+			costSplit += s.cost(st, en, l+1)
+			st = en
+		}
+		if costSplit < costList {
+			v = costSplit
 		}
 	}
-	if costList <= costSplit {
-		return costList
-	}
-	return costSplit
+	*m = int32(v)
+	return v
 }
 
-// partition splits keys (sorted) into the quadrants of level l.
-func (c *Codec) partition(keys []zorder.Key, l int) [][]zorder.Key {
-	fanout := 1 << uint(c.levels[l])
-	shift := uint(c.suffix[l+1])
-	mask := zorder.Key(fanout - 1)
-	parts := make([][]zorder.Key, fanout)
-	start := 0
-	for start < len(keys) {
-		q := (keys[start] >> shift) & mask
-		end := start
-		for end < len(keys) && (keys[end]>>shift)&mask == q {
-			end++
-		}
-		parts[q] = keys[start:end]
-		start = end
-	}
-	return parts
-}
-
-func (c *Codec) emit(w *bitstream.Writer, keys []zorder.Key, l int) {
-	costList := len(keys)*(1+c.suffix[l]) + 1
-	mustList := l == len(c.levels) || len(keys) == 1
+func (s *encodeState) emit(start, end, l int) {
+	c := s.c
+	costList := (end-start)*(1+c.suffix[l]) + 1
+	mustList := l == len(c.levels) || end-start == 1
 	if !mustList {
 		costSplit := 1 + (1 << uint(c.levels[l]))
-		parts := c.partition(keys, l)
-		for _, part := range parts {
-			if len(part) > 0 {
-				costSplit += c.cost(part, l+1)
-			}
+		for st := start; st < end; {
+			en, _ := s.run(st, end, l)
+			costSplit += s.cost(st, en, l+1)
+			st = en
 		}
 		if costSplit < costList {
 			// Index node: '0' + presence mask, then children in
-			// quadrant order.
-			w.WriteBit(0)
+			// quadrant order. Runs come sorted by quadrant.
+			s.w.WriteBit(0)
 			fanout := 1 << uint(c.levels[l])
-			for q := 0; q < fanout; q++ {
-				w.WriteBool(len(parts[q]) > 0)
-			}
-			for q := 0; q < fanout; q++ {
-				if len(parts[q]) > 0 {
-					c.emit(w, parts[q], l+1)
+			ri := start
+			for q := zorder.Key(0); q < zorder.Key(fanout); q++ {
+				if ri < end {
+					en, rq := s.run(ri, end, l)
+					if rq == q {
+						s.w.WriteBit(1)
+						ri = en
+						continue
+					}
 				}
+				s.w.WriteBit(0)
+			}
+			for st := start; st < end; {
+				en, _ := s.run(st, end, l)
+				s.emit(st, en, l+1)
+				st = en
 			}
 			return
 		}
@@ -157,11 +198,11 @@ func (c *Codec) emit(w *bitstream.Writer, keys []zorder.Key, l int) {
 	if r < 64 {
 		suffixMask = (zorder.Key(1) << uint(r)) - 1
 	}
-	for _, k := range keys {
-		w.WriteBit(1)
-		w.WriteBits(k&suffixMask, r)
+	for _, k := range s.keys[start:end] {
+		s.w.WriteBit(1)
+		s.w.WriteBits(k&suffixMask, r)
 	}
-	w.WriteBit(0)
+	s.w.WriteBit(0)
 }
 
 // Decode returns the sorted key set of e.

@@ -2,6 +2,7 @@ package quadtree
 
 import (
 	"fmt"
+	"sync"
 
 	"sensjoin/internal/bitstream"
 	"sensjoin/internal/zorder"
@@ -16,6 +17,13 @@ import (
 // canonical encoder uses, so StreamUnion/StreamIntersect produce
 // bit-identical output to the decode-merge-encode path (property-tested)
 // while avoiding the absolute-key materialization.
+//
+// All transient structures (tree nodes, child pointer slots, suffix
+// runs, the output bit writer) live in a pooled streamScratch arena so
+// that steady-state stream operations allocate only the returned
+// Encoded.Data copy. Nodes are handed out from a grow-only slab;
+// pointers into a slab stay valid across slab growth because the old
+// backing array is retained until the operation completes.
 
 // treeNode is the parsed structural form of one subtree.
 type treeNode struct {
@@ -43,21 +51,74 @@ func (n *treeNode) count() int {
 	return c
 }
 
-// parse reads one subtree at level l.
-func (c *Codec) parse(r *bitstream.Reader, l int) (*treeNode, error) {
+// streamScratch holds the reusable buffers of one stream operation.
+// It is obtained from streamPool and must not be shared between
+// goroutines while in use.
+type streamScratch struct {
+	nodes []treeNode   // node arena
+	kids  []*treeNode  // children slot slab
+	keys  []zorder.Key // suffix run slab
+	w     bitstream.Writer
+}
+
+var streamPool = sync.Pool{New: func() any { return new(streamScratch) }}
+
+func (s *streamScratch) reset() {
+	// Drop pointers held in recycled slots so the pool does not pin
+	// subtrees from earlier operations.
+	clear(s.kids)
+	for i := range s.nodes {
+		s.nodes[i] = treeNode{}
+	}
+	s.nodes = s.nodes[:0]
+	s.kids = s.kids[:0]
+	s.keys = s.keys[:0]
+	s.w.Reset()
+}
+
+// node hands out a zeroed node from the arena.
+func (s *streamScratch) node() *treeNode {
+	s.nodes = append(s.nodes, treeNode{})
+	return &s.nodes[len(s.nodes)-1]
+}
+
+// childSlots hands out a zeroed, full-capacity run of fanout child
+// pointers from the slab.
+func (s *streamScratch) childSlots(fanout int) []*treeNode {
+	off := len(s.kids)
+	if off+fanout <= cap(s.kids) {
+		s.kids = s.kids[:off+fanout]
+		clear(s.kids[off : off+fanout])
+	} else {
+		s.kids = append(s.kids, make([]*treeNode, fanout)...)
+	}
+	return s.kids[off : off+fanout : off+fanout]
+}
+
+// keyRun returns the slab slice [off:len] capped so callers cannot
+// append past it into later runs.
+func (s *streamScratch) keyRun(off int) []zorder.Key {
+	return s.keys[off:len(s.keys):len(s.keys)]
+}
+
+// parse reads one subtree at level l. Leaf suffix runs are contiguous
+// appends to the key slab: parse never interleaves two unfinished runs.
+func (c *Codec) parse(s *streamScratch, r *bitstream.Reader, l int) (*treeNode, error) {
 	first := r.ReadBit()
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
 	if first == 1 {
-		n := &treeNode{leaf: true}
+		n := s.node()
+		n.leaf = true
+		off := len(s.keys)
 		rbits := c.suffix[l]
 		for {
-			s := r.ReadBits(rbits)
+			suf := r.ReadBits(rbits)
 			if r.Err() != nil {
 				return nil, r.Err()
 			}
-			n.suffixes = append(n.suffixes, s)
+			s.keys = append(s.keys, suf)
 			if r.ReadBit() == 0 {
 				break
 			}
@@ -65,6 +126,7 @@ func (c *Codec) parse(r *bitstream.Reader, l int) (*treeNode, error) {
 				return nil, r.Err()
 			}
 		}
+		n.suffixes = s.keyRun(off)
 		return n, nil
 	}
 	if l >= len(c.levels) {
@@ -78,12 +140,13 @@ func (c *Codec) parse(r *bitstream.Reader, l int) (*treeNode, error) {
 	if mask == 0 {
 		return nil, fmt.Errorf("quadtree: index node with empty presence mask")
 	}
-	n := &treeNode{children: make([]*treeNode, fanout)}
+	n := s.node()
+	n.children = s.childSlots(fanout)
 	for q := 0; q < fanout; q++ {
 		if mask&(1<<uint(fanout-1-q)) == 0 {
 			continue
 		}
-		ch, err := c.parse(r, l+1)
+		ch, err := c.parse(s, r, l+1)
 		if err != nil {
 			return nil, err
 		}
@@ -93,12 +156,13 @@ func (c *Codec) parse(r *bitstream.Reader, l int) (*treeNode, error) {
 }
 
 // parseEncoded parses a whole encoding; nil for the empty set.
-func (c *Codec) parseEncoded(e Encoded) (*treeNode, error) {
+func (c *Codec) parseEncoded(s *streamScratch, e Encoded) (*treeNode, error) {
 	if e.Empty() {
 		return nil, nil
 	}
-	r := bitstream.NewReader(e.Data, e.Bits)
-	n, err := c.parse(r, 0)
+	var r bitstream.Reader
+	r.Reset(e.Data, e.Bits)
+	n, err := c.parse(s, &r, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -110,11 +174,12 @@ func (c *Codec) parseEncoded(e Encoded) (*treeNode, error) {
 
 // splitLeaf partitions a leaf's relative suffixes into the quadrants of
 // level l (suffixes are sorted, so quadrants are contiguous runs).
-func (c *Codec) splitLeaf(n *treeNode, l int) *treeNode {
+func (c *Codec) splitLeaf(s *streamScratch, n *treeNode, l int) *treeNode {
 	fanout := 1 << uint(c.levels[l])
 	shift := uint(c.suffix[l+1])
 	maskQ := zorder.Key(fanout - 1)
-	out := &treeNode{children: make([]*treeNode, fanout)}
+	out := s.node()
+	out.children = s.childSlots(fanout)
 	suffMask := ^zorder.Key(0)
 	if c.suffix[l+1] < 64 {
 		suffMask = (zorder.Key(1) << shift) - 1
@@ -123,13 +188,15 @@ func (c *Codec) splitLeaf(n *treeNode, l int) *treeNode {
 	for start < len(n.suffixes) {
 		q := (n.suffixes[start] >> shift) & maskQ
 		end := start
-		var child treeNode
+		child := s.node()
 		child.leaf = true
+		off := len(s.keys)
 		for end < len(n.suffixes) && (n.suffixes[end]>>shift)&maskQ == q {
-			child.suffixes = append(child.suffixes, n.suffixes[end]&suffMask)
+			s.keys = append(s.keys, n.suffixes[end]&suffMask)
 			end++
 		}
-		out.children[q] = &child
+		child.suffixes = s.keyRun(off)
+		out.children[q] = child
 		start = end
 	}
 	return out
@@ -142,9 +209,40 @@ const (
 	opIntersect
 )
 
+// mergeKeysInto runs UnionKeys/IntersectKeys semantics appending to the
+// key slab; a and b may themselves live in the slab (slab growth keeps
+// old backing arrays valid).
+func mergeKeysInto(s *streamScratch, a, b []zorder.Key, op setOp) []zorder.Key {
+	off := len(s.keys)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			if op == opUnion {
+				s.keys = append(s.keys, a[i])
+			}
+			i++
+		case a[i] > b[j]:
+			if op == opUnion {
+				s.keys = append(s.keys, b[j])
+			}
+			j++
+		default:
+			s.keys = append(s.keys, a[i])
+			i++
+			j++
+		}
+	}
+	if op == opUnion {
+		s.keys = append(s.keys, a[i:]...)
+		s.keys = append(s.keys, b[j:]...)
+	}
+	return s.keyRun(off)
+}
+
 // merge combines two parsed subtrees at level l. Either input may be
 // nil (empty). The result may be nil (empty) for intersections.
-func (c *Codec) merge(a, b *treeNode, l int, op setOp) *treeNode {
+func (c *Codec) merge(s *streamScratch, a, b *treeNode, l int, op setOp) *treeNode {
 	if a == nil || b == nil {
 		if op == opUnion {
 			if a == nil {
@@ -155,30 +253,28 @@ func (c *Codec) merge(a, b *treeNode, l int, op setOp) *treeNode {
 		return nil
 	}
 	if a.leaf && b.leaf {
-		n := &treeNode{leaf: true}
-		if op == opUnion {
-			n.suffixes = UnionKeys(a.suffixes, b.suffixes)
-		} else {
-			n.suffixes = IntersectKeys(a.suffixes, b.suffixes)
-			if len(n.suffixes) == 0 {
-				return nil
-			}
+		n := s.node()
+		n.leaf = true
+		n.suffixes = mergeKeysInto(s, a.suffixes, b.suffixes, op)
+		if op == opIntersect && len(n.suffixes) == 0 {
+			return nil
 		}
 		return n
 	}
 	// Align shapes: push a leaf one level down when the other side is
 	// an index node.
 	if a.leaf {
-		a = c.splitLeaf(a, l)
+		a = c.splitLeaf(s, a, l)
 	}
 	if b.leaf {
-		b = c.splitLeaf(b, l)
+		b = c.splitLeaf(s, b, l)
 	}
 	fanout := len(a.children)
-	out := &treeNode{children: make([]*treeNode, fanout)}
+	out := s.node()
+	out.children = s.childSlots(fanout)
 	any := false
 	for q := 0; q < fanout; q++ {
-		ch := c.merge(a.children[q], b.children[q], l+1, op)
+		ch := c.merge(s, a.children[q], b.children[q], l+1, op)
 		if ch != nil && ch.count() > 0 {
 			out.children[q] = ch
 			any = true
@@ -192,7 +288,7 @@ func (c *Codec) merge(a, b *treeNode, l int, op setOp) *treeNode {
 
 // nodeCost computes the optimal encoded size in bits of subtree n at
 // level l, matching the canonical encoder's cost function.
-func (c *Codec) nodeCost(n *treeNode, l int) int {
+func (c *Codec) nodeCost(s *streamScratch, n *treeNode, l int) int {
 	count := n.count()
 	costList := count*(1+c.suffix[l]) + 1
 	if l == len(c.levels) || count == 1 {
@@ -200,12 +296,12 @@ func (c *Codec) nodeCost(n *treeNode, l int) int {
 	}
 	var work *treeNode = n
 	if n.leaf {
-		work = c.splitLeaf(n, l)
+		work = c.splitLeaf(s, n, l)
 	}
 	costSplit := 1 + (1 << uint(c.levels[l]))
 	for _, ch := range work.children {
 		if ch != nil {
-			costSplit += c.nodeCost(ch, l+1)
+			costSplit += c.nodeCost(s, ch, l+1)
 		}
 	}
 	if costList <= costSplit {
@@ -216,19 +312,19 @@ func (c *Codec) nodeCost(n *treeNode, l int) int {
 
 // emitNode writes subtree n at level l with optimal decisions; the
 // output is canonical (identical to Encode of the same set).
-func (c *Codec) emitNode(w *bitstream.Writer, n *treeNode, l int) {
+func (c *Codec) emitNode(s *streamScratch, w *bitstream.Writer, n *treeNode, l int) {
 	count := n.count()
 	costList := count*(1+c.suffix[l]) + 1
 	mustList := l == len(c.levels) || count == 1
 	if !mustList {
 		work := n
 		if n.leaf {
-			work = c.splitLeaf(n, l)
+			work = c.splitLeaf(s, n, l)
 		}
 		costSplit := 1 + (1 << uint(c.levels[l]))
 		for _, ch := range work.children {
 			if ch != nil {
-				costSplit += c.nodeCost(ch, l+1)
+				costSplit += c.nodeCost(s, ch, l+1)
 			}
 		}
 		if costSplit < costList {
@@ -239,7 +335,7 @@ func (c *Codec) emitNode(w *bitstream.Writer, n *treeNode, l int) {
 			}
 			for q := 0; q < fanout; q++ {
 				if work.children[q] != nil {
-					c.emitNode(w, work.children[q], l+1)
+					c.emitNode(s, w, work.children[q], l+1)
 				}
 			}
 			return
@@ -250,29 +346,31 @@ func (c *Codec) emitNode(w *bitstream.Writer, n *treeNode, l int) {
 	if n.leaf {
 		suffixes = n.suffixes
 	} else {
-		c.collectRel(n, l, 0, 0, &suffixes)
+		off := len(s.keys)
+		c.collectRel(s, n, l, 0, 0)
+		suffixes = s.keyRun(off)
 	}
-	for _, s := range suffixes {
+	for _, suf := range suffixes {
 		w.WriteBit(1)
-		w.WriteBits(s, c.suffix[l])
+		w.WriteBits(suf, c.suffix[l])
 	}
 	w.WriteBit(0)
 }
 
-// collectRel flattens points below n into suffixes relative to
-// topLevel (depth-first, so already sorted).
-func (c *Codec) collectRel(n *treeNode, topLevel, curOffset int, prefix zorder.Key, out *[]zorder.Key) {
+// collectRel flattens points below n into the key slab as suffixes
+// relative to topLevel (depth-first, so already sorted).
+func (c *Codec) collectRel(s *streamScratch, n *treeNode, topLevel, curOffset int, prefix zorder.Key) {
 	l := topLevel + curOffset
 	if n.leaf {
 		shift := uint(c.suffix[l])
-		for _, s := range n.suffixes {
-			*out = append(*out, prefix<<shift|s)
+		for _, suf := range n.suffixes {
+			s.keys = append(s.keys, prefix<<shift|suf)
 		}
 		return
 	}
 	for q, ch := range n.children {
 		if ch != nil {
-			c.collectRel(ch, topLevel, curOffset+1, prefix<<uint(c.levels[l])|zorder.Key(q), out)
+			c.collectRel(s, ch, topLevel, curOffset+1, prefix<<uint(c.levels[l])|zorder.Key(q))
 		}
 	}
 }
@@ -281,13 +379,15 @@ func (c *Codec) collectRel(n *treeNode, topLevel, curOffset int, prefix zorder.K
 // index-node masks prune absent quadrants immediately, subtrees on the
 // key's path are descended, and everything else is structurally skipped
 // without materializing points. This is how a sensor node checks its own
-// join-attribute tuple against a received filter.
+// join-attribute tuple against a received filter. It allocates nothing:
+// the bit reader lives on the caller's stack.
 func (c *Codec) StreamContains(e Encoded, k zorder.Key) (bool, error) {
 	if e.Empty() {
 		return false, nil
 	}
-	r := bitstream.NewReader(e.Data, e.Bits)
-	found, err := c.walkContains(r, 0, k)
+	var r bitstream.Reader
+	r.Reset(e.Data, e.Bits)
+	found, err := c.walkContains(&r, 0, k)
 	if err != nil {
 		return false, err
 	}
@@ -416,19 +516,24 @@ func (c *Codec) StreamIntersect(a, b Encoded) (Encoded, error) {
 }
 
 func (c *Codec) streamOp(a, b Encoded, op setOp) (Encoded, error) {
-	ta, err := c.parseEncoded(a)
+	s := streamPool.Get().(*streamScratch)
+	defer streamPool.Put(s)
+	s.reset()
+	ta, err := c.parseEncoded(s, a)
 	if err != nil {
 		return Encoded{}, err
 	}
-	tb, err := c.parseEncoded(b)
+	tb, err := c.parseEncoded(s, b)
 	if err != nil {
 		return Encoded{}, err
 	}
-	m := c.merge(ta, tb, 0, op)
+	m := c.merge(s, ta, tb, 0, op)
 	if m == nil || m.count() == 0 {
 		return Encoded{}, nil
 	}
-	w := bitstream.NewWriter(m.count() * (c.total + 2))
-	c.emitNode(w, m, 0)
-	return Encoded{Data: w.Bytes(), Bits: w.Len()}, nil
+	c.emitNode(s, &s.w, m, 0)
+	// The writer's buffer returns to the pool with the scratch, so the
+	// result must be an owned copy.
+	data := append([]byte(nil), s.w.Bytes()...)
+	return Encoded{Data: data, Bits: s.w.Len()}, nil
 }

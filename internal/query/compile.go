@@ -1,0 +1,119 @@
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Expression compilation for the base station's exact-join hot path.
+//
+// Evaluating an expression tree through the Env interface costs one
+// string-keyed map lookup per attribute reference per candidate tuple
+// combination — the dominant cost of the nested-loop join. CompileNum
+// and CompileBool lower a tree once into closures that read attribute
+// values from a flat slot vector by integer index; the caller assigns
+// slots via resolve and fills the vector once per tuple assignment.
+//
+// The compiled closures perform exactly the operations of the
+// corresponding Eval methods in the same order, so results are
+// bit-identical to interpreted evaluation over the same values.
+
+// CompiledNum evaluates a numeric expression over a slot vector.
+type CompiledNum func(vals []float64) float64
+
+// CompiledBool evaluates a boolean expression over a slot vector.
+type CompiledBool func(vals []float64) bool
+
+// CompileNum lowers e into a CompiledNum. resolve maps each attribute
+// reference to its slot in the vector; it is called once per reference,
+// at compile time.
+func CompileNum(e NumExpr, resolve func(AttrRef) int) CompiledNum {
+	switch x := e.(type) {
+	case Const:
+		v := x.V
+		return func([]float64) float64 { return v }
+	case Attr:
+		slot := resolve(x.Ref)
+		return func(vals []float64) float64 { return vals[slot] }
+	case Arith:
+		l, r := CompileNum(x.L, resolve), CompileNum(x.R, resolve)
+		switch x.Op {
+		case OpAdd:
+			return func(v []float64) float64 { return l(v) + r(v) }
+		case OpSub:
+			return func(v []float64) float64 { return l(v) - r(v) }
+		case OpMul:
+			return func(v []float64) float64 { return l(v) * r(v) }
+		default:
+			return func(v []float64) float64 { return l(v) / r(v) }
+		}
+	case Neg:
+		f := CompileNum(x.X, resolve)
+		return func(v []float64) float64 { return -f(v) }
+	case Abs:
+		f := CompileNum(x.X, resolve)
+		return func(v []float64) float64 { return math.Abs(f(v)) }
+	case Sqrt:
+		f := CompileNum(x.X, resolve)
+		return func(v []float64) float64 { return math.Sqrt(f(v)) }
+	case Distance:
+		x1, y1 := CompileNum(x.X1, resolve), CompileNum(x.Y1, resolve)
+		x2, y2 := CompileNum(x.X2, resolve), CompileNum(x.Y2, resolve)
+		return func(v []float64) float64 {
+			return math.Hypot(x1(v)-x2(v), y1(v)-y2(v))
+		}
+	case MinMax:
+		args := make([]CompiledNum, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CompileNum(a, resolve)
+		}
+		isMax := x.IsMax
+		return func(v []float64) float64 {
+			r := args[0](v)
+			for _, a := range args[1:] {
+				w := a(v)
+				if isMax {
+					r = math.Max(r, w)
+				} else {
+					r = math.Min(r, w)
+				}
+			}
+			return r
+		}
+	default:
+		panic(fmt.Sprintf("query: CompileNum: unsupported expression %T", e))
+	}
+}
+
+// CompileBool lowers e into a CompiledBool.
+func CompileBool(e BoolExpr, resolve func(AttrRef) int) CompiledBool {
+	switch x := e.(type) {
+	case Cmp:
+		l, r := CompileNum(x.L, resolve), CompileNum(x.R, resolve)
+		switch x.Op {
+		case CmpLT:
+			return func(v []float64) bool { return l(v) < r(v) }
+		case CmpLE:
+			return func(v []float64) bool { return l(v) <= r(v) }
+		case CmpGT:
+			return func(v []float64) bool { return l(v) > r(v) }
+		case CmpGE:
+			return func(v []float64) bool { return l(v) >= r(v) }
+		case CmpEQ:
+			return func(v []float64) bool { return l(v) == r(v) }
+		default:
+			return func(v []float64) bool { return l(v) != r(v) }
+		}
+	case And:
+		l, r := CompileBool(x.L, resolve), CompileBool(x.R, resolve)
+		return func(v []float64) bool { return l(v) && r(v) }
+	case Or:
+		l, r := CompileBool(x.L, resolve), CompileBool(x.R, resolve)
+		return func(v []float64) bool { return l(v) || r(v) }
+	case Not:
+		f := CompileBool(x.X, resolve)
+		return func(v []float64) bool { return !f(v) }
+	default:
+		panic(fmt.Sprintf("query: CompileBool: unsupported expression %T", e))
+	}
+}

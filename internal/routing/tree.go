@@ -20,6 +20,12 @@ import (
 const NoParent topology.NodeID = -1
 
 // Tree is a routing tree rooted at the base station.
+//
+// Immutability contract: BuildTree (and Protocol's tree extraction)
+// fully populate a Tree before returning it, and nothing mutates it
+// afterwards — repair is modeled by building a *new* tree over the live
+// links and swapping the pointer (core.Runner.RebuildTree). Trees are
+// therefore safe to share across concurrently running simulations.
 type Tree struct {
 	// Parent[i] is the parent of node i, NoParent for the root and for
 	// unreachable nodes.

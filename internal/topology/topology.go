@@ -50,6 +50,13 @@ type Config struct {
 }
 
 // Deployment is a concrete placement with its communication graph.
+//
+// Immutability contract: a Deployment is fully built by Generate (or the
+// test constructors) and never mutated afterwards — no code may write to
+// Pos, Neighbors or the scalar fields once the value is returned. This
+// makes a Deployment safe to share across concurrently running
+// simulations (core's deployment cache relies on it); all mutable link
+// state, such as failure injection, lives in netsim.Network.
 type Deployment struct {
 	// Pos holds node positions; Pos[0] is the base station.
 	Pos []geom.Point

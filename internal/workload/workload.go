@@ -20,9 +20,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"sensjoin/internal/core"
+	"sensjoin/internal/field"
 	"sensjoin/internal/geom"
+	"sensjoin/internal/topology"
 )
 
 // Preset describes one experiment query family.
@@ -121,8 +124,50 @@ type nodeSample struct {
 	pos  geom.Point
 }
 
-// sampleNodes reads the calibration snapshot (t = 0) once.
+// snapshotKey identifies a calibration snapshot by the identity of the
+// deployment and environment it was read from. Both are immutable after
+// construction (see their type docs) and shared across runners by
+// core's deployment cache, so pointer identity is a sound cache key:
+// equal pointers imply an identical snapshot.
+type snapshotKey struct {
+	dep *topology.Deployment
+	env *field.Environment
+}
+
+// sampleCache memoizes sampleNodes per snapshot; calibCache memoizes
+// Calibrate results. Both are concurrency-safe and only ever store
+// values that are pure functions of their key, so racing fills are
+// harmless duplicates.
+var (
+	sampleCache sync.Map // snapshotKey -> []nodeSample
+	calibCache  sync.Map // calibKey -> calibResult
+)
+
+type calibKey struct {
+	snap   snapshotKey
+	preset string
+	target float64
+}
+
+type calibResult struct {
+	delta, frac float64
+}
+
+// presetKey renders every field that influences calibration, so distinct
+// presets never collide.
+func (p Preset) presetKey() string {
+	return fmt.Sprintf("%s|%d|%d|%t|%s",
+		p.Name, p.JoinAttrs, p.TotalAttrs, p.distance, strings.Join(p.selects, ","))
+}
+
+// sampleNodes reads the calibration snapshot (t = 0) once per
+// deployment/environment pair; repeated calls return the shared,
+// read-only sample slice.
 func sampleNodes(r *core.Runner) []nodeSample {
+	key := snapshotKey{dep: r.Dep, env: r.Env}
+	if v, ok := sampleCache.Load(key); ok {
+		return v.([]nodeSample)
+	}
 	out := make([]nodeSample, 0, r.Dep.N()-1)
 	for i := 1; i < r.Dep.N(); i++ {
 		out = append(out, nodeSample{
@@ -131,7 +176,8 @@ func sampleNodes(r *core.Runner) []nodeSample {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].temp < out[j].temp })
-	return out
+	v, _ := sampleCache.LoadOrStore(key, out)
+	return v.([]nodeSample)
 }
 
 // Fraction computes, exactly and without simulating, the fraction of
@@ -188,8 +234,21 @@ func fractionOf(nodes []nodeSample, p Preset, delta float64) float64 {
 
 // Calibrate finds the delta whose contributing fraction is closest to
 // target, by bisection (the fraction is non-increasing in delta). It
-// returns the delta and the fraction actually achieved.
+// returns the delta and the fraction actually achieved. Results are
+// memoized per (snapshot, preset, target): sweep cells over the same
+// deployment skip the 60-iteration search entirely.
 func Calibrate(r *core.Runner, p Preset, target float64) (delta, frac float64) {
+	ck := calibKey{snap: snapshotKey{dep: r.Dep, env: r.Env}, preset: p.presetKey(), target: target}
+	if v, ok := calibCache.Load(ck); ok {
+		res := v.(calibResult)
+		return res.delta, res.frac
+	}
+	delta, frac = calibrate(r, p, target)
+	calibCache.Store(ck, calibResult{delta: delta, frac: frac})
+	return delta, frac
+}
+
+func calibrate(r *core.Runner, p Preset, target float64) (delta, frac float64) {
 	nodes := sampleNodes(r)
 	lo, hi := 0.0, 0.0
 	// Find an upper bound with fraction below target.

@@ -187,7 +187,18 @@ func (g *Grid) Interleave(flags uint64, coords []uint32) Key {
 // Deinterleave splits a key back into relation flags and cell
 // coordinates.
 func (g *Grid) Deinterleave(k Key) (flags uint64, coords []uint32) {
-	coords = make([]uint32, len(g.Dims))
+	return g.DeinterleaveInto(k, make([]uint32, len(g.Dims)))
+}
+
+// DeinterleaveInto is Deinterleave writing into a caller-provided
+// buffer, which must have len(g.Dims) entries; it allocates nothing,
+// for hot paths that deinterleave many keys. The filled buffer is also
+// returned as coords.
+func (g *Grid) DeinterleaveInto(k Key, buf []uint32) (flags uint64, coords []uint32) {
+	coords = buf
+	for i := range coords {
+		coords[i] = 0
+	}
 	pos := g.TotalBits
 	get := func() uint64 {
 		pos--

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Full local check: what CI runs. The race pass covers the packages
+# with concurrency (the experiment fan-out and the shared caches).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/bench ./internal/core ./internal/quadtree ./internal/workload
