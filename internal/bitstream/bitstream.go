@@ -9,11 +9,20 @@ package bitstream
 
 import "fmt"
 
-// Writer accumulates bits MSB-first into a byte slice.
+// Writer accumulates bits MSB-first into a byte slice. Pending bits are
+// buffered in a uint64 accumulator and flushed to the byte buffer a
+// whole byte at a time, so WriteBits costs a few shifts instead of one
+// buffer access per bit.
 // The zero value is ready to use.
 type Writer struct {
 	buf   []byte
 	nbits int
+	// acc holds the trailing pend (< 8) bits, MSB-first in its low bits.
+	acc  uint64
+	pend int
+	// tail is set while buf ends in a materialized partial byte (see
+	// Bytes); the next write peels it off and resumes from acc.
+	tail bool
 }
 
 // NewWriter returns an empty writer with capacity for sizeHint bits.
@@ -21,15 +30,29 @@ func NewWriter(sizeHint int) *Writer {
 	return &Writer{buf: make([]byte, 0, (sizeHint+7)/8)}
 }
 
+// unmaterialize drops the partial byte a Bytes call appended; its bits
+// still live in acc.
+func (w *Writer) unmaterialize() {
+	if w.tail {
+		w.buf = w.buf[:len(w.buf)-1]
+		w.tail = false
+	}
+}
+
 // WriteBit appends a single bit (any non-zero value counts as 1).
 func (w *Writer) WriteBit(b uint) {
-	if w.nbits%8 == 0 {
-		w.buf = append(w.buf, 0)
-	}
+	w.unmaterialize()
+	bit := uint64(0)
 	if b != 0 {
-		w.buf[w.nbits/8] |= 0x80 >> uint(w.nbits%8)
+		bit = 1
 	}
+	w.acc = w.acc<<1 | bit
+	w.pend++
 	w.nbits++
+	if w.pend == 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc, w.pend = 0, 0
+	}
 }
 
 // WriteBits appends the n least-significant bits of v, most significant
@@ -38,9 +61,28 @@ func (w *Writer) WriteBits(v uint64, n int) {
 	if n < 0 || n > 64 {
 		panic(fmt.Sprintf("bitstream: WriteBits with n=%d", n))
 	}
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(uint(v>>uint(i)) & 1)
+	w.unmaterialize()
+	// Chunks of at most 32 bits keep acc within 64 bits (pend < 8).
+	for n > 32 {
+		n -= 32
+		w.writeChunk(uint64(uint32(v>>uint(n))), 32)
 	}
+	if n > 0 {
+		w.writeChunk(v&(1<<uint(n)-1), n)
+	}
+}
+
+// writeChunk appends the n (<= 32) low bits of v, flushing whole bytes.
+func (w *Writer) writeChunk(v uint64, n int) {
+	acc := w.acc<<uint(n) | v
+	k := w.pend + n
+	for k >= 8 {
+		k -= 8
+		w.buf = append(w.buf, byte(acc>>uint(k)))
+	}
+	w.acc = acc & (1<<uint(k) - 1)
+	w.pend = k
+	w.nbits += n
 }
 
 // WriteBool appends 1 for true, 0 for false.
@@ -60,12 +102,20 @@ func (w *Writer) ByteLen() int { return (w.nbits + 7) / 8 }
 
 // Bytes returns the packed bits; trailing bits of the last byte are zero.
 // The returned slice aliases the writer's buffer.
-func (w *Writer) Bytes() []byte { return w.buf }
+func (w *Writer) Bytes() []byte {
+	if w.pend > 0 && !w.tail {
+		w.buf = append(w.buf, byte(w.acc<<uint(8-w.pend)))
+		w.tail = true
+	}
+	return w.buf
+}
 
 // Reset clears the writer for reuse, keeping the allocated buffer.
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
 	w.nbits = 0
+	w.acc, w.pend = 0, 0
+	w.tail = false
 }
 
 // Reader consumes bits MSB-first from a byte slice.

@@ -149,3 +149,91 @@ func TestQuickLengths(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Accumulator boundary cases: widths that straddle the pending-bit
+// count, full 64-bit writes at every phase offset, and interleaved
+// Bytes() calls that materialize the partial tail mid-stream.
+func TestAccumulatorBoundaries(t *testing.T) {
+	widths := []int{1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64}
+	for phase := 0; phase < 8; phase++ {
+		w := NewWriter(0)
+		var wantBits []uint
+		push := func(v uint64, n int) {
+			w.WriteBits(v, n)
+			for i := n - 1; i >= 0; i-- {
+				wantBits = append(wantBits, uint(v>>uint(i))&1)
+			}
+		}
+		for i := 0; i < phase; i++ {
+			push(uint64(i)&1, 1)
+		}
+		for i, n := range widths {
+			v := uint64(0xDEADBEEFCAFEF00D) >> uint(i)
+			push(v, n)
+			// Materializing the tail mid-stream must not disturb
+			// subsequent writes.
+			if got := w.Bytes(); len(got) != w.ByteLen() {
+				t.Fatalf("phase %d: Bytes len %d, ByteLen %d", phase, len(got), w.ByteLen())
+			}
+		}
+		if w.Len() != len(wantBits) {
+			t.Fatalf("phase %d: Len %d, want %d", phase, w.Len(), len(wantBits))
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i, want := range wantBits {
+			if got := r.ReadBit(); got != want&1 {
+				t.Fatalf("phase %d: bit %d = %d, want %d", phase, i, got, want&1)
+			}
+		}
+		if r.Err() != nil {
+			t.Fatalf("phase %d: %v", phase, r.Err())
+		}
+	}
+}
+
+// A full 64-bit value written at a non-zero phase exercises the 32-bit
+// chunking path; the packed bytes must match the bit-at-a-time writer.
+func TestWriteBits64MatchesBitAtATime(t *testing.T) {
+	vals := []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0x8000000000000001, 0x0123456789ABCDEF}
+	for phase := 0; phase < 8; phase++ {
+		fast := NewWriter(0)
+		slow := NewWriter(0)
+		for i := 0; i < phase; i++ {
+			fast.WriteBit(1)
+			slow.WriteBit(1)
+		}
+		for _, v := range vals {
+			fast.WriteBits(v, 64)
+			for i := 63; i >= 0; i-- {
+				slow.WriteBit(uint(v>>uint(i)) & 1)
+			}
+		}
+		if fast.Len() != slow.Len() {
+			t.Fatalf("phase %d: Len %d vs %d", phase, fast.Len(), slow.Len())
+		}
+		fb, sb := fast.Bytes(), slow.Bytes()
+		if len(fb) != len(sb) {
+			t.Fatalf("phase %d: %d bytes vs %d", phase, len(fb), len(sb))
+		}
+		for i := range fb {
+			if fb[i] != sb[i] {
+				t.Fatalf("phase %d: byte %d: %02x vs %02x", phase, i, fb[i], sb[i])
+			}
+		}
+	}
+}
+
+// Reset must clear the accumulator and the materialized tail.
+func TestResetClearsAccumulator(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0x7F, 7)
+	_ = w.Bytes() // materialize the partial tail
+	w.Reset()
+	if w.Len() != 0 || w.ByteLen() != 0 || len(w.Bytes()) != 0 {
+		t.Fatalf("Reset left state: Len=%d ByteLen=%d Bytes=%d", w.Len(), w.ByteLen(), len(w.Bytes()))
+	}
+	w.WriteBits(0xA5, 8)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 0xA5 {
+		t.Fatalf("after Reset: got % x, want a5", got)
+	}
+}

@@ -144,12 +144,13 @@ type emptyBounds struct{}
 func (emptyBounds) Range(query.AttrRef) query.Interval { return query.Everything() }
 
 // exactJoin computes the final result (paper §IV-D): an exact n-way
-// nested-loop join over the complete tuples at the base station, with
-// early condition evaluation, followed by SELECT evaluation and optional
-// aggregation. It returns the rows and the set of contributing nodes.
+// join over the complete tuples at the base station, followed by SELECT
+// evaluation and optional aggregation. It returns the rows and the set
+// of contributing nodes. Candidate enumeration runs on the
+// predicate-indexed kernel (joinkernel.go); output is identical to the
+// seed's nested loop, row for row and byte for byte.
 func exactJoin(x *Exec, tuples []finalTuple) ([]Row, map[topology.NodeID]bool) {
 	n := len(x.Query.From)
-	conds := x.Analysis.JoinConds
 	for _, c := range x.Analysis.ConstPreds {
 		if !c.Eval(query.TupleEnv{Lookup: func(int, string) float64 { return 0 }}) {
 			return nil, nil
@@ -167,146 +168,7 @@ func exactJoin(x *Exec, tuples []finalTuple) ([]Row, map[topology.NodeID]bool) {
 			return nil, nil
 		}
 	}
-
-	// Compile every expression once, assigning each distinct (rel, attr)
-	// reference a dense slot; the nested loop then reads float slots
-	// instead of paying a string-map lookup per reference per tuple
-	// combination.
-	type slotRef struct {
-		name string
-		slot int
-	}
-	slotsOf := make([][]slotRef, n)
-	nextSlot := 0
-	resolve := func(ref query.AttrRef) int {
-		for _, s := range slotsOf[ref.Rel] {
-			if s.name == ref.Name {
-				return s.slot
-			}
-		}
-		slotsOf[ref.Rel] = append(slotsOf[ref.Rel], slotRef{ref.Name, nextSlot})
-		nextSlot++
-		return nextSlot - 1
-	}
-
-	condsAtLevel := make([][]query.CompiledBool, n)
-	for _, c := range conds {
-		max := 0
-		c.VisitNums(func(e query.NumExpr) {
-			if at, ok := e.(query.Attr); ok && at.Ref.Rel > max {
-				max = at.Ref.Rel
-			}
-		})
-		condsAtLevel[max] = append(condsAtLevel[max], query.CompileBool(c, resolve))
-	}
-	selects := make([]query.CompiledNum, len(x.Query.Select))
-	for i, it := range x.Query.Select {
-		selects[i] = query.CompileNum(it.Expr, resolve)
-	}
-	groupBy := make([]query.CompiledNum, len(x.Query.GroupBy))
-	for i, e := range x.Query.GroupBy {
-		groupBy[i] = query.CompileNum(e, resolve)
-	}
-
-	// Extract each candidate tuple's referenced values once (one map
-	// lookup per tuple per attribute, not per combination).
-	pre := make([][]float64, n) // pre[level]: len(slotsOf[level]) stride
-	for level, ts := range byAlias {
-		slots := slotsOf[level]
-		flat := make([]float64, len(ts)*len(slots))
-		for ti, t := range ts {
-			for k, s := range slots {
-				flat[ti*len(slots)+k] = t.vals[s.name]
-			}
-		}
-		pre[level] = flat
-	}
-
-	assignment := make([]finalTuple, n)
-	vals := make([]float64, nextSlot)
-
-	// Result rows are carved from grow-only slabs: one allocation per
-	// few thousand rows instead of one per row. Carved rows stay valid
-	// because full slabs are abandoned, never reused.
-	var slab []float64
-	width := len(selects)
-	newRow := func() Row {
-		if len(slab) < width {
-			slab = make([]float64, 4096*max(width, 1))
-		}
-		row := Row(slab[:width:width])
-		slab = slab[width:]
-		return row
-	}
-
-	var rows []Row
-	contrib := make(map[topology.NodeID]bool)
-	agg := newAggState(x.Query.Select)
-	aggregated := hasAggregates(x.Query.Select)
-	grouped := len(x.Query.GroupBy) > 0
-	groups := make(map[string]*aggState)
-	var groupKeys []string
-
-	var recurse func(level int)
-	recurse = func(level int) {
-		if level == n {
-			row := newRow()
-			for i, f := range selects {
-				row[i] = f(vals)
-			}
-			for _, t := range assignment {
-				contrib[t.node] = true
-			}
-			switch {
-			case grouped:
-				key := groupKeyOfCompiled(groupBy, vals)
-				g := groups[key]
-				if g == nil {
-					g = newAggState(x.Query.Select)
-					groups[key] = g
-					groupKeys = append(groupKeys, key)
-				}
-				g.add(row)
-			case aggregated:
-				agg.add(row)
-			default:
-				rows = append(rows, row)
-			}
-			return
-		}
-		slots := slotsOf[level]
-		flat := pre[level]
-		for ti, t := range byAlias[level] {
-			assignment[level] = t
-			for k, s := range slots {
-				vals[s.slot] = flat[ti*len(slots)+k]
-			}
-			ok := true
-			for _, c := range condsAtLevel[level] {
-				if !c(vals) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				recurse(level + 1)
-			}
-		}
-	}
-	recurse(0)
-
-	switch {
-	case grouped:
-		// Deterministic group order: sorted by group key; an ORDER BY
-		// re-sorts below.
-		sort.Strings(groupKeys)
-		for _, key := range groupKeys {
-			rows = append(rows, groups[key].rows()...)
-		}
-	case aggregated:
-		rows = agg.rows()
-	}
-	return applyOrderLimit(x.Query, rows), contrib
+	return joinKernel(x, byAlias)
 }
 
 // groupKeyOf renders the grouping expressions' exact values as a string

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"sensjoin/internal/query"
+	"sensjoin/internal/topology"
+)
+
+// Predicate-indexed exact-join kernel.
+//
+// The base station's final join (paper §IV-D) was an O(∏|Rᵢ|) nested
+// loop over the complete tuples. Almost every workload condition is an
+// equality or a band constraint (see query.ShapeOf), so the kernel
+// replaces the inner scans with per-level probe structures: hash
+// partitioning on an equality attribute, or a sorted array probed with a
+// binary-searched value window for a band constraint. Levels with no
+// indexable condition fall back to the scan the seed used.
+//
+// Exactness: the probe structures only restrict *candidate* enumeration.
+// Every conjunct — including the one backing an index — is still
+// evaluated through its compiled closure at the first level where all
+// its relations are bound, so a combination is emitted iff the nested
+// loop would emit it. Band windows are widened by one ulp on each side
+// (and band interval constants by one ulp at plan time) so that
+// floating-point rounding of "a - b OP c" can never push a true match
+// outside the window; hash probing relies on Go map float64 keys
+// matching == semantics exactly (±0 collide, NaN never matches).
+//
+// Determinism: the nested loop emitted rows in lexicographic order of
+// the per-level tuple indexes. Index probing enumerates in a different
+// order, so each match records its rank — the combination's position in
+// that lexicographic order — and matches are replayed in rank order
+// through the identical emission code (row slab, aggregation,
+// contributing-node set). Output is therefore byte-identical to the
+// seed's, including the order of floating-point accumulation in
+// SUM/AVG. When the planner keeps the original scan order (no indexable
+// condition, or rank arithmetic would overflow), rows stream directly
+// without the rank buffer, exactly like the seed.
+
+// accessPath is a join level's candidate enumeration strategy.
+type accessPath int8
+
+const (
+	pathScan accessPath = iota
+	pathHash
+	pathBand
+)
+
+func (p accessPath) String() string {
+	switch p {
+	case pathHash:
+		return "hash"
+	case pathBand:
+		return "band"
+	default:
+		return "scan"
+	}
+}
+
+// joinPlanInfo records the kernel's planning decision for tests.
+type joinPlanInfo struct {
+	// Order lists the FROM indexes in probe order.
+	Order []int
+	// Paths[i] is the access path of Order[i].
+	Paths []string
+	// Streamed reports whether rows streamed in enumeration order
+	// (pure scan plan) instead of the rank-ordered replay.
+	Streamed bool
+}
+
+// joinPlanHook, when non-nil, receives every kernel plan. Tests use it
+// to assert which access path ran; it must stay nil outside tests.
+var joinPlanHook func(joinPlanInfo)
+
+// levelPlan is one join level's planned access.
+type levelPlan struct {
+	level int
+	path  accessPath
+	// For hash/band paths: the conjunct backing the index, its attribute
+	// on this level (self) and on an earlier-bound level (other).
+	self, other query.AttrRef
+	// Band geometry: value(L) ± value(R) ∈ [lo, hi], pre-widened by one
+	// ulp per side; selfIsL orients the window formula.
+	sum     bool
+	selfIsL bool
+	lo, hi  float64
+	// conds lists conjunct indexes to evaluate at this level: every
+	// conjunct whose relations are all bound once this level is.
+	conds []int
+}
+
+// joinPlan is the kernel's full decision.
+type joinPlan struct {
+	order []levelPlan
+	// strides give each level's rank weight in the original nested-loop
+	// order: rank = Σ tupleIndex[level] * strides[level].
+	strides []uint64
+	// stream is set when enumeration order equals nested-loop order, so
+	// emission can skip the rank buffer.
+	stream bool
+}
+
+func (p joinPlan) info() joinPlanInfo {
+	in := joinPlanInfo{Streamed: p.stream}
+	for _, lp := range p.order {
+		in.Order = append(in.Order, lp.level)
+		in.Paths = append(in.Paths, lp.path.String())
+	}
+	return in
+}
+
+// planJoin decides join order and per-level access paths. lens holds
+// the candidate tuple count per FROM index; condRels the referenced
+// relations per conjunct. The order heuristic is a deterministic greedy
+// selectivity estimate: start at the smallest relation, then prefer a
+// level reachable through an equality (assumed most selective), then a
+// band, then the smallest remaining relation; all ties break toward the
+// lower FROM index.
+func planJoin(n int, lens []int, shape query.JoinShape, condRels [][]int) joinPlan {
+	strides, ok := rankStrides(n, lens)
+	if !ok || !shape.Indexable() || n < 2 {
+		return scanPlan(n, strides, condRels)
+	}
+
+	chosen := make([]bool, n)
+	order := make([]levelPlan, 0, n)
+	// Start level: smallest relation (scan — nothing is bound yet).
+	start := 0
+	for i := 1; i < n; i++ {
+		if lens[i] < lens[start] {
+			start = i
+		}
+	}
+	order = append(order, levelPlan{level: start, path: pathScan})
+	chosen[start] = true
+
+	for pos := 1; pos < n; pos++ {
+		best := levelPlan{level: -1, path: pathScan}
+		for level := 0; level < n; level++ {
+			if chosen[level] {
+				continue
+			}
+			lp := bestAccess(level, chosen, shape)
+			if best.level < 0 || betterAccess(lp, best, lens) {
+				best = lp
+			}
+		}
+		order = append(order, best)
+		chosen[best.level] = true
+	}
+
+	plan := joinPlan{order: order, strides: strides}
+	assignConds(plan.order, condRels)
+	plan.stream = pureScan(plan.order)
+	return plan
+}
+
+// scanPlan is the seed-equivalent fallback: original level order, scans
+// everywhere, rows streamed in enumeration order.
+func scanPlan(n int, strides []uint64, condRels [][]int) joinPlan {
+	plan := joinPlan{order: make([]levelPlan, n), strides: strides, stream: true}
+	for i := range plan.order {
+		plan.order[i] = levelPlan{level: i, path: pathScan}
+	}
+	assignConds(plan.order, condRels)
+	return plan
+}
+
+// rankStrides computes the lexicographic rank weights, refusing (ok
+// false) when the cross-product size would overflow rank arithmetic.
+func rankStrides(n int, lens []int) ([]uint64, bool) {
+	strides := make([]uint64, n)
+	total := uint64(1)
+	for i := n - 1; i >= 0; i-- {
+		strides[i] = total
+		l := uint64(lens[i])
+		if l == 0 {
+			l = 1
+		}
+		if total > math.MaxInt64/l {
+			return strides, false
+		}
+		total *= l
+	}
+	return strides, true
+}
+
+// bestAccess picks the best index access for level given the bound set:
+// hash over the first connecting equality, else a band window, else a
+// scan.
+func bestAccess(level int, bound []bool, shape query.JoinShape) levelPlan {
+	for _, eq := range shape.Eq {
+		if eq.L.Rel == level && bound[eq.R.Rel] {
+			return levelPlan{level: level, path: pathHash, self: eq.L, other: eq.R}
+		}
+		if eq.R.Rel == level && bound[eq.L.Rel] {
+			return levelPlan{level: level, path: pathHash, self: eq.R, other: eq.L}
+		}
+	}
+	for _, b := range shape.Band {
+		lp := levelPlan{level: level, path: pathBand, sum: b.Sum,
+			lo: nextDown(b.Lo), hi: nextUp(b.Hi)}
+		if b.L.Rel == level && bound[b.R.Rel] {
+			lp.self, lp.other, lp.selfIsL = b.L, b.R, true
+			return lp
+		}
+		if b.R.Rel == level && bound[b.L.Rel] {
+			lp.self, lp.other, lp.selfIsL = b.R, b.L, false
+			return lp
+		}
+	}
+	return levelPlan{level: level, path: pathScan}
+}
+
+// betterAccess orders candidate levels: indexed beats scan, hash beats
+// band, then fewer tuples, then lower FROM index.
+func betterAccess(a, b levelPlan, lens []int) bool {
+	rank := func(p accessPath) int {
+		switch p {
+		case pathHash:
+			return 0
+		case pathBand:
+			return 1
+		default:
+			return 2
+		}
+	}
+	if ra, rb := rank(a.path), rank(b.path); ra != rb {
+		return ra < rb
+	}
+	if lens[a.level] != lens[b.level] {
+		return lens[a.level] < lens[b.level]
+	}
+	return a.level < b.level
+}
+
+// assignConds attaches each conjunct to the first position where all its
+// relations are bound (identical pruning to the seed's max-rel rule when
+// the order is the identity).
+func assignConds(order []levelPlan, condRels [][]int) {
+	posOf := make(map[int]int, len(order))
+	for pos, lp := range order {
+		posOf[lp.level] = pos
+	}
+	for ci, rels := range condRels {
+		at := 0
+		for _, r := range rels {
+			if p := posOf[r]; p > at {
+				at = p
+			}
+		}
+		order[at].conds = append(order[at].conds, ci)
+	}
+}
+
+func pureScan(order []levelPlan) bool {
+	for pos, lp := range order {
+		if lp.path != pathScan || lp.level != pos {
+			return false
+		}
+	}
+	return true
+}
+
+func nextDown(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.Inf(-1)
+	}
+	return math.Nextafter(x, math.Inf(-1))
+}
+
+func nextUp(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.Inf(1)
+	}
+	return math.Nextafter(x, math.Inf(1))
+}
+
+// bandWindow computes the conservative candidate window for this level's
+// attribute given the bound-side value o. An empty window (lo > hi)
+// means no candidates; NaN arithmetic degrades to an unbounded side.
+func (lp *levelPlan) bandWindow(o float64) (lo, hi float64) {
+	if math.IsNaN(o) {
+		return 1, 0 // NaN never satisfies a band comparison
+	}
+	switch {
+	case lp.sum: // self ∈ [Lo - o, Hi - o]
+		lo, hi = lp.lo-o, lp.hi-o
+	case lp.selfIsL: // self - o ∈ [Lo, Hi]
+		lo, hi = o+lp.lo, o+lp.hi
+	default: // o - self ∈ [Lo, Hi]
+		lo, hi = o-lp.hi, o-lp.lo
+	}
+	lo, hi = nextDown(lo), nextUp(hi)
+	return lo, hi
+}
+
+// probeEntry is one tuple of a band-sorted level.
+type probeEntry struct {
+	v  float64
+	ti int32
+}
+
+// kernelProbe is a built per-position probe structure.
+type kernelProbe struct {
+	hmap      map[float64][]int32
+	sorted    []probeEntry
+	probeSlot int // global slot of the bound-side attribute
+}
+
+// joinKernel computes the exact join over the per-alias candidate lists
+// and evaluates the SELECT clause, returning rows (ordered and limited)
+// and the contributing-node set. See the package comment above for the
+// exactness and determinism argument.
+func joinKernel(x *Exec, byAlias [][]finalTuple) ([]Row, map[topology.NodeID]bool) {
+	n := len(byAlias)
+	conds := x.Analysis.JoinConds
+
+	// Compile every expression once, assigning each distinct (rel, attr)
+	// reference a dense slot; enumeration then reads float slots instead
+	// of paying a string-map lookup per reference per tuple combination.
+	type slotRef struct {
+		name string
+		slot int
+	}
+	slotsOf := make([][]slotRef, n)
+	nextSlot := 0
+	resolve := func(ref query.AttrRef) int {
+		for _, s := range slotsOf[ref.Rel] {
+			if s.name == ref.Name {
+				return s.slot
+			}
+		}
+		slotsOf[ref.Rel] = append(slotsOf[ref.Rel], slotRef{ref.Name, nextSlot})
+		nextSlot++
+		return nextSlot - 1
+	}
+	compiledConds := make([]query.CompiledBool, len(conds))
+	condRels := make([][]int, len(conds))
+	for i, c := range conds {
+		compiledConds[i] = query.CompileBool(c, resolve)
+		seen := make(map[int]bool)
+		c.VisitNums(func(e query.NumExpr) {
+			if at, ok := e.(query.Attr); ok && !seen[at.Ref.Rel] {
+				seen[at.Ref.Rel] = true
+				condRels[i] = append(condRels[i], at.Ref.Rel)
+			}
+		})
+	}
+	selects := make([]query.CompiledNum, len(x.Query.Select))
+	for i, it := range x.Query.Select {
+		selects[i] = query.CompileNum(it.Expr, resolve)
+	}
+	groupBy := make([]query.CompiledNum, len(x.Query.GroupBy))
+	for i, e := range x.Query.GroupBy {
+		groupBy[i] = query.CompileNum(e, resolve)
+	}
+
+	// Extract each candidate tuple's referenced values once (one map
+	// lookup per tuple per attribute, not per combination).
+	lens := make([]int, n)
+	pre := make([][]float64, n)
+	for level, ts := range byAlias {
+		lens[level] = len(ts)
+		slots := slotsOf[level]
+		flat := make([]float64, len(ts)*len(slots))
+		for ti, t := range ts {
+			for k, s := range slots {
+				flat[ti*len(slots)+k] = t.vals[s.name]
+			}
+		}
+		pre[level] = flat
+	}
+
+	// Locate an attribute's position within a level's slot list (it was
+	// resolved during condition compilation, so it exists).
+	kIndexOf := func(level int, name string) int {
+		for k, s := range slotsOf[level] {
+			if s.name == name {
+				return k
+			}
+		}
+		return -1
+	}
+	slotFor := func(ref query.AttrRef) int {
+		return slotsOf[ref.Rel][kIndexOf(ref.Rel, ref.Name)].slot
+	}
+
+	plan := planJoin(n, lens, query.ShapeOf(conds), condRels)
+	if joinPlanHook != nil {
+		joinPlanHook(plan.info())
+	}
+
+	// Build the probe structures the plan calls for.
+	probes := make([]kernelProbe, n)
+	for pos := range plan.order {
+		lp := &plan.order[pos]
+		level := lp.level
+		stride := len(slotsOf[level])
+		flat := pre[level]
+		switch lp.path {
+		case pathHash:
+			k := kIndexOf(level, lp.self.Name)
+			m := make(map[float64][]int32, lens[level])
+			for ti := 0; ti < lens[level]; ti++ {
+				v := flat[ti*stride+k]
+				m[v] = append(m[v], int32(ti))
+			}
+			probes[pos] = kernelProbe{hmap: m, probeSlot: slotFor(lp.other)}
+		case pathBand:
+			k := kIndexOf(level, lp.self.Name)
+			entries := make([]probeEntry, 0, lens[level])
+			for ti := 0; ti < lens[level]; ti++ {
+				v := flat[ti*stride+k]
+				if math.IsNaN(v) {
+					continue // NaN never satisfies a band comparison
+				}
+				entries = append(entries, probeEntry{v: v, ti: int32(ti)})
+			}
+			sort.Slice(entries, func(i, j int) bool {
+				if entries[i].v != entries[j].v {
+					return entries[i].v < entries[j].v
+				}
+				return entries[i].ti < entries[j].ti
+			})
+			probes[pos] = kernelProbe{sorted: entries, probeSlot: slotFor(lp.other)}
+		}
+	}
+
+	// Result rows are carved from grow-only slabs: one allocation per
+	// few thousand rows instead of one per row. Carved rows stay valid
+	// because full slabs are abandoned, never reused.
+	var slab []float64
+	width := len(selects)
+	newRow := func() Row {
+		if len(slab) < width {
+			slab = make([]float64, 4096*max(width, 1))
+		}
+		row := Row(slab[:width:width])
+		slab = slab[width:]
+		return row
+	}
+
+	var rows []Row
+	contrib := make(map[topology.NodeID]bool)
+	agg := newAggState(x.Query.Select)
+	aggregated := hasAggregates(x.Query.Select)
+	grouped := len(x.Query.GroupBy) > 0
+	groups := make(map[string]*aggState)
+	var groupKeys []string
+	vals := make([]float64, nextSlot)
+
+	// emit runs the seed's per-combination body: fill the slot vector,
+	// evaluate SELECT, record contributors, aggregate or append.
+	emit := func(assign []int32) {
+		for level := 0; level < n; level++ {
+			slots := slotsOf[level]
+			flat := pre[level]
+			base := int(assign[level]) * len(slots)
+			for k, s := range slots {
+				vals[s.slot] = flat[base+k]
+			}
+		}
+		row := newRow()
+		for i, f := range selects {
+			row[i] = f(vals)
+		}
+		for level := range byAlias {
+			contrib[byAlias[level][assign[level]].node] = true
+		}
+		switch {
+		case grouped:
+			key := groupKeyOfCompiled(groupBy, vals)
+			g := groups[key]
+			if g == nil {
+				g = newAggState(x.Query.Select)
+				groups[key] = g
+				groupKeys = append(groupKeys, key)
+			}
+			g.add(row)
+		case aggregated:
+			agg.add(row)
+		default:
+			rows = append(rows, row)
+		}
+	}
+
+	// Enumerate matches. Streaming plans emit inline (enumeration order
+	// is nested-loop order); indexed plans record (combination, rank)
+	// and replay below.
+	assign := make([]int32, n)
+	var combos []int32
+	var ranks []uint64
+	var recurse func(pos int, rank uint64)
+	recurse = func(pos int, rank uint64) {
+		if pos == n {
+			if plan.stream {
+				emit(assign)
+			} else {
+				combos = append(combos, assign...)
+				ranks = append(ranks, rank)
+			}
+			return
+		}
+		lp := &plan.order[pos]
+		level := lp.level
+		slots := slotsOf[level]
+		flat := pre[level]
+		stride := len(slots)
+		try := func(ti int32) {
+			base := int(ti) * stride
+			for k, s := range slots {
+				vals[s.slot] = flat[base+k]
+			}
+			for _, ci := range lp.conds {
+				if !compiledConds[ci](vals) {
+					return
+				}
+			}
+			assign[level] = ti
+			recurse(pos+1, rank+uint64(ti)*plan.strides[level])
+		}
+		switch lp.path {
+		case pathHash:
+			for _, ti := range probes[pos].hmap[vals[probes[pos].probeSlot]] {
+				try(ti)
+			}
+		case pathBand:
+			lo, hi := lp.bandWindow(vals[probes[pos].probeSlot])
+			s := probes[pos].sorted
+			i := sort.Search(len(s), func(i int) bool { return s[i].v >= lo })
+			for ; i < len(s) && s[i].v <= hi; i++ {
+				try(s[i].ti)
+			}
+		default:
+			for ti := 0; ti < lens[level]; ti++ {
+				try(int32(ti))
+			}
+		}
+	}
+	recurse(0, 0)
+
+	if !plan.stream {
+		// Replay in nested-loop order: ranks are distinct, so this order
+		// is total and exactly the seed's emission order.
+		perm := make([]int, len(ranks))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(i, j int) bool { return ranks[perm[i]] < ranks[perm[j]] })
+		for _, m := range perm {
+			emit(combos[m*n : m*n+n])
+		}
+	}
+
+	switch {
+	case grouped:
+		// Deterministic group order: sorted by group key; an ORDER BY
+		// re-sorts below.
+		sort.Strings(groupKeys)
+		for _, key := range groupKeys {
+			rows = append(rows, groups[key].rows()...)
+		}
+	case aggregated:
+		rows = agg.rows()
+	}
+	return applyOrderLimit(x.Query, rows), contrib
+}

@@ -16,6 +16,7 @@ package field
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"sensjoin/internal/geom"
 )
@@ -57,6 +58,24 @@ type Field struct {
 	area  geom.Rect
 	seed  uint64
 	bumps []bump
+	// terms caches the per-bump time-dependent factors of the last time
+	// queried (see termsAt). Calibration and snapshot sampling evaluate
+	// thousands of points at one t, so the trigonometry amortizes to
+	// once per bump per t instead of once per bump per point.
+	terms atomic.Pointer[bumpTerms]
+}
+
+// bumpTerm is one bump's position and amplitude at a fixed time,
+// computed exactly as the direct formula does.
+type bumpTerm struct {
+	cx, cy float64
+	amp    float64
+}
+
+// bumpTerms is an immutable per-t snapshot of all bump terms.
+type bumpTerms struct {
+	t     float64
+	terms []bumpTerm
 }
 
 // New builds a field over area from cfg, seeded deterministically.
@@ -89,11 +108,16 @@ func hashName(name string) int64 {
 // Name returns the configured quantity name.
 func (f *Field) Name() string { return f.cfg.Name }
 
-// Smooth returns the noiseless field value at p and time t.
-func (f *Field) Smooth(p geom.Point, t float64) float64 {
-	v := f.cfg.Base
-	sig2 := 2 * f.cfg.CorrLength * f.cfg.CorrLength
-	for _, b := range f.bumps {
+// termsAt returns the bump terms at time t, serving repeated queries at
+// one t from the cached snapshot. Snapshots are immutable and replaced
+// atomically, so concurrent readers at mixed times are safe: a racing
+// fill recomputes the same pure function of t.
+func (f *Field) termsAt(t float64) []bumpTerm {
+	if c := f.terms.Load(); c != nil && c.t == t {
+		return c.terms
+	}
+	terms := make([]bumpTerm, len(f.bumps))
+	for i, b := range f.bumps {
 		cx := b.cx + b.vx*f.cfg.DriftSpeed*t
 		cy := b.cy + b.vy*f.cfg.DriftSpeed*t
 		// Wrap drifting centers back into the area so long runs stay
@@ -104,8 +128,19 @@ func (f *Field) Smooth(p geom.Point, t float64) float64 {
 		if f.cfg.AmpPeriod > 0 {
 			amp *= math.Cos(2*math.Pi*t/f.cfg.AmpPeriod + b.phase)
 		}
-		d2 := (p.X-cx)*(p.X-cx) + (p.Y-cy)*(p.Y-cy)
-		v += amp * math.Exp(-d2/sig2)
+		terms[i] = bumpTerm{cx: cx, cy: cy, amp: amp}
+	}
+	f.terms.Store(&bumpTerms{t: t, terms: terms})
+	return terms
+}
+
+// Smooth returns the noiseless field value at p and time t.
+func (f *Field) Smooth(p geom.Point, t float64) float64 {
+	v := f.cfg.Base
+	sig2 := 2 * f.cfg.CorrLength * f.cfg.CorrLength
+	for _, b := range f.termsAt(t) {
+		d2 := (p.X-b.cx)*(p.X-b.cx) + (p.Y-b.cy)*(p.Y-b.cy)
+		v += b.amp * math.Exp(-d2/sig2)
 	}
 	return v
 }

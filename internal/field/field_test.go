@@ -193,3 +193,52 @@ func TestWrap(t *testing.T) {
 		t.Fatalf("wrap with empty range = %g, want unchanged 7", v)
 	}
 }
+
+// smoothDirect is the pre-cache formula, kept as the equivalence
+// reference for the per-t bump-term cache.
+func smoothDirect(f *Field, p geom.Point, t float64) float64 {
+	v := f.cfg.Base
+	sig2 := 2 * f.cfg.CorrLength * f.cfg.CorrLength
+	for _, b := range f.bumps {
+		cx := b.cx + b.vx*f.cfg.DriftSpeed*t
+		cy := b.cy + b.vy*f.cfg.DriftSpeed*t
+		cx = wrap(cx, f.area.MinX, f.area.MaxX)
+		cy = wrap(cy, f.area.MinY, f.area.MaxY)
+		amp := b.amp
+		if f.cfg.AmpPeriod > 0 {
+			amp *= math.Cos(2*math.Pi*t/f.cfg.AmpPeriod + b.phase)
+		}
+		d2 := (p.X-cx)*(p.X-cx) + (p.Y-cy)*(p.Y-cy)
+		v += amp * math.Exp(-d2/sig2)
+	}
+	return v
+}
+
+// The cached Smooth must be bit-identical to the direct formula — the
+// cache hoists the per-bump time terms but performs the same operations
+// in the same order. Times alternate to exercise cache misses, hits,
+// and replacement.
+func TestSmoothCacheMatchesDirectFormula(t *testing.T) {
+	fields := []*Field{
+		tempField(7), // static: no drift, no amplitude oscillation
+		New(Config{Name: "drift", Base: 5, Amplitude: 3, CorrLength: 120,
+			Bumps: 16, DriftSpeed: 0.4, AmpPeriod: 3600}, testArea(), 11),
+	}
+	times := []float64{0, 17.25, 0, 3600, 17.25, 1e6}
+	for _, f := range fields {
+		for _, tm := range times {
+			for i := 0; i < 50; i++ {
+				p := geom.Point{
+					X: 1050 * geom.HashUnit(uint64(i), 5),
+					Y: 1050 * geom.HashUnit(uint64(i), 6),
+				}
+				got := f.Smooth(p, tm)
+				want := smoothDirect(f, p, tm)
+				if got != want {
+					t.Fatalf("%s: Smooth(%v, %g) = %v, direct formula = %v",
+						f.Name(), p, tm, got, want)
+				}
+			}
+		}
+	}
+}

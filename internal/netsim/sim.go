@@ -11,10 +11,7 @@
 // are common-mode between the join methods being compared.
 package netsim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in seconds.
 type Time = float64
@@ -25,23 +22,60 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a binary min-heap ordered by (t, seq) — seq is unique, so
+// the order is total and pops are deterministic. The sift operations are
+// typed: container/heap would box every event through interface{}, one
+// allocation per Push on the simulator's hottest loop.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push appends e and sifts it up.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the fn reference for the collector
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // Sim is the event loop: a priority queue of timestamped callbacks.
@@ -71,7 +105,7 @@ func (s *Sim) Schedule(t Time, fn func()) {
 		panic(fmt.Sprintf("netsim: scheduling event at %.6f before now %.6f", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.heap, event{t: t, seq: s.seq, fn: fn})
+	s.heap.push(event{t: t, seq: s.seq, fn: fn})
 }
 
 // After runs fn d seconds from now.
@@ -81,7 +115,7 @@ func (s *Sim) After(d Time, fn func()) { s.Schedule(s.now+d, fn) }
 func (s *Sim) Run() {
 	s.halted = false
 	for len(s.heap) > 0 && !s.halted {
-		e := heap.Pop(&s.heap).(event)
+		e := s.heap.pop()
 		s.now = e.t
 		s.steps++
 		e.fn()
@@ -92,7 +126,7 @@ func (s *Sim) Run() {
 func (s *Sim) RunUntil(t Time) {
 	s.halted = false
 	for len(s.heap) > 0 && !s.halted && s.heap[0].t <= t {
-		e := heap.Pop(&s.heap).(event)
+		e := s.heap.pop()
 		s.now = e.t
 		s.steps++
 		e.fn()

@@ -100,3 +100,45 @@ func TestHalt(t *testing.T) {
 		t.Fatalf("Run after Halt should resume; count = %d", count)
 	}
 }
+
+// The event loop is the simulator's hottest path; the typed heap must
+// not box events through interface{} (container/heap cost one
+// allocation per Push). With the backing array pre-grown and a shared
+// callback, a schedule/run cycle performs zero allocations.
+func TestEventLoopAllocs(t *testing.T) {
+	s := NewSim()
+	fn := func() {}
+	// Warm-up grows the heap's backing array to its steady-state size.
+	for i := 0; i < 256; i++ {
+		s.After(float64(i%7), fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 256; i++ {
+			s.After(float64(i%7), fn)
+		}
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("event loop: %.1f allocs per schedule/run cycle, want 0", allocs)
+	}
+}
+
+// The typed heap must preserve the (t, seq) execution order: equal
+// times run in scheduling order.
+func TestHeapOrderWithTies(t *testing.T) {
+	s := NewSim()
+	var got []int
+	times := []float64{3, 1, 2, 1, 3, 1, 2, 0, 3, 0}
+	for i, tm := range times {
+		i := i
+		s.Schedule(tm, func() { got = append(got, i) })
+	}
+	s.Run()
+	want := []int{7, 9, 1, 3, 5, 2, 6, 0, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}

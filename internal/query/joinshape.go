@@ -1,0 +1,185 @@
+package query
+
+import "math"
+
+// Join-shape analysis for the base station's exact-join kernel.
+//
+// The final join (paper §IV-D) evaluates the join conditions over
+// complete tuples. Most experiment conditions are equality or band
+// constraints over a pair of attributes; both admit index-accelerated
+// probing (hash partitioning resp. sorted windows) instead of a nested
+// scan. ShapeOf classifies each conjunct so the kernel can pick an
+// access path per join level; everything it cannot prove to be an
+// equality or band stays a residual conjunct evaluated by the compiled
+// closure, so classification never changes results, only candidate
+// enumeration.
+
+// EqJoin is a recognized cross-relation equality: the conjunct implies
+// value(L) == value(R) with L.Rel != R.Rel.
+type EqJoin struct {
+	// Cond is the index of the source conjunct.
+	Cond int
+	L, R AttrRef
+}
+
+// BandJoin is a recognized band constraint between two relations:
+// the conjunct implies value(L) - value(R) ∈ [Lo, Hi] (or
+// value(L) + value(R) ∈ [Lo, Hi] when Sum is set), up to floating-point
+// rounding of the original comparison. The interval is a closed
+// superset: strict comparisons keep their bound, so windows derived
+// from it are conservative and candidates must still be checked against
+// the original conjunct.
+type BandJoin struct {
+	// Cond is the index of the source conjunct.
+	Cond int
+	L, R AttrRef
+	// Sum marks a constraint over L + R instead of L - R.
+	Sum bool
+	// Lo and Hi bound the (sum or difference) value; ±Inf when a side
+	// is unconstrained.
+	Lo, Hi float64
+}
+
+// JoinShape is the classification of a conjunct list.
+type JoinShape struct {
+	Eq   []EqJoin
+	Band []BandJoin
+	// Residual lists the indexes of conjuncts that fit neither class.
+	Residual []int
+}
+
+// Indexable reports whether any conjunct admits an index access path.
+func (s JoinShape) Indexable() bool { return len(s.Eq)+len(s.Band) > 0 }
+
+// ShapeOf classifies each conjunct of a join condition list. Conjuncts
+// are folded first, so constant arithmetic ("> 2 + 1") still matches.
+func ShapeOf(conds []BoolExpr) JoinShape {
+	var s JoinShape
+	for i, c := range conds {
+		if eq, ok := detectEqJoin(c); ok {
+			eq.Cond = i
+			s.Eq = append(s.Eq, eq)
+			continue
+		}
+		if b, ok := detectBandJoin(c); ok {
+			b.Cond = i
+			s.Band = append(s.Band, b)
+			continue
+		}
+		s.Residual = append(s.Residual, i)
+	}
+	return s
+}
+
+// attrPair destructures e as Attr ± Attr over two distinct bound
+// relations.
+func attrPair(e NumExpr) (l, r AttrRef, sum, ok bool) {
+	a, isArith := e.(Arith)
+	if !isArith || (a.Op != OpSub && a.Op != OpAdd) {
+		return
+	}
+	la, ok1 := a.L.(Attr)
+	ra, ok2 := a.R.(Attr)
+	if !ok1 || !ok2 || la.Ref.Rel < 0 || ra.Ref.Rel < 0 || la.Ref.Rel == ra.Ref.Rel {
+		return
+	}
+	return la.Ref, ra.Ref, a.Op == OpAdd, true
+}
+
+// detectEqJoin recognizes Attr = Attr across relations.
+func detectEqJoin(c BoolExpr) (EqJoin, bool) {
+	cmp, ok := FoldBool(c).(Cmp)
+	if !ok || cmp.Op != CmpEQ {
+		return EqJoin{}, false
+	}
+	la, ok1 := cmp.L.(Attr)
+	ra, ok2 := cmp.R.(Attr)
+	if !ok1 || !ok2 || la.Ref.Rel < 0 || ra.Ref.Rel < 0 || la.Ref.Rel == ra.Ref.Rel {
+		return EqJoin{}, false
+	}
+	return EqJoin{L: la.Ref, R: ra.Ref}, true
+}
+
+// detectBandJoin recognizes the band forms:
+//
+//	A.a - B.b OP c, A.a + B.b OP c   (OP in <, <=, >, >=, =)
+//	abs(A.a - B.b) OP c, abs(A.a + B.b) OP c  (OP in <, <=)
+//	A.a OP B.b                        (OP in <, <=, >, >=)
+//
+// in either orientation of the constant.
+func detectBandJoin(c BoolExpr) (BandJoin, bool) {
+	cmp, ok := FoldBool(c).(Cmp)
+	if !ok {
+		return BandJoin{}, false
+	}
+	op := cmp.Op
+	// Plain attribute comparison: l OP r is l - r OP 0.
+	if la, ok1 := cmp.L.(Attr); ok1 {
+		if ra, ok2 := cmp.R.(Attr); ok2 {
+			if la.Ref.Rel < 0 || ra.Ref.Rel < 0 || la.Ref.Rel == ra.Ref.Rel {
+				return BandJoin{}, false
+			}
+			b := BandJoin{L: la.Ref, R: ra.Ref}
+			return boundByOp(b, op, 0)
+		}
+	}
+	// Normalize to expr OP const.
+	expr, k := cmp.L, cmp.R
+	if _, isConst := expr.(Const); isConst {
+		expr, k = cmp.R, cmp.L
+		op = flipCmpOp(op)
+	}
+	kc, isConst := k.(Const)
+	if !isConst {
+		return BandJoin{}, false
+	}
+	switch e := expr.(type) {
+	case Arith:
+		l, r, sum, ok := attrPair(e)
+		if !ok {
+			return BandJoin{}, false
+		}
+		return boundByOp(BandJoin{L: l, R: r, Sum: sum}, op, kc.V)
+	case Abs:
+		l, r, sum, ok := attrPair(e.X)
+		if !ok {
+			return BandJoin{}, false
+		}
+		// |x| < c means x ∈ [-c, c]; the >-side is an anti-band and
+		// stays residual.
+		if op == CmpLT || op == CmpLE {
+			return BandJoin{L: l, R: r, Sum: sum, Lo: -kc.V, Hi: kc.V}, true
+		}
+	}
+	return BandJoin{}, false
+}
+
+// boundByOp fills the interval of b for "value OP c". Strict bounds stay
+// closed (the interval is a superset by design).
+func boundByOp(b BandJoin, op CmpOp, c float64) (BandJoin, bool) {
+	switch op {
+	case CmpLT, CmpLE:
+		b.Lo, b.Hi = math.Inf(-1), c
+	case CmpGT, CmpGE:
+		b.Lo, b.Hi = c, math.Inf(1)
+	case CmpEQ:
+		b.Lo, b.Hi = c, c
+	default: // != carries no contiguous window
+		return BandJoin{}, false
+	}
+	return b, true
+}
+
+func flipCmpOp(op CmpOp) CmpOp {
+	switch op {
+	case CmpLT:
+		return CmpGT
+	case CmpLE:
+		return CmpGE
+	case CmpGT:
+		return CmpLT
+	case CmpGE:
+		return CmpLE
+	}
+	return op
+}

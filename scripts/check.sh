@@ -9,3 +9,6 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/bench ./internal/core ./internal/quadtree ./internal/workload
+# Smoke the join-kernel benchmarks: one iteration proves the indexed
+# and reference paths still run on both band and equi shapes.
+go test -run=NONE -bench=ExactJoin -benchtime=1x ./internal/core
