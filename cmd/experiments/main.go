@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-nodes 1500] [-seed 42] [-packet 48] [-only E1a,E8]
-//	            [-parallel N] [-csv] [-json]
+//	            [-parallel N] [-csv] [-json] [-audit] [-trace run.jsonl]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Output is a sequence of aligned text tables, one per experiment, with
@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"sensjoin/internal/bench"
+	"sensjoin/internal/trace"
 	"sensjoin/internal/workload"
 )
 
@@ -47,9 +48,15 @@ func run() error {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for experiment/sweep-cell fan-out; 1 = sequential")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	audit := flag.Bool("audit", false, "self-audit every execution against its journal; violations fail the experiment")
+	traceFile := flag.String("trace", "", "instead of the suite, journal one calibrated SENS-Join run: JSONL to this file, Chrome trace alongside, breakdown to stdout")
 	flag.Parse()
 
-	cfg := bench.Config{Nodes: *nodes, Seed: *seed, MaxPacket: *packet, Parallel: *parallel}
+	cfg := bench.Config{Nodes: *nodes, Seed: *seed, MaxPacket: *packet, Parallel: *parallel, Audit: *audit}
+
+	if *traceFile != "" {
+		return writeTrace(cfg, *traceFile)
+	}
 
 	type entry struct {
 		id  string
@@ -174,6 +181,47 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", e.id, results[i].elapsed.Seconds())
 	}
 	fmt.Fprintf(os.Stderr, "total: %.1fs (parallel %d)\n", total.Seconds(), *parallel)
+	return nil
+}
+
+// writeTrace journals one calibrated SENS-Join run, writes it as JSON
+// Lines plus a Chrome trace_event file, and prints the per-phase
+// response-time breakdown.
+func writeTrace(cfg bench.Config, path string) error {
+	j, violations, err := bench.RunTraced(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, j); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(path + ".chrome.json")
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(cf, j); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("journal: %d events -> %s (+ %s.chrome.json)\n\n", len(j.Events), path, path)
+	fmt.Println(trace.PhaseBreakdown(j))
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "audit violation: %s\n", v)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d audit violation(s)", len(violations))
+	}
 	return nil
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	netviz [-nodes 300] [-seed 1] [-dot]
+//	netviz [-nodes 300] [-seed 1] [-dot] [-loads] [-timeline]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"sensjoin/internal/core"
 	"sensjoin/internal/routing"
 	"sensjoin/internal/topology"
+	"sensjoin/internal/trace"
 )
 
 func main() {
@@ -23,6 +24,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "placement seed")
 	dot := flag.Bool("dot", false, "emit graphviz DOT of the routing tree")
 	loads := flag.Bool("loads", false, "run a default join with both methods and show the per-node load distribution")
+	timeline := flag.Bool("timeline", false, "run a default join and render its execution timeline from the journal")
 	flag.Parse()
 
 	r, err := core.NewRunner(core.SetupConfig{Nodes: *nodes, Seed: *seed})
@@ -38,6 +40,10 @@ func main() {
 	}
 	if *loads {
 		emitLoads(r)
+		return
+	}
+	if *timeline {
+		emitTimeline(r)
 		return
 	}
 
@@ -86,6 +92,21 @@ func emitDot(dep *topology.Deployment, tree *routing.Tree) {
 		}
 	}
 	fmt.Println("}")
+}
+
+// emitTimeline journals a default SENS-Join execution and renders the
+// phase timeline with transmission density.
+func emitTimeline(r *core.Runner) {
+	const src = `SELECT A.hum, B.hum FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 6 ONCE`
+	rec := r.EnableTrace()
+	if _, err := r.Run(src, core.NewSENSJoin(), 0); err != nil {
+		fmt.Fprintln(os.Stderr, "netviz:", err)
+		os.Exit(1)
+	}
+	j := rec.Journal()
+	fmt.Println(trace.Timeline(j, 72))
+	fmt.Println(trace.PhaseBreakdown(j))
 }
 
 // emitLoads races both methods on a default selective join and prints

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	sensjoin [-nodes 300] [-seed 1] [-method sens|external|noquad]
-//	         [-compare] [-rows 10] [-flood] "SELECT ... ONCE"
+//	         [-compare] [-rows 10] [-flood] [-audit] [-trace run.jsonl]
+//	         "SELECT ... ONCE"
 //
 // Example (the paper's Q1):
 //
@@ -32,7 +33,8 @@ func main() {
 	compare := flag.Bool("compare", false, "also run the external join and report savings")
 	maxRows := flag.Int("rows", 10, "result rows to print (0 = all)")
 	flood := flag.Bool("flood", false, "include query dissemination in the run")
-	trace := flag.Int("trace", 0, "print the first N radio events of the execution")
+	traceFile := flag.String("trace", "", "write the execution journal as JSON Lines to this file (plus a Chrome trace alongside) and print the phase breakdown")
+	audit := flag.Bool("audit", false, "self-audit the execution against its journal; violations exit nonzero")
 	flag.Parse()
 
 	src := strings.Join(flag.Args(), " ")
@@ -87,25 +89,38 @@ func main() {
 		fail(fmt.Errorf("unknown method %q", *method))
 	}
 
-	if *trace > 0 {
-		remaining := *trace
-		net.SetTrace(func(ev sensjoin.TraceEvent) {
-			if remaining <= 0 {
-				return
-			}
-			remaining--
-			fmt.Printf("trace %8.3fs %-4s %-16s %4d -> %4d  %d B\n",
-				ev.At, ev.Event, ev.Phase, ev.Src, ev.Dst, ev.Bytes)
-		})
+	if *traceFile != "" {
+		net.EnableJournal()
 	}
 	if *flood {
 		if err := net.DisseminateQuery(src); err != nil {
 			fail(err)
 		}
 	}
-	res, err := net.Execute(src, m)
-	if err != nil {
-		fail(err)
+	var res *sensjoin.Result
+	if *audit {
+		var violations []string
+		res, violations, err = net.ExecuteAudited(src, m)
+		if err != nil {
+			fail(err)
+		}
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "audit violation:", v)
+		}
+		if len(violations) > 0 {
+			fail(fmt.Errorf("%d audit violation(s)", len(violations)))
+		}
+		fmt.Println("audit: conservation, reconciliation, slot order, filter soundness — clean")
+	} else {
+		res, err = net.Execute(src, m)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *traceFile != "" {
+		if err := writeJournal(net, *traceFile); err != nil {
+			fail(err)
+		}
 	}
 
 	fmt.Printf("\nresult: %d row(s), %d of %d member nodes contributing (%.1f%%), response %.1fs\n",
@@ -136,6 +151,35 @@ func main() {
 		fmt.Printf("\nexternal join: %d packets -> savings %.1f%%\n",
 			ext, 100*(1-float64(total)/float64(ext)))
 	}
+}
+
+// writeJournal exports the execution journal as JSON Lines plus a Chrome
+// trace_event file and prints the per-phase breakdown.
+func writeJournal(net *sensjoin.Network, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := net.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(path + ".chrome.json")
+	if err != nil {
+		return err
+	}
+	if err := net.WriteChromeTrace(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\njournal -> %s (+ %s.chrome.json)\n%s", path, path, net.PhaseBreakdown())
+	return nil
 }
 
 func fail(err error) {

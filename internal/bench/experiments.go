@@ -10,6 +10,7 @@ import (
 	"sensjoin/internal/netsim"
 	"sensjoin/internal/stats"
 	"sensjoin/internal/topology"
+	"sensjoin/internal/trace"
 	"sensjoin/internal/workload"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	// fan-out (see pool.go); 0 or 1 runs everything sequentially.
 	// Output is byte-identical for every value.
 	Parallel int
+	// Audit makes every execution self-audit against its journal
+	// (conservation, reconciliation, slot order, filter soundness);
+	// violations turn into experiment errors. Tables are unchanged —
+	// tracing is observation, not interference.
+	Audit bool
 }
 
 func (c Config) withDefaults() Config {
@@ -55,7 +61,33 @@ func (c Config) withDefaults() Config {
 func (c Config) runner() (*core.Runner, error) {
 	radio := netsim.DefaultRadio()
 	radio.MaxPacket = c.MaxPacket
-	return core.NewRunner(core.SetupConfig{Nodes: c.Nodes, Seed: c.Seed, Radio: radio})
+	r, err := core.NewRunner(core.SetupConfig{Nodes: c.Nodes, Seed: c.Seed, Radio: radio})
+	if err != nil {
+		return nil, err
+	}
+	r.AutoAudit = c.Audit
+	return r, nil
+}
+
+// RunTraced executes one calibrated SENS-Join query at the default
+// fraction with the execution journal enabled and returns the journal
+// plus any audit violations (none on a correct run). The journal backs
+// `experiments -trace`.
+func RunTraced(cfg Config) (*trace.Journal, []trace.Violation, error) {
+	cfg = cfg.withDefaults()
+	r, err := cfg.runner()
+	if err != nil {
+		return nil, nil, err
+	}
+	r.AutoAudit = false // keep the journal; AuditRun below audits explicitly
+	rec := r.EnableTrace()
+	preset := workload.Ratio33()
+	delta, _ := workload.Calibrate(r, preset, cfg.DefaultFraction)
+	_, violations, err := r.AuditRun(preset.Build(delta), core.NewSENSJoin(), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec.Journal(), violations, nil
 }
 
 // runTotal executes one method and returns its total packet count over

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sensjoin/internal/topology"
+	"sensjoin/internal/trace"
+)
+
+// EnableTrace attaches a journal recorder to the runner (idempotent):
+// radio events flow in through the network tracer and protocol spans
+// through Exec.Trace. Returns the recorder for export/audit calls.
+func (r *Runner) EnableTrace() *trace.Recorder {
+	if r.Trace == nil {
+		r.Trace = trace.New()
+		r.Net.SetTracer(r.Trace.Radio())
+	}
+	return r.Trace
+}
+
+// AuditRun executes a query like Run and then audits the execution's
+// journal segment: conservation (every delivery matches a transmission),
+// reconciliation (journal totals equal the stats collector's, bit-exact),
+// slot-schedule ordering (no parent transmits before its children in the
+// collection phases), and — for filter-based methods on loss-free runs —
+// filter soundness (no suppressed tuple contributes to the ground truth).
+// Tracing is enabled on demand. With AutoAudit set, the audited journal
+// segment is truncated afterwards so long soaks stay bounded.
+func (r *Runner) AuditRun(src string, m Method, t float64) (*Result, []trace.Violation, error) {
+	rec := r.EnableTrace()
+	mark := rec.Mark()
+	before := r.Stats.Snapshot()
+
+	x, err := r.ExecSQL(src, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Run(x)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	after := r.Stats.Snapshot()
+	j := rec.JournalSince(mark)
+
+	var violations []trace.Violation
+	violations = append(violations, trace.Conservation(j)...)
+	violations = append(violations, trace.Reconcile(j, before, after)...)
+	violations = append(violations, trace.SlotOrder(j, r.Tree, auditPhases(m))...)
+	// Filter soundness needs the ground truth to be reachable: a dead
+	// member transmits nothing (silently — no drop/lost events), so the
+	// filter legitimately misses its keys and suppressing its join
+	// partners is correct. Audit only when every node is alive; lossy
+	// runs stand down inside FilterSoundness itself.
+	if filterPhased(m) && r.allAlive() {
+		contrib, err := groundTruthContributors(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		violations = append(violations, trace.FilterSoundness(j, contrib)...)
+	}
+	if r.AutoAudit {
+		rec.Truncate(mark)
+	}
+	return res, violations, nil
+}
+
+// allAlive reports whether every node in the deployment is live.
+func (r *Runner) allAlive() bool {
+	for i := 0; i < r.Net.N(); i++ {
+		if !r.Net.Alive(topology.NodeID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// auditPhases selects the method's phases that follow the leaves-first
+// TAG slot schedule; dissemination phases flood downstream and are not
+// slot-ordered.
+func auditPhases(m Method) []string {
+	var out []string
+	for _, p := range m.Phases() {
+		switch p {
+		case PhaseJACollect, PhaseFinalCollect, PhaseExternal:
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// filterPhased reports whether the method disseminates a join filter
+// (and so emits suppress/prune decisions worth auditing).
+func filterPhased(m Method) bool {
+	for _, p := range m.Phases() {
+		if p == PhaseFilterDissem {
+			return true
+		}
+	}
+	return false
+}
+
+// groundTruthContributors computes, network-free, the set of nodes whose
+// tuple appears in the exact query result — the oracle the filter
+// soundness audit checks suppress decisions against.
+func groundTruthContributors(x *Exec) (map[topology.NodeID]bool, error) {
+	p, err := buildPlan(x)
+	if err != nil {
+		return nil, err
+	}
+	var tuples []finalTuple
+	for id := 1; id < x.Dep.N(); id++ {
+		if p.nodes[id] != nil {
+			tuples = append(tuples, p.tuple(topology.NodeID(id)))
+		}
+	}
+	_, contrib := exactJoin(x, tuples)
+	return contrib, nil
+}

@@ -20,6 +20,7 @@ import (
 	"sensjoin/internal/routing"
 	"sensjoin/internal/stats"
 	"sensjoin/internal/topology"
+	"sensjoin/internal/trace"
 )
 
 // Accounting phase labels. Experiment totals sum the method's phases;
@@ -69,6 +70,17 @@ type Exec struct {
 
 	// Time is the sampling instant of this execution's snapshot.
 	Time float64
+
+	// Trace records protocol-level span events (phase transitions,
+	// Treecut exits, prune decisions, ...). A nil recorder is a no-op,
+	// so instrumentation points need no guards; guard only work that
+	// exists solely to feed it (x.Trace.Enabled()).
+	Trace *trace.Recorder
+}
+
+// span appends a protocol event at the current simulated time.
+func (x *Exec) span(k trace.Kind, node, peer topology.NodeID, phase string, arg int) {
+	x.Trace.Span(x.Sim.Now(), k, node, peer, phase, arg)
 }
 
 // NewExec validates and assembles an execution context.

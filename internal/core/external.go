@@ -1,5 +1,10 @@
 package core
 
+import (
+	"sensjoin/internal/topology"
+	"sensjoin/internal/trace"
+)
+
 // External is the state-of-the-art general-purpose baseline (paper §I,
 // §VI): every member node ships its complete tuple (projected onto the
 // attributes the query needs, selections applied locally) to the base
@@ -23,7 +28,9 @@ func (External) Run(x *Exec) (*Result, error) {
 	// One TAG-style collection wave gathers every member tuple at the
 	// base station (nodes at depth d transmit in slot maxDepth-d, so
 	// children always precede parents); the join happens there.
+	x.span(trace.KindPhaseStart, topology.BaseStation, -1, PhaseExternal, 0)
 	tuples := collectWave(x, p, x.Tree, PhaseExternal, nil)
+	x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseExternal, 0)
 	rows, contrib := exactJoin(x, tuples)
 	return &Result{
 		Columns:           columnsOf(x.Query),

@@ -10,6 +10,7 @@ import (
 	"sensjoin/internal/routing"
 	"sensjoin/internal/stats"
 	"sensjoin/internal/topology"
+	"sensjoin/internal/trace"
 )
 
 // SetupConfig describes a simulated deployment for the Runner.
@@ -46,6 +47,15 @@ type Runner struct {
 	Stats   *stats.Collector
 	// Member decides relation membership (nil = homogeneous).
 	Member relation.Membership
+
+	// Trace records execution journals once EnableTrace is called; nil
+	// keeps the radio hot path allocation-free.
+	Trace *trace.Recorder
+	// AutoAudit makes every Run audit itself: each execution's journal
+	// segment is checked (conservation, reconciliation, slot order,
+	// filter soundness) and violations turn into errors. The journal is
+	// truncated after each run to bound memory.
+	AutoAudit bool
 }
 
 // NewRunner builds a connected deployment, its environment, the standard
@@ -130,6 +140,7 @@ func (r *Runner) Exec(q *query.Query, t float64) (*Exec, error) {
 		return nil, err
 	}
 	x.Member = r.Member
+	x.Trace = r.Trace
 	return x, nil
 }
 
@@ -142,8 +153,20 @@ func (r *Runner) ExecSQL(src string, t float64) (*Exec, error) {
 	return r.Exec(q, t)
 }
 
-// Run executes a query with the given method at time t.
+// Run executes a query with the given method at time t. With AutoAudit
+// set, the execution's journal is audited and violations become errors.
 func (r *Runner) Run(src string, m Method, t float64) (*Result, error) {
+	if r.AutoAudit {
+		res, violations, err := r.AuditRun(src, m, t)
+		if err != nil {
+			return nil, err
+		}
+		if len(violations) > 0 {
+			return nil, fmt.Errorf("core: %s audit: %d violation(s), first: %s",
+				m.Name(), len(violations), violations[0])
+		}
+		return res, nil
+	}
 	x, err := r.ExecSQL(src, t)
 	if err != nil {
 		return nil, err
@@ -180,6 +203,7 @@ func (r *Runner) RunWithRecovery(src string, m Method, t float64, maxAttempts in
 			return res, attempt, nil
 		}
 		r.RebuildTree()
+		r.Trace.Span(r.Sim.Now(), trace.KindRecovery, topology.BaseStation, -1, "", attempt)
 	}
 	return res, maxAttempts, nil
 }

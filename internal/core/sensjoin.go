@@ -6,6 +6,7 @@ import (
 	"sensjoin/internal/netsim"
 	"sensjoin/internal/quadtree"
 	"sensjoin/internal/topology"
+	"sensjoin/internal/trace"
 	"sensjoin/internal/zorder"
 )
 
@@ -184,6 +185,7 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 	}
 
 	// Phase A: Join-Attribute-Collection, leaves first (Fig. 2).
+	x.span(trace.KindPhaseStart, topology.BaseStation, -1, PhaseJACollect, 0)
 	for i := 1; i < n; i++ {
 		id := topology.NodeID(i)
 		if !tree.Reachable(id) {
@@ -200,6 +202,8 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 	var result *Result
 	tA := start + float64(tree.MaxDepth+1)*slotA
 	x.Sim.Schedule(tA, func() {
+		x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseJACollect, 0)
+		x.span(trace.KindPhaseStart, topology.BaseStation, -1, PhaseFilterDissem, 0)
 		bs := states[topology.BaseStation]
 		bsKeys := bs.keysIn
 		for _, t := range bs.fullsIn {
@@ -219,6 +223,14 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 		// Phase C schedule: after the filter has fully propagated.
 		slotB := x.Net.SlotFor(o.Rep.SetBytes(p, filter) + 32)
 		tB := x.Sim.Now() + float64(tree.MaxDepth+1)*slotB
+		if x.Trace.Enabled() {
+			// Scheduled first so the phase boundary precedes the deepest
+			// nodes' phase-C transmissions at the same instant.
+			x.Sim.Schedule(tB, func() {
+				x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseFilterDissem, 0)
+				x.span(trace.KindPhaseStart, topology.BaseStation, -1, PhaseFinalCollect, 0)
+			})
+		}
 		for i := 1; i < n; i++ {
 			id := topology.NodeID(i)
 			if !tree.Reachable(id) {
@@ -230,6 +242,7 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 			})
 		}
 		x.Sim.Schedule(tB+float64(tree.MaxDepth+1)*slotC, func() {
+			x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseFinalCollect, 0)
 			bsT := states[topology.BaseStation]
 			tuples := append(append([]finalTuple(nil), bsT.fullsIn...), bsT.finalsIn...)
 			rows, contrib := exactJoin(x, tuples)
@@ -270,6 +283,7 @@ func (s *SENSJoin) forwardJoinAttrValues(x *Exec, p *plan, o Options, id topolog
 			tuples = append(append([]finalTuple(nil), tuples...), p.tuple(id))
 		}
 		st.cut = true
+		x.span(trace.KindTreecut, id, x.Tree.Parent[id], PhaseJACollect, len(tuples))
 		if len(tuples) == 0 {
 			return
 		}
@@ -283,6 +297,9 @@ func (s *SENSJoin) forwardJoinAttrValues(x *Exec, p *plan, o Options, id topolog
 	// Act as proxy (lines 20-27): store complete tuples and the
 	// subtree's join-attribute structure, forward join-attribute tuples.
 	st.proxied = st.fullsIn
+	if len(st.proxied) > 0 {
+		x.span(trace.KindProxy, id, -1, PhaseJACollect, len(st.proxied))
+	}
 	if fullBytes > s.Memory.MaxProxyBytes {
 		s.Memory.MaxProxyBytes = fullBytes
 	}
@@ -351,12 +368,18 @@ func (s *SENSJoin) onFilter(x *Exec, p *plan, o Options, id topology.NodeID, st 
 	if fb := o.Rep.SetBytes(p, filter); fb > s.Memory.MaxFilterBytes {
 		s.Memory.MaxFilterBytes = fb
 	}
-	if nd := p.nodes[id]; nd != nil && quadtree.ContainsKey(filter, nd.key) {
-		st.ownMatch = true
+	if nd := p.nodes[id]; nd != nil {
+		if quadtree.ContainsKey(filter, nd.key) {
+			st.ownMatch = true
+		} else {
+			x.span(trace.KindSuppress, id, id, PhaseFilterDissem, 0)
+		}
 	}
 	for _, t := range st.proxied {
 		if quadtree.ContainsKey(filter, p.keyOf(t)) {
 			st.matchedProxy = append(st.matchedProxy, t)
+		} else {
+			x.span(trace.KindSuppress, id, t.node, PhaseFilterDissem, 0)
 		}
 	}
 	if st.activeChildren == 0 {
@@ -368,6 +391,9 @@ func (s *SENSJoin) onFilter(x *Exec, p *plan, o Options, id topology.NodeID, st 
 			sub = filter // cannot prune: structure was too large to keep
 		} else {
 			sub = quadtree.IntersectKeys(filter, st.subtreeKeys)
+			if pruned := len(filter) - len(sub); pruned > 0 {
+				x.span(trace.KindPrune, id, -1, PhaseFilterDissem, pruned)
+			}
 		}
 	}
 	if len(sub) == 0 {

@@ -18,6 +18,7 @@ func TestSoakContinuousWithChaos(t *testing.T) {
 		t.Skip("soak test skipped in -short mode")
 	}
 	r := testRunner(t, 200, 1001)
+	r.AutoAudit = true // every round self-audits; violations fail the round
 	rng := rand.New(rand.NewSource(77))
 	m := NewContinuousSENSJoin()
 	src := qBand(0.4)
@@ -96,6 +97,7 @@ func TestSoakExternalWithLoss(t *testing.T) {
 		t.Skip("soak test skipped in -short mode")
 	}
 	r := testRunner(t, 150, 1003)
+	r.AutoAudit = true
 	for round := 0; round < 15; round++ {
 		r.Net.SetLossRate(0.01*float64(round%4), int64(round))
 		res, err := r.Run(qBand(0.4), External{}, float64(round)*30)

@@ -99,6 +99,14 @@ type Network struct {
 	lossRate float64
 	lossRNG  *rand.Rand
 	tracer   Tracer
+	// msgSeq numbers every transmission; trace events of one logical
+	// message share its MsgID, which is what lets an audit match each
+	// reception, drop or loss back to the transmission that caused it.
+	msgSeq int64
+	// free is the delivery freelist: in-flight message state is pooled
+	// so that the send/deliver path performs zero allocations per event
+	// once warm (guarded by TestSendDeliverZeroAllocs).
+	free []*delivery
 
 	// Dropped counts unicast messages that could not be delivered
 	// because the link was down or the receiver dead.
@@ -148,16 +156,51 @@ func NewNetwork(sim *Sim, dep *topology.Deployment, radio RadioConfig, acct Acco
 // SetHandler installs the message handler for node id.
 func (n *Network) SetHandler(id NodeID, h Handler) { n.handlers[id] = h }
 
-// Tracer observes every transmission (once) and delivery (per receiver).
-// Event is "tx", "rx", "drop" or "lost".
-type Tracer func(event string, at Time, m Message)
+// TraceEvent is one radio-level event. Timestamps are true simulated
+// times: a "tx" carries the send instant, an "rx" the instant after air
+// time at which the receiver actually gets the message. "drop" marks a
+// delivery that failed (link down, receiver dead — including a receiver
+// that died while the message was in flight) and "lost" a message
+// removed by the probabilistic loss model. All events of one logical
+// message share its MsgID.
+type TraceEvent struct {
+	// Event is "tx", "rx", "drop" or "lost".
+	Event string
+	// At is the simulated time of the event in seconds.
+	At Time
+	// MsgID identifies the transmission this event belongs to.
+	MsgID int64
+	// Src and Dst are sender and receiver; on a broadcast "tx" Dst is
+	// BroadcastID while the per-receiver outcome events carry the
+	// concrete receiver.
+	Src, Dst NodeID
+	// Kind, Phase, Bytes mirror the message.
+	Kind  int
+	Phase string
+	Bytes int
+	// Packets is the packet count the radio model charges.
+	Packets int
+	// Expect is set on "tx" events only: the number of receivers the
+	// medium attempts delivery to (link-OK neighbors for a broadcast, 1
+	// for any unicast). Conservation audits check that every
+	// transmission's outcome events (rx + drop + lost) add up to it.
+	Expect int
+}
 
-// SetTracer installs a transmission observer; nil disables tracing.
+// Tracer observes every transmission (once) and per-receiver outcome.
+type Tracer func(ev TraceEvent)
+
+// SetTracer installs a radio observer; nil disables tracing. The
+// zero-trace send/deliver path stays allocation-free.
 func (n *Network) SetTracer(t Tracer) { n.tracer = t }
 
-func (n *Network) trace(event string, m Message) {
+func (n *Network) trace(event string, m Message, packets int, msgID int64, expect int) {
 	if n.tracer != nil {
-		n.tracer(event, n.Sim.Now(), m)
+		n.tracer(TraceEvent{
+			Event: event, At: n.Sim.Now(), MsgID: msgID,
+			Src: m.Src, Dst: m.Dst, Kind: m.Kind, Phase: m.Phase,
+			Bytes: m.Size, Packets: packets, Expect: expect,
+		})
 	}
 }
 
@@ -202,33 +245,46 @@ func (n *Network) Send(m Message) {
 	if n.acct != nil {
 		n.acct.OnTx(m.Src, m.Phase, packets, m.Size)
 	}
-	n.trace("tx", m)
+	n.msgSeq++
+	msgID := n.msgSeq
 	delay := n.Radio.AirTime(packets, m.Size)
 	if m.Dst == BroadcastID {
+		if n.tracer != nil {
+			expect := 0
+			for _, v := range n.Dep.Neighbors[m.Src] {
+				if n.LinkOK(m.Src, v) {
+					expect++
+				}
+			}
+			n.trace("tx", m, packets, msgID, expect)
+		}
 		for _, v := range n.Dep.Neighbors[m.Src] {
 			if !n.LinkOK(m.Src, v) {
 				continue
 			}
 			if n.lost(packets) {
 				n.Lost++
-				n.trace("lost", m)
+				mm := m
+				mm.Dst = v
+				n.trace("lost", mm, packets, msgID, 0)
 				continue
 			}
-			n.deliver(m, v, packets, delay)
+			n.deliver(m, v, packets, delay, msgID)
 		}
 		return
 	}
+	n.trace("tx", m, packets, msgID, 1)
 	if !n.LinkOK(m.Src, m.Dst) {
 		n.Dropped++
-		n.trace("drop", m)
+		n.trace("drop", m, packets, msgID, 0)
 		return
 	}
 	if n.lost(packets) {
 		n.Lost++
-		n.trace("lost", m)
+		n.trace("lost", m, packets, msgID, 0)
 		return
 	}
-	n.deliver(m, m.Dst, packets, delay)
+	n.deliver(m, m.Dst, packets, delay, msgID)
 }
 
 // lost draws the loss model: a message survives only if every packet
@@ -245,21 +301,58 @@ func (n *Network) lost(packets int) bool {
 	return false
 }
 
-func (n *Network) deliver(m Message, to NodeID, packets int, delay Time) {
+// delivery is pooled in-flight message state. Binding run to the
+// deliver method once per pool object lets Schedule take a plain func()
+// without allocating a fresh closure per message.
+type delivery struct {
+	n       *Network
+	m       Message
+	packets int
+	msgID   int64
+	run     func()
+}
+
+func (n *Network) getDelivery() *delivery {
+	if k := len(n.free); k > 0 {
+		d := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return d
+	}
+	d := &delivery{n: n}
+	d.run = d.deliver
+	return d
+}
+
+// deliver fires at the scheduled delivery instant: reception accounting,
+// the rx trace event and the handler all happen after air time, and a
+// node that died while the message was in flight is charged nothing.
+func (d *delivery) deliver() {
+	n, m, packets, msgID := d.n, d.m, d.packets, d.msgID
+	d.m = Message{} // release the payload reference
+	n.free = append(n.free, d)
+	to := m.Dst
+	if n.dead[to] {
+		n.Dropped++
+		n.trace("drop", m, packets, msgID, 0)
+		return
+	}
 	if n.acct != nil {
 		n.acct.OnRx(to, m.Phase, packets, m.Size)
 	}
-	mm := m
-	mm.Dst = to
-	n.trace("rx", mm)
-	n.Sim.Schedule(n.Sim.Now()+delay, func() {
-		if n.dead[to] {
-			return
-		}
-		if h := n.handlers[to]; h != nil {
-			h(mm)
-		}
-	})
+	n.trace("rx", m, packets, msgID, 0)
+	if h := n.handlers[to]; h != nil {
+		h(m)
+	}
+}
+
+func (n *Network) deliver(m Message, to NodeID, packets int, delay Time, msgID int64) {
+	d := n.getDelivery()
+	d.m = m
+	d.m.Dst = to
+	d.packets = packets
+	d.msgID = msgID
+	n.Sim.Schedule(n.Sim.Now()+delay, d.run)
 }
 
 // N returns the node count including the base station.

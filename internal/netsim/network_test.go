@@ -168,10 +168,14 @@ func TestKillAndReviveNode(t *testing.T) {
 }
 
 func TestDeadNodeKilledAfterSendStillMisses(t *testing.T) {
-	// A node killed between transmission and delivery misses the message.
+	// A node killed between transmission and delivery misses the message
+	// — and is charged no reception energy for it.
 	sim := NewSim()
 	dep := lineDeployment(2)
-	net := NewNetwork(sim, dep, DefaultRadio(), newRecordingAcct())
+	acct := newRecordingAcct()
+	net := NewNetwork(sim, dep, DefaultRadio(), acct)
+	var events []TraceEvent
+	net.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
 	delivered := 0
 	net.SetHandler(1, func(m Message) { delivered++ })
 	net.Send(Message{Src: 0, Dst: 1, Size: 5})
@@ -179,6 +183,49 @@ func TestDeadNodeKilledAfterSendStillMisses(t *testing.T) {
 	sim.Run()
 	if delivered != 0 {
 		t.Fatal("message delivered to a node that died in flight")
+	}
+	if acct.rx[1][0] != 0 {
+		t.Fatalf("node killed in flight charged %d rx packets, want 0", acct.rx[1][0])
+	}
+	if net.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1 for the in-flight death", net.Dropped)
+	}
+	counts := map[string]int{}
+	for _, ev := range events {
+		counts[ev.Event]++
+	}
+	if counts["tx"] != 1 || counts["drop"] != 1 || counts["rx"] != 0 {
+		t.Fatalf("events = %v, want one tx and one drop", counts)
+	}
+}
+
+func TestRxAccountingAtDeliveryTime(t *testing.T) {
+	// Reception is charged and traced when the message arrives (after air
+	// time), not at the send instant.
+	sim := NewSim()
+	acct := newRecordingAcct()
+	net := NewNetwork(sim, lineDeployment(2), DefaultRadio(), acct)
+	var rxAt []Time
+	net.SetTracer(func(ev TraceEvent) {
+		if ev.Event == "rx" {
+			rxAt = append(rxAt, ev.At)
+			if acct.rx[1][0] != 1 {
+				t.Errorf("rx trace fired before/without accounting: %v", acct.rx[1])
+			}
+		}
+	})
+	net.SetHandler(1, func(Message) {})
+	net.Send(Message{Src: 0, Dst: 1, Size: 5})
+	if acct.rx[1][0] != 0 {
+		t.Fatal("reception charged at send time")
+	}
+	sim.Run()
+	air := net.Radio.AirTime(1, 5)
+	if len(rxAt) != 1 || rxAt[0] != air {
+		t.Fatalf("rx at %v, want [%g]", rxAt, air)
+	}
+	if acct.rx[1][0] != 1 {
+		t.Fatal("reception not charged after delivery")
 	}
 }
 
@@ -269,17 +316,15 @@ func TestLossModelMultiPacketMoreFragile(t *testing.T) {
 func TestTracer(t *testing.T) {
 	sim := NewSim()
 	net := NewNetwork(sim, lineDeployment(3), DefaultRadio(), nil)
-	var events []string
-	net.SetTracer(func(ev string, at Time, m Message) {
-		events = append(events, ev)
-	})
+	var events []TraceEvent
+	net.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
 	net.SetHandler(1, func(Message) {})
 	net.Send(Message{Src: 0, Dst: 1, Size: 5})
 	net.Send(Message{Src: 0, Dst: 2, Size: 5}) // non-neighbor: drop
 	sim.Run()
 	want := map[string]int{}
 	for _, e := range events {
-		want[e]++
+		want[e.Event]++
 	}
 	if want["tx"] != 2 || want["rx"] != 1 || want["drop"] != 1 {
 		t.Fatalf("events = %v", want)
@@ -287,4 +332,62 @@ func TestTracer(t *testing.T) {
 	net.SetTracer(nil) // disabling must not panic
 	net.Send(Message{Src: 0, Dst: 1, Size: 5})
 	sim.Run()
+}
+
+func TestTracerMsgIDsAndExpect(t *testing.T) {
+	// Every transmission gets a fresh MsgID; all outcome events of one
+	// message share it, and a tx's Expect equals its outcome-event count.
+	sim := NewSim()
+	net := NewNetwork(sim, lineDeployment(4), DefaultRadio(), nil)
+	var events []TraceEvent
+	net.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	for i := 0; i < 4; i++ {
+		net.SetHandler(NodeID(i), func(Message) {})
+	}
+	net.Send(Message{Src: 1, Dst: BroadcastID, Size: 5}) // two neighbors
+	net.Send(Message{Src: 0, Dst: 1, Size: 5})
+	sim.Run()
+	expect := map[int64]int{}
+	outcomes := map[int64]int{}
+	for _, ev := range events {
+		if ev.Event == "tx" {
+			if _, dup := expect[ev.MsgID]; dup {
+				t.Fatalf("duplicate tx MsgID %d", ev.MsgID)
+			}
+			expect[ev.MsgID] = ev.Expect
+		} else {
+			outcomes[ev.MsgID]++
+		}
+	}
+	if len(expect) != 2 {
+		t.Fatalf("tx events = %d, want 2", len(expect))
+	}
+	for id, want := range expect {
+		if outcomes[id] != want {
+			t.Fatalf("msg %d: %d outcome events, tx expected %d", id, outcomes[id], want)
+		}
+	}
+}
+
+// With tracing disabled, the send/deliver path must stay allocation-free:
+// delivery state is pooled and the scheduled callback is a pre-bound
+// method value, never a fresh closure.
+func TestSendDeliverZeroAllocs(t *testing.T) {
+	sim := NewSim()
+	net := NewNetwork(sim, lineDeployment(4), DefaultRadio(), newRecordingAcct())
+	for i := 0; i < 4; i++ {
+		net.SetHandler(NodeID(i), func(Message) {})
+	}
+	send := func() {
+		for i := 0; i < 64; i++ {
+			net.Send(Message{Src: 1, Dst: BroadcastID, Phase: "p", Size: 20})
+			net.Send(Message{Src: 2, Dst: 3, Phase: "p", Size: 90})
+		}
+		sim.Run()
+	}
+	send() // warm the delivery pool and event heap
+	allocs := testing.AllocsPerRun(50, send)
+	if allocs > 0 {
+		t.Fatalf("send/deliver with tracing disabled: %.1f allocs per cycle, want 0", allocs)
+	}
 }

@@ -31,10 +31,11 @@ type Protocol struct {
 	// Interval is the time between beacon rounds in seconds.
 	Interval float64
 
-	round  int
-	hops   []int
-	parent []topology.NodeID
-	sent   []int // last round this node rebroadcast in
+	round    int
+	hops     []int
+	parent   []topology.NodeID
+	sent     []int // freshest round this node has seen
+	sentHops []int // hop count last announced this round
 }
 
 // NewProtocol attaches a beacon protocol to net. Call Start to begin
@@ -47,11 +48,13 @@ func NewProtocol(net *netsim.Network, interval float64) *Protocol {
 		hops:     make([]int, n),
 		parent:   make([]topology.NodeID, n),
 		sent:     make([]int, n),
+		sentHops: make([]int, n),
 	}
 	for i := range p.hops {
 		p.hops[i] = -1
 		p.parent[i] = NoParent
 		p.sent[i] = -1
+		p.sentHops[i] = -1
 	}
 	p.Reinstall()
 	return p
@@ -116,23 +119,39 @@ func (p *Protocol) handle(id topology.NodeID, m netsim.Message) {
 		p.rebroadcast(id, b.round)
 		return
 	}
-	if b.round == roundOf(p, id) && (better || sameButLower) {
+	if b.round != roundOf(p, id) {
+		return
+	}
+	if better {
+		// A strictly shorter path must propagate, or descendants keep
+		// routing over the stale longer one until the next round. Each
+		// rebroadcast announces a strictly lower hop count than the
+		// node's previous announcement (sentHops), so the per-round
+		// rebroadcast count is bounded by the node's initial distance.
 		p.hops[id] = b.hops + 1
 		p.parent[id] = m.Src
 		p.rebroadcast(id, b.round)
+		return
+	}
+	if sameButLower {
+		// Deterministic tie-break toward the lower id. The hop count is
+		// unchanged, so neighbors learn nothing new: adopt silently
+		// instead of re-flooding the same announcement.
+		p.parent[id] = m.Src
 	}
 }
 
 // roundTrack stores the freshest round seen per node inside sent when the
 // node has rebroadcast, plus a shadow array for rounds merely seen.
 // To keep the struct small we reuse sent for both purposes: a node
-// rebroadcasts at most once per (round, improvement) and floods converge
-// in a handful of steps at 50 m range.
+// rebroadcasts only on strict improvement and floods converge in a
+// handful of steps at 50 m range.
 func roundOf(p *Protocol, id topology.NodeID) int { return p.sent[id] }
 
 func (p *Protocol) setRound(id topology.NodeID, r int) { p.sent[id] = r }
 
 func (p *Protocol) rebroadcast(id topology.NodeID, round int) {
+	p.sentHops[id] = p.hops[id]
 	p.Net.Send(netsim.Message{
 		Kind:  beaconKind,
 		Src:   id,

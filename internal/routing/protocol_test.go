@@ -142,6 +142,72 @@ func (a *countingAcct) OnTx(n netsim.NodeID, phase string, p, b int) {
 }
 func (a *countingAcct) OnRx(n netsim.NodeID, phase string, p, b int) {}
 
+func TestProtocolHealedTreeMatchesBFS(t *testing.T) {
+	// After failures, the next round's tree must match BFS hop counts
+	// over the live links: same-round improvements have to propagate, or
+	// descendants keep the stale longer path until another round.
+	sim, net, d := protoSetup(t, 6)
+	p := NewProtocol(net, 10)
+	p.RunRound()
+	sim.Run()
+	tr, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut every depth-1 node's link to the base station except one, so
+	// large subtrees must re-route through a single corridor.
+	kept := false
+	for i := 1; i < d.N(); i++ {
+		if tr.Depth[i] == 1 {
+			if !kept {
+				kept = true
+				continue
+			}
+			net.LinkDown(topology.NodeID(i), topology.BaseStation)
+		}
+	}
+	p.RunRound()
+	sim.Run()
+	healed, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BuildTree(net.LiveNeighbors(), topology.BaseStation)
+	for i := range healed.Depth {
+		if want.Reachable(topology.NodeID(i)) != healed.Reachable(topology.NodeID(i)) {
+			t.Fatalf("node %d: reachability differs from BFS over live links", i)
+		}
+		if want.Reachable(topology.NodeID(i)) && healed.Depth[i] != want.Depth[i] {
+			t.Fatalf("node %d: healed depth %d, BFS depth %d", i, healed.Depth[i], want.Depth[i])
+		}
+	}
+}
+
+func TestProtocolRebroadcastsBounded(t *testing.T) {
+	// Per round, a node rebroadcasts only on strict improvement: every
+	// announcement carries a strictly lower hop count than the node's
+	// previous one, which bounds the per-node beacon count by the node's
+	// initial distance — and in particular rules out re-flooding on
+	// tie-break parent changes.
+	sim, net, _ := protoSetup(t, 7)
+	announced := map[netsim.NodeID][]int{}
+	p := NewProtocol(net, 10)
+	net.SetTracer(func(ev netsim.TraceEvent) {
+		if ev.Event == "tx" && ev.Phase == PhaseBeacon {
+			announced[ev.Src] = append(announced[ev.Src], p.hops[ev.Src])
+		}
+	})
+	p.RunRound()
+	sim.Run()
+	for id, hops := range announced {
+		for i := 1; i < len(hops); i++ {
+			if hops[i] >= hops[i-1] {
+				t.Fatalf("node %d announced hop counts %v: not strictly decreasing", id, hops)
+			}
+		}
+	}
+}
+
 func TestProtocolStartSchedulesRounds(t *testing.T) {
 	sim, net, _ := protoSetup(t, 5)
 	p := NewProtocol(net, 10)

@@ -193,6 +193,50 @@ func (c *Collector) TopK(k int, phases ...string) []int64 {
 	return loads[:k]
 }
 
+// Snapshot is a deep copy of a Collector's counters at one instant.
+// Audits snapshot before and after an execution and reconcile the delta
+// against the execution's trace journal, bit-exact.
+type Snapshot struct {
+	n      int
+	tx, rx []map[string]Counter
+	phases []string
+}
+
+// Snapshot deep-copies the current counters.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		n:      c.n,
+		tx:     make([]map[string]Counter, c.n),
+		rx:     make([]map[string]Counter, c.n),
+		phases: c.Phases(),
+	}
+	for i := 0; i < c.n; i++ {
+		s.tx[i] = copyCounters(c.tx[i])
+		s.rx[i] = copyCounters(c.rx[i])
+	}
+	return s
+}
+
+func copyCounters(m map[string]*Counter) map[string]Counter {
+	out := make(map[string]Counter, len(m))
+	for ph, ctr := range m {
+		out[ph] = *ctr
+	}
+	return out
+}
+
+// N returns the node count.
+func (s Snapshot) N() int { return s.n }
+
+// Phases returns the phase labels seen at snapshot time, sorted.
+func (s Snapshot) Phases() []string { return s.phases }
+
+// Tx returns node's transmitted counter for one phase.
+func (s Snapshot) Tx(node topology.NodeID, phase string) Counter { return s.tx[node][phase] }
+
+// Rx returns node's received counter for one phase.
+func (s Snapshot) Rx(node topology.NodeID, phase string) Counter { return s.rx[node][phase] }
+
 // EnergyModel converts packet/byte counts to Joules with a linear model.
 type EnergyModel struct {
 	TxPerPacketJ float64 // fixed cost per transmitted packet
@@ -274,21 +318,27 @@ func (c *Collector) PerNodeEnergy(m EnergyModel, phases ...string) []float64 {
 // LoadByDescendants bins per-node transmitted packets by the node's
 // descendant count in the routing tree; used for Fig. 11-style series.
 // desc[i] is the number of descendants of node i; boundaries are the
-// inclusive upper edges of the bins.
+// inclusive upper edges of the bins. Nodes whose descendant count
+// exceeds the last boundary land in a trailing overflow bin — the
+// returned slices have len(boundaries)+1 entries — instead of silently
+// vanishing from every series.
 func LoadByDescendants(perNode []int64, desc []int, boundaries []int) (mean []float64, count []int) {
-	mean = make([]float64, len(boundaries))
-	count = make([]int, len(boundaries))
-	sums := make([]float64, len(boundaries))
+	nbins := len(boundaries) + 1
+	mean = make([]float64, nbins)
+	count = make([]int, nbins)
+	sums := make([]float64, nbins)
 	for i := 1; i < len(perNode); i++ { // skip base station
-		for b, up := range boundaries {
+		b := len(boundaries) // overflow bin
+		for j, up := range boundaries {
 			if desc[i] <= up {
-				sums[b] += float64(perNode[i])
-				count[b]++
+				b = j
 				break
 			}
 		}
+		sums[b] += float64(perNode[i])
+		count[b]++
 	}
-	for b := range boundaries {
+	for b := range sums {
 		if count[b] > 0 {
 			mean[b] = sums[b] / float64(count[b])
 		}

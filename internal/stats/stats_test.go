@@ -145,3 +145,44 @@ func TestPerNodeEnergy(t *testing.T) {
 		t.Fatalf("energies = %v", e)
 	}
 }
+
+func TestLoadByDescendantsOverflowBin(t *testing.T) {
+	// Nodes beyond the last boundary land in the trailing overflow bin
+	// instead of silently vanishing from every series.
+	perNode := []int64{999, 4, 8, 100}
+	desc := []int{50, 1, 2, 30} // node 3 exceeds the last boundary (10)
+	mean, count := LoadByDescendants(perNode, desc, []int{1, 10})
+	if len(mean) != 3 || len(count) != 3 {
+		t.Fatalf("want len(boundaries)+1 = 3 bins, got %d/%d", len(mean), len(count))
+	}
+	if count[0] != 1 || count[1] != 1 || count[2] != 1 {
+		t.Fatalf("counts = %v", count)
+	}
+	if mean[2] != 100 {
+		t.Fatalf("overflow bin mean = %g, want 100", mean[2])
+	}
+	total := count[0] + count[1] + count[2]
+	if total != len(perNode)-1 {
+		t.Fatalf("binned %d of %d sensor nodes", total, len(perNode)-1)
+	}
+}
+
+func TestSnapshotDeepCopy(t *testing.T) {
+	c := NewCollector(2)
+	c.OnTx(1, "p", 2, 20)
+	c.OnRx(1, "p", 1, 10)
+	s := c.Snapshot()
+	c.OnTx(1, "p", 5, 50) // must not leak into the snapshot
+	if got := s.Tx(1, "p"); got.Packets != 2 || got.Bytes != 20 {
+		t.Fatalf("snapshot tx = %+v, want {2 20}", got)
+	}
+	if got := s.Rx(1, "p"); got.Packets != 1 || got.Bytes != 10 {
+		t.Fatalf("snapshot rx = %+v, want {1 10}", got)
+	}
+	if got := s.Tx(0, "p"); got.Packets != 0 {
+		t.Fatalf("untouched node has tx %+v", got)
+	}
+	if s.N() != 2 {
+		t.Fatalf("N = %d", s.N())
+	}
+}

@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"sensjoin/internal/routing"
+	"sensjoin/internal/stats"
+	"sensjoin/internal/topology"
+)
+
+// Violation is one failed audit invariant.
+type Violation struct {
+	// Audit names the pass ("conservation", "reconcile", "slot-order",
+	// "filter-soundness").
+	Audit string
+	// Detail describes the violation.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Audit + ": " + v.Detail }
+
+func violate(out []Violation, audit, format string, args ...any) []Violation {
+	return append(out, Violation{Audit: audit, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Conservation checks that the radio events form a closed ledger: every
+// transmission's outcome events (rx + drop + lost) add up to the
+// receiver count the medium attempted, no outcome event lacks its
+// transmission, and no reception happens at or before its send instant
+// (the rx-at-send-time class of bug).
+func Conservation(j *Journal) []Violation {
+	type msg struct {
+		hasTx    bool
+		txAt     float64
+		expect   int
+		outcomes int
+	}
+	msgs := map[int64]*msg{}
+	get := func(id int64) *msg {
+		m := msgs[id]
+		if m == nil {
+			m = &msg{}
+			msgs[id] = m
+		}
+		return m
+	}
+	var out []Violation
+	j.Radio(func(ev Event) {
+		m := get(ev.MsgID)
+		switch ev.Kind {
+		case KindTx:
+			if m.hasTx {
+				out = violate(out, "conservation", "msg %d transmitted twice", ev.MsgID)
+				return
+			}
+			m.hasTx = true
+			m.txAt = ev.At
+			m.expect = ev.Expect
+		default:
+			m.outcomes++
+			if m.hasTx {
+				if ev.At < m.txAt {
+					out = violate(out, "conservation",
+						"msg %d: %s at %.6f before its tx at %.6f", ev.MsgID, ev.Kind, ev.At, m.txAt)
+				}
+				if ev.Kind == KindRx && ev.At <= m.txAt {
+					out = violate(out, "conservation",
+						"msg %d: rx at %.6f not after its tx at %.6f (zero air time)", ev.MsgID, ev.At, m.txAt)
+				}
+			}
+		}
+	})
+	ids := make([]int64, 0, len(msgs))
+	for id := range msgs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	for _, id := range ids {
+		m := msgs[id]
+		if !m.hasTx {
+			out = violate(out, "conservation", "msg %d has %d outcome event(s) but no tx", id, m.outcomes)
+			continue
+		}
+		if m.outcomes != m.expect {
+			out = violate(out, "conservation",
+				"msg %d: tx attempted %d receiver(s), %d outcome event(s) recorded", id, m.expect, m.outcomes)
+		}
+	}
+	return out
+}
+
+// Reconcile checks that the journal's radio totals equal the stats
+// delta between the before and after snapshots, per node, per phase and
+// per direction, bit-exact. Only receptions charge the receiver; drops
+// and losses charge nobody (the transmission was already charged).
+func Reconcile(j *Journal, before, after stats.Snapshot) []Violation {
+	type key struct {
+		node  topology.NodeID
+		phase string
+	}
+	txJ := map[key]stats.Counter{}
+	rxJ := map[key]stats.Counter{}
+	j.Radio(func(ev Event) {
+		switch ev.Kind {
+		case KindTx:
+			k := key{ev.Node, ev.Phase}
+			c := txJ[k]
+			c.Add(ev.Packets, ev.Bytes)
+			txJ[k] = c
+		case KindRx:
+			k := key{ev.Peer, ev.Phase}
+			c := rxJ[k]
+			c.Add(ev.Packets, ev.Bytes)
+			rxJ[k] = c
+		}
+	})
+	phases := map[string]bool{}
+	for _, p := range before.Phases() {
+		phases[p] = true
+	}
+	for _, p := range after.Phases() {
+		phases[p] = true
+	}
+	for k := range txJ {
+		phases[k.phase] = true
+	}
+	for k := range rxJ {
+		phases[k.phase] = true
+	}
+	sorted := make([]string, 0, len(phases))
+	for p := range phases {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+
+	var out []Violation
+	n := after.N()
+	for node := 0; node < n; node++ {
+		id := topology.NodeID(node)
+		for _, ph := range sorted {
+			k := key{id, ph}
+			out = reconcileSide(out, "tx", k.node, ph, txJ[k], before.Tx(id, ph), after.Tx(id, ph))
+			out = reconcileSide(out, "rx", k.node, ph, rxJ[k], before.Rx(id, ph), after.Rx(id, ph))
+		}
+	}
+	return out
+}
+
+func reconcileSide(out []Violation, side string, node topology.NodeID, phase string, journal, before, after stats.Counter) []Violation {
+	dp := after.Packets - before.Packets
+	db := after.Bytes - before.Bytes
+	if journal.Packets != dp || journal.Bytes != db {
+		out = violate(out, "reconcile",
+			"node %d phase %q %s: journal %d pkt / %d B, collector delta %d pkt / %d B",
+			node, phase, side, journal.Packets, journal.Bytes, dp, db)
+	}
+	return out
+}
+
+// SlotOrder checks the TAG-style schedule of the collection phases: in
+// every execution segment of an audited phase, a node never transmits
+// before its children's slots — children at greater depth go first, so
+// parents can aggregate. Segments are delimited by the phase's
+// start/end span events (recovery re-executes phases); a journal
+// without spans is treated as a single segment.
+func SlotOrder(j *Journal, tree *routing.Tree, phases []string) []Violation {
+	var out []Violation
+	for _, phase := range phases {
+		for _, seg := range segments(j, phase) {
+			out = append(out, slotOrderSegment(seg, tree, phase)...)
+		}
+	}
+	return out
+}
+
+// segments splits the journal at the phase's start/end span events.
+func segments(j *Journal, phase string) [][]Event {
+	var segs [][]Event
+	start := -1
+	for i, ev := range j.Events {
+		if ev.Phase != phase {
+			continue
+		}
+		switch ev.Kind {
+		case KindPhaseStart:
+			start = i
+		case KindPhaseEnd:
+			if start >= 0 {
+				segs = append(segs, j.Events[start:i+1])
+				start = -1
+			}
+		}
+	}
+	if start >= 0 {
+		segs = append(segs, j.Events[start:])
+	}
+	if segs == nil && len(j.Events) > 0 {
+		segs = [][]Event{j.Events}
+	}
+	return segs
+}
+
+func slotOrderSegment(events []Event, tree *routing.Tree, phase string) []Violation {
+	first := map[topology.NodeID]float64{}
+	last := map[topology.NodeID]float64{}
+	for _, ev := range events {
+		if ev.Kind != KindTx || ev.Phase != phase {
+			continue
+		}
+		if _, ok := first[ev.Node]; !ok {
+			first[ev.Node] = ev.At
+		}
+		last[ev.Node] = ev.At
+	}
+	var out []Violation
+	nodes := make([]topology.NodeID, 0, len(first))
+	for id := range first {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, k int) bool { return nodes[i] < nodes[k] })
+	for _, child := range nodes {
+		parent := tree.Parent[child]
+		if parent < 0 {
+			continue
+		}
+		pFirst, ok := first[parent]
+		if !ok {
+			continue // the parent never transmitted in this phase (e.g. the root)
+		}
+		if pFirst < last[child] {
+			out = violate(out, "slot-order",
+				"phase %q: node %d (depth %d) transmitted at %.6f before its child %d's slot ending %.6f",
+				phase, parent, tree.Depth[parent], pFirst, child, last[child])
+		}
+	}
+	return out
+}
+
+// FilterSoundness checks the paper's central correctness property: the
+// Phase-B filter admits false positives only, so no tuple it suppresses
+// may belong to the ground-truth result. contributors is the set of
+// nodes whose tuples appear in the ground-truth join (computed with
+// simulator omniscience). Runs where the network lost or dropped
+// messages are skipped: a lost Phase-A key legitimately shrinks the
+// filter, and the protocol handles that via recovery, not the filter.
+func FilterSoundness(j *Journal, contributors map[topology.NodeID]bool) []Violation {
+	if j.HasLoss() {
+		return nil
+	}
+	var out []Violation
+	for _, ev := range j.Events {
+		if ev.Kind != KindSuppress {
+			continue
+		}
+		if contributors[ev.Peer] {
+			out = violate(out, "filter-soundness",
+				"node %d suppressed node %d's tuple in phase %q, but node %d contributes to the ground-truth result",
+				ev.Node, ev.Peer, ev.Phase, ev.Peer)
+		}
+	}
+	return out
+}

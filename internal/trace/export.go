@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonEvent adds the kind name to the wire form of an Event.
+type jsonEvent struct {
+	Kind string `json:"ev"`
+	Event
+}
+
+// WriteJSONL writes the journal as one JSON object per line, in order.
+func WriteJSONL(w io.Writer, j *Journal) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range j.Events {
+		if err := enc.Encode(jsonEvent{Kind: ev.Kind.String(), Event: ev}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto). Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the journal in the Chrome trace_event format.
+// Protocol phases render as duration slices on a "protocol" track;
+// matched tx→rx pairs render as per-sender slices spanning the air
+// time; span events render as instants on the acting node's track.
+func WriteChrome(w io.Writer, j *Journal) error {
+	const usec = 1e6
+	var evs []chromeEvent
+	// Pair receptions with their transmissions for duration slices.
+	rxAt := map[int64]float64{}
+	j.Radio(func(ev Event) {
+		if ev.Kind == KindRx {
+			if at, ok := rxAt[ev.MsgID]; !ok || ev.At > at {
+				rxAt[ev.MsgID] = ev.At
+			}
+		}
+	})
+	var phaseStack []Event
+	for _, ev := range j.Events {
+		switch ev.Kind {
+		case KindTx:
+			ce := chromeEvent{
+				Name: ev.Phase, Phase: "X", Ts: ev.At * usec,
+				Pid: 0, Tid: int(ev.Node),
+				Args: map[string]any{"msg": ev.MsgID, "bytes": ev.Bytes, "packets": ev.Packets, "dst": ev.Peer},
+			}
+			if at, ok := rxAt[ev.MsgID]; ok {
+				ce.Dur = (at - ev.At) * usec
+			}
+			evs = append(evs, ce)
+		case KindDrop, KindLost:
+			evs = append(evs, chromeEvent{
+				Name: ev.Kind.String(), Phase: "i", Ts: ev.At * usec,
+				Pid: 0, Tid: int(ev.Node), Scope: "t",
+				Args: map[string]any{"msg": ev.MsgID, "dst": ev.Peer, "phase": ev.Phase},
+			})
+		case KindPhaseStart:
+			phaseStack = append(phaseStack, ev)
+		case KindPhaseEnd:
+			for i := len(phaseStack) - 1; i >= 0; i-- {
+				if phaseStack[i].Phase == ev.Phase {
+					start := phaseStack[i]
+					phaseStack = append(phaseStack[:i], phaseStack[i+1:]...)
+					evs = append(evs, chromeEvent{
+						Name: ev.Phase, Phase: "X", Ts: start.At * usec,
+						Dur: (ev.At - start.At) * usec, Pid: 1, Tid: 0,
+					})
+					break
+				}
+			}
+		case KindTreecut, KindProxy, KindPrune, KindSuppress, KindRecovery:
+			evs = append(evs, chromeEvent{
+				Name: ev.Kind.String(), Phase: "i", Ts: ev.At * usec,
+				Pid: 0, Tid: int(ev.Node), Scope: "t",
+				Args: map[string]any{"peer": ev.Peer, "arg": ev.Arg, "phase": ev.Phase},
+			})
+		}
+	}
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: evs}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// PhaseSpan is one phase's response-time share.
+type PhaseSpan struct {
+	Phase      string
+	Start, End float64
+	TxPackets  int64
+	TxBytes    int64
+}
+
+// Duration returns the span's length in seconds.
+func (p PhaseSpan) Duration() float64 { return p.End - p.Start }
+
+// PhaseSpans extracts the per-phase response-time breakdown from the
+// journal's phase span events, in start order. Radio totals of each
+// phase label accrue to its span regardless of timing.
+func PhaseSpans(j *Journal) []PhaseSpan {
+	var spans []PhaseSpan
+	open := map[string]int{}
+	for _, ev := range j.Events {
+		switch ev.Kind {
+		case KindPhaseStart:
+			open[ev.Phase] = len(spans)
+			spans = append(spans, PhaseSpan{Phase: ev.Phase, Start: ev.At, End: ev.At})
+		case KindPhaseEnd:
+			if i, ok := open[ev.Phase]; ok {
+				spans[i].End = ev.At
+				delete(open, ev.Phase)
+			}
+		}
+	}
+	byPhase := map[string][]int{}
+	for i, s := range spans {
+		byPhase[s.Phase] = append(byPhase[s.Phase], i)
+	}
+	j.Radio(func(ev Event) {
+		if ev.Kind != KindTx {
+			return
+		}
+		// Charge the tx to the phase span covering it (falling back to
+		// the label's last span: a straggler delivery tail).
+		idxs := byPhase[ev.Phase]
+		if len(idxs) == 0 {
+			return
+		}
+		target := idxs[len(idxs)-1]
+		for _, i := range idxs {
+			if ev.At >= spans[i].Start && ev.At <= spans[i].End {
+				target = i
+				break
+			}
+		}
+		spans[target].TxPackets += int64(ev.Packets)
+		spans[target].TxBytes += int64(ev.Bytes)
+	})
+	return spans
+}
+
+// PhaseBreakdown formats the response-time breakdown as an aligned
+// table: one row per phase span plus a total row.
+func PhaseBreakdown(j *Journal) string {
+	spans := PhaseSpans(j)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %12s %12s %10s %12s\n",
+		"phase", "start [s]", "end [s]", "duration [s]", "packets", "bytes")
+	var total PhaseSpan
+	for i, s := range spans {
+		fmt.Fprintf(&b, "%-24s %12.4f %12.4f %12.4f %10d %12d\n",
+			s.Phase, s.Start, s.End, s.Duration(), s.TxPackets, s.TxBytes)
+		if i == 0 || s.Start < total.Start {
+			total.Start = s.Start
+		}
+		if s.End > total.End {
+			total.End = s.End
+		}
+		total.TxPackets += s.TxPackets
+		total.TxBytes += s.TxBytes
+	}
+	if len(spans) > 0 {
+		fmt.Fprintf(&b, "%-24s %12.4f %12.4f %12.4f %10d %12d\n",
+			"total", total.Start, total.End, total.Duration(), total.TxPackets, total.TxBytes)
+	}
+	return b.String()
+}
+
+// Timeline renders an ASCII timeline of the journal: one row per phase
+// span scaled to width columns, with per-phase transmission density
+// underneath. cmd/netviz uses it for terminal rendering.
+func Timeline(j *Journal, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	spans := PhaseSpans(j)
+	if len(spans) == 0 {
+		return "(no phase spans in trace)\n"
+	}
+	t0, t1 := spans[0].Start, spans[0].End
+	for _, s := range spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End > t1 {
+			t1 = s.End
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1e-9
+	}
+	col := func(t float64) int {
+		c := int(float64(width) * (t - t0) / (t1 - t0))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %.4f s .. %.4f s (%.4f s)\n", t0, t1, t1-t0)
+	// Per-column tx counts over all phases.
+	density := make([]int64, width)
+	maxD := int64(0)
+	j.Radio(func(ev Event) {
+		if ev.Kind == KindTx {
+			c := col(ev.At)
+			density[c] += int64(ev.Packets)
+			if density[c] > maxD {
+				maxD = density[c]
+			}
+		}
+	})
+	for _, s := range spans {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		a, z := col(s.Start), col(s.End)
+		for i := a; i <= z; i++ {
+			row[i] = '='
+		}
+		row[a] = '['
+		row[z] = ']'
+		fmt.Fprintf(&b, "%-24s |%s| %8d pkt\n", s.Phase, row, s.TxPackets)
+	}
+	if maxD > 0 {
+		shades := []byte(" .:-=+*#%@")
+		row := make([]byte, width)
+		for i := range row {
+			idx := int(density[i] * int64(len(shades)-1) / maxD)
+			row[i] = shades[idx]
+		}
+		fmt.Fprintf(&b, "%-24s |%s| %8d pkt/col max\n", "tx density", row, maxD)
+	}
+	return b.String()
+}

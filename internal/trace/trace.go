@@ -1,0 +1,212 @@
+// Package trace is the structured per-execution journal and audit
+// subsystem. A Recorder collects two event streams into one time-ordered
+// journal: radio-level events adapted from netsim's tracer (every
+// transmission, reception, drop and loss with its true simulated
+// timestamp, packet count and phase) and protocol-level span events
+// emitted by the join methods in internal/core (phase transitions,
+// Treecut exits, proxy takeovers, filter prune and suppress decisions,
+// recovery attempts).
+//
+// Audit passes (audit.go) run over a finished journal and machine-check
+// the invariants the paper's evaluation rests on: conservation (every
+// reception traces back to a transmission, and drops/losses explain the
+// gaps), reconciliation (journal totals equal the stats.Collector per
+// node and phase, bit-exact), slot-schedule ordering (a node never
+// transmits before its children's slots in the collection phases), and
+// filter soundness (no tuple suppressed in Phase B contributes to the
+// ground-truth result).
+//
+// All Recorder methods are safe on a nil receiver, so instrumented hot
+// paths need no guards and cost nothing when tracing is off.
+package trace
+
+import (
+	"sensjoin/internal/netsim"
+	"sensjoin/internal/topology"
+)
+
+// Kind classifies a journal event.
+type Kind uint8
+
+// Radio-level kinds mirror netsim's tracer; span kinds are emitted by
+// the protocol implementations in internal/core.
+const (
+	// KindTx is one transmission (a broadcast is a single tx).
+	KindTx Kind = iota
+	// KindRx is one delivery, stamped at its arrival time.
+	KindRx
+	// KindDrop is a failed delivery: link down or receiver dead
+	// (including a receiver that died while the message was in flight).
+	KindDrop
+	// KindLost is a message removed by the probabilistic loss model.
+	KindLost
+	// KindPhaseStart/KindPhaseEnd bracket a protocol phase (A/B/C, the
+	// external collection wave); Phase carries the accounting label.
+	KindPhaseStart
+	KindPhaseEnd
+	// KindTreecut marks a node exiting the query via Treecut (§IV-B);
+	// Arg is the complete tuples it shipped.
+	KindTreecut
+	// KindProxy marks a node taking over proxy duty for its subtree's
+	// complete tuples; Arg is the tuple count stored.
+	KindProxy
+	// KindPrune marks a Selective-Filter-Forwarding decision (§IV-C);
+	// Arg is the number of filter keys removed for the subtree.
+	KindPrune
+	// KindSuppress marks a tuple pruned in Phase B: the filter did not
+	// contain its key, so it never ships. Node is the deciding node,
+	// Peer the tuple's owner. Filter soundness audits these.
+	KindSuppress
+	// KindRecovery marks a routing-tree repair before a re-execution
+	// (§IV-F); Arg is the attempt number.
+	KindRecovery
+)
+
+var kindNames = [...]string{
+	KindTx: "tx", KindRx: "rx", KindDrop: "drop", KindLost: "lost",
+	KindPhaseStart: "phase-start", KindPhaseEnd: "phase-end",
+	KindTreecut: "treecut", KindProxy: "proxy", KindPrune: "prune",
+	KindSuppress: "suppress", KindRecovery: "recovery",
+}
+
+// String returns the kind's JSONL name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Radio reports whether k is a radio-level event.
+func (k Kind) Radio() bool { return k <= KindLost }
+
+// Event is one journal entry. For radio events Node is the sender and
+// Peer the receiver (the concrete receiver on per-receiver outcome
+// events, BroadcastID on a broadcast tx); receptions are charged to
+// Peer. For span events Node is the acting node and Peer is
+// kind-specific (the suppressed tuple's owner for KindSuppress, -1
+// otherwise).
+type Event struct {
+	Seq   int              `json:"seq"`
+	At    float64          `json:"at"`
+	Kind  Kind             `json:"-"`
+	Node  topology.NodeID  `json:"node"`
+	Peer  topology.NodeID  `json:"peer"`
+	MsgID int64            `json:"msg,omitempty"`
+	Phase string           `json:"phase,omitempty"`
+	// Packets, Bytes and Expect are set on radio events only; Expect on
+	// tx events is the number of receivers the medium attempts delivery
+	// to.
+	Packets int `json:"packets,omitempty"`
+	Bytes   int `json:"bytes,omitempty"`
+	Expect  int `json:"expect,omitempty"`
+	// Arg carries kind-specific data for span events.
+	Arg int `json:"arg,omitempty"`
+}
+
+// Recorder accumulates events. The zero-cost rule: every method is a
+// no-op on a nil *Recorder, so call sites need no guards.
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Enabled reports whether events are being recorded. Use it to guard
+// work that only exists to feed the recorder (e.g. scheduling extra
+// simulator events for phase boundaries).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Radio returns a netsim tracer that appends radio events to the
+// journal. Install it with Network.SetTracer.
+func (r *Recorder) Radio() netsim.Tracer {
+	return func(ev netsim.TraceEvent) {
+		var k Kind
+		switch ev.Event {
+		case "tx":
+			k = KindTx
+		case "rx":
+			k = KindRx
+		case "drop":
+			k = KindDrop
+		case "lost":
+			k = KindLost
+		default:
+			return
+		}
+		r.events = append(r.events, Event{
+			Seq: len(r.events), At: ev.At, Kind: k,
+			Node: ev.Src, Peer: ev.Dst, MsgID: ev.MsgID, Phase: ev.Phase,
+			Packets: ev.Packets, Bytes: ev.Bytes, Expect: ev.Expect,
+		})
+	}
+}
+
+// Span appends a protocol-level event at time at. Safe on nil.
+func (r *Recorder) Span(at float64, k Kind, node, peer topology.NodeID, phase string, arg int) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Seq: len(r.events), At: at, Kind: k,
+		Node: node, Peer: peer, Phase: phase, Arg: arg,
+	})
+}
+
+// Mark returns the current journal length; JournalSince and Truncate
+// take it to delimit one execution inside a longer recording.
+func (r *Recorder) Mark() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Truncate discards events from mark on (auto-audited runs bound the
+// journal's memory this way after each per-run audit).
+func (r *Recorder) Truncate(mark int) {
+	if r == nil || mark >= len(r.events) {
+		return
+	}
+	r.events = r.events[:mark]
+}
+
+// Journal returns the full recording. The events alias the recorder's
+// buffer; audit before recording further.
+func (r *Recorder) Journal() *Journal { return r.JournalSince(0) }
+
+// JournalSince returns the recording from mark on.
+func (r *Recorder) JournalSince(mark int) *Journal {
+	if r == nil {
+		return &Journal{}
+	}
+	return &Journal{Events: r.events[mark:]}
+}
+
+// Journal is a finished recording: events in simulated-time order (ties
+// in emission order).
+type Journal struct {
+	Events []Event
+}
+
+// Radio iterates the radio-level events.
+func (j *Journal) Radio(fn func(Event)) {
+	for _, ev := range j.Events {
+		if ev.Kind.Radio() {
+			fn(ev)
+		}
+	}
+}
+
+// HasLoss reports whether the journal contains any lost or dropped
+// message — executions where the network itself removed data, which
+// audits that assume a faultless run must skip.
+func (j *Journal) HasLoss() bool {
+	for _, ev := range j.Events {
+		if ev.Kind == KindDrop || ev.Kind == KindLost {
+			return true
+		}
+	}
+	return false
+}

@@ -29,9 +29,12 @@ func (c AttrCodec) Step() float64 {
 	return (c.Max - c.Min) / 65535
 }
 
-// Encode clamps v into [Min, Max] and returns its fixed-point code.
+// Encode clamps v into [Min, Max] and returns its fixed-point code. NaN
+// (a failed sensor reading) maps to code 0 deterministically — without
+// the explicit check it would pass both clamps and reach the float→int
+// conversion, whose result for NaN is implementation-defined in Go.
 func (c AttrCodec) Encode(v float64) uint16 {
-	if c.Max <= c.Min {
+	if c.Max <= c.Min || math.IsNaN(v) {
 		return 0
 	}
 	f := (v - c.Min) / (c.Max - c.Min)
@@ -116,15 +119,20 @@ func (t TupleCodec) UnmarshalBatch(b []byte, count int) ([][]float64, error) {
 }
 
 // HeaderAllowance returns the per-message metadata bytes that ride in
-// the packet headers the radio model already charges: a one-byte tuple
-// count per message plus the relation-membership flags (nRelations bits
-// per tuple, packed). The default 8-byte packet header leaves room for
-// this next to source, type and sequence fields on messages of typical
-// size; the allowance quantifies it for audits.
+// the packet headers the radio model already charges: a tuple count per
+// message (one byte up to 255 tuples, two beyond — a single byte would
+// silently misaccount larger batches) plus the relation-membership flags
+// (nRelations bits per tuple, packed). The default 8-byte packet header
+// leaves room for this next to source, type and sequence fields on
+// messages of typical size; the allowance quantifies it for audits.
 func HeaderAllowance(tupleCount, nRelations int) int {
 	if tupleCount <= 0 {
 		return 0
 	}
+	count := 1
+	if tupleCount > 255 {
+		count = 2
+	}
 	flagBits := tupleCount * nRelations
-	return 1 + (flagBits+7)/8
+	return count + (flagBits+7)/8
 }

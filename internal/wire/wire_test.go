@@ -124,3 +124,46 @@ func TestHeaderAllowance(t *testing.T) {
 		t.Fatalf("allowance = %d, want 3", got)
 	}
 }
+
+func TestEncodeNaNAndInf(t *testing.T) {
+	c := AttrCodec{Min: -10, Max: 50}
+	// NaN maps to code 0 deterministically: the float->int conversion it
+	// would otherwise reach is implementation-defined in Go.
+	if got := c.Encode(math.NaN()); got != 0 {
+		t.Fatalf("Encode(NaN) = %d, want 0", got)
+	}
+	if got := c.Decode(c.Encode(math.NaN())); got != c.Min {
+		t.Fatalf("NaN round-trip = %g, want Min %g", got, c.Min)
+	}
+	// Infinities clamp to the range edges and round-trip exactly.
+	if got := c.Encode(math.Inf(1)); got != 65535 {
+		t.Fatalf("Encode(+Inf) = %d, want 65535", got)
+	}
+	if got := c.Decode(c.Encode(math.Inf(1))); got != c.Max {
+		t.Fatalf("+Inf round-trip = %g, want Max %g", got, c.Max)
+	}
+	if got := c.Encode(math.Inf(-1)); got != 0 {
+		t.Fatalf("Encode(-Inf) = %d, want 0", got)
+	}
+	if got := c.Decode(c.Encode(math.Inf(-1))); got != c.Min {
+		t.Fatalf("-Inf round-trip = %g, want Min %g", got, c.Min)
+	}
+	// A degenerate range stays deterministic too.
+	if got := (AttrCodec{Min: 5, Max: 5}).Encode(math.NaN()); got != 0 {
+		t.Fatalf("degenerate-range Encode(NaN) = %d, want 0", got)
+	}
+}
+
+func TestHeaderAllowanceCountFieldBoundary(t *testing.T) {
+	// The count field is 1 byte up to 255 tuples and 2 bytes beyond.
+	flagBytes := func(tuples, rels int) int { return (tuples*rels + 7) / 8 }
+	if got := HeaderAllowance(255, 1); got != 1+flagBytes(255, 1) {
+		t.Fatalf("allowance(255) = %d, want %d", got, 1+flagBytes(255, 1))
+	}
+	if got := HeaderAllowance(256, 1); got != 2+flagBytes(256, 1) {
+		t.Fatalf("allowance(256) = %d, want %d", got, 2+flagBytes(256, 1))
+	}
+	if got := HeaderAllowance(1000, 2); got != 2+flagBytes(1000, 2) {
+		t.Fatalf("allowance(1000) = %d, want %d", got, 2+flagBytes(1000, 2))
+	}
+}

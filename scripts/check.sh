@@ -8,7 +8,10 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/bench ./internal/core ./internal/quadtree ./internal/workload
+go test -race ./...
 # Smoke the join-kernel benchmarks: one iteration proves the indexed
 # and reference paths still run on both band and equi shapes.
 go test -run=NONE -bench=ExactJoin -benchtime=1x ./internal/core
+# Audit smoke: one experiment with every execution self-auditing its
+# journal (conservation, reconciliation, slot order, filter soundness).
+go run ./cmd/experiments -nodes 400 -only E1a -audit > /dev/null

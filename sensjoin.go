@@ -23,6 +23,7 @@ package sensjoin
 
 import (
 	"fmt"
+	"io"
 
 	"sensjoin/internal/compress"
 	"sensjoin/internal/core"
@@ -32,6 +33,7 @@ import (
 	"sensjoin/internal/relation"
 	"sensjoin/internal/stats"
 	"sensjoin/internal/topology"
+	"sensjoin/internal/trace"
 )
 
 // Config describes the simulated deployment.
@@ -437,14 +439,17 @@ func (n *Network) TotalEnergy() float64 {
 }
 
 // TraceEvent is one radio-level event: "tx" (transmission), "rx"
-// (delivery to one receiver), "drop" (link down / dead receiver) or
-// "lost" (probabilistic loss).
+// (delivery to one receiver, stamped at its arrival time), "drop" (link
+// down / dead receiver) or "lost" (probabilistic loss). Events of one
+// logical message share MsgID.
 type TraceEvent struct {
 	Event    string
 	At       float64 // simulated seconds
+	MsgID    int64
 	Phase    string
 	Src, Dst int
 	Bytes    int
+	Packets  int
 }
 
 // SetTrace installs a radio-level observer (nil disables). Useful for
@@ -454,12 +459,77 @@ func (n *Network) SetTrace(fn func(TraceEvent)) {
 		n.r.Net.SetTracer(nil)
 		return
 	}
-	n.r.Net.SetTracer(func(ev string, at float64, m netsim.Message) {
+	n.r.Net.SetTracer(func(ev netsim.TraceEvent) {
 		fn(TraceEvent{
-			Event: ev, At: at, Phase: m.Phase,
-			Src: int(m.Src), Dst: int(m.Dst), Bytes: m.Size,
+			Event: ev.Event, At: ev.At, MsgID: ev.MsgID, Phase: ev.Phase,
+			Src: int(ev.Src), Dst: int(ev.Dst), Bytes: ev.Bytes, Packets: ev.Packets,
 		})
 	})
+}
+
+// EnableJournal starts recording a structured execution journal: every
+// radio event plus the protocol-level span events (phase transitions,
+// Treecut exits, proxy takeovers, prune and suppress decisions, recovery
+// attempts). The journal grows across executions; export it with
+// WriteTrace / WriteChromeTrace, summarize it with PhaseBreakdown /
+// Timeline, or audit executions with ExecuteAudited. Idempotent.
+func (n *Network) EnableJournal() { n.r.EnableTrace() }
+
+// WriteTrace writes the recorded journal as JSON Lines, one event per
+// line. Requires EnableJournal (or a prior ExecuteAudited).
+func (n *Network) WriteTrace(w io.Writer) error {
+	if n.r.Trace == nil {
+		return fmt.Errorf("sensjoin: no journal; call EnableJournal before executing")
+	}
+	return trace.WriteJSONL(w, n.r.Trace.Journal())
+}
+
+// WriteChromeTrace writes the journal in Chrome trace_event format;
+// open the file at chrome://tracing or https://ui.perfetto.dev.
+func (n *Network) WriteChromeTrace(w io.Writer) error {
+	if n.r.Trace == nil {
+		return fmt.Errorf("sensjoin: no journal; call EnableJournal before executing")
+	}
+	return trace.WriteChrome(w, n.r.Trace.Journal())
+}
+
+// PhaseBreakdown formats the journal's per-phase response-time and
+// traffic table (empty without a journal).
+func (n *Network) PhaseBreakdown() string {
+	if n.r.Trace == nil {
+		return ""
+	}
+	return trace.PhaseBreakdown(n.r.Trace.Journal())
+}
+
+// Timeline renders the journal as an ASCII phase timeline of the given
+// width (empty without a journal).
+func (n *Network) Timeline(width int) string {
+	if n.r.Trace == nil {
+		return ""
+	}
+	return trace.Timeline(n.r.Trace.Journal(), width)
+}
+
+// ExecuteAudited runs the query like Execute and then audits the
+// execution's journal segment: conservation (every delivery traces back
+// to a transmission; drops and losses explain the gaps), reconciliation
+// (journal totals equal the statistics, bit-exact), slot-schedule
+// ordering (no parent transmits before its children in collection
+// phases) and filter soundness (no suppressed tuple belongs to the exact
+// result — checked on fault-free runs). It returns the violations as
+// human-readable strings; a correct execution returns none. Enables the
+// journal on demand.
+func (n *Network) ExecuteAudited(src string, m Method) (*Result, []string, error) {
+	res, violations, err := n.r.AuditRun(src, m.m, n.clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]string, len(violations))
+	for i, v := range violations {
+		out[i] = v.String()
+	}
+	return fromCore(res, 1), out, nil
 }
 
 // SetPacketLoss enables per-packet Bernoulli loss (rate in [0,1)): a
