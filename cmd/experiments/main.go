@@ -5,7 +5,7 @@
 //
 //	experiments [-nodes 1500] [-seed 42] [-packet 48] [-only E1a,E8]
 //	            [-parallel N] [-csv] [-json] [-audit] [-trace run.jsonl]
-//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-loss 0.05,0.10] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Output is a sequence of aligned text tables, one per experiment, with
 // notes comparing the measured shape to the paper's claims; -csv and
@@ -50,7 +50,22 @@ func run() error {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	audit := flag.Bool("audit", false, "self-audit every execution against its journal; violations fail the experiment")
 	traceFile := flag.String("trace", "", "instead of the suite, journal one calibrated SENS-Join run: JSONL to this file, Chrome trace alongside, breakdown to stdout")
+	loss := flag.String("loss", "", "comma-separated packet loss rates (e.g. 0.05,0.10): adds the L1 loss-resilience sweep with hop-by-hop reliable transport")
 	flag.Parse()
+
+	var lossRates []float64
+	if *loss != "" {
+		for _, s := range strings.Split(*loss, ",") {
+			var rate float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &rate); err != nil {
+				return fmt.Errorf("-loss: cannot parse rate %q: %w", s, err)
+			}
+			if rate < 0 || rate >= 1 {
+				return fmt.Errorf("-loss: rate %g out of range [0, 1)", rate)
+			}
+			lossRates = append(lossRates, rate)
+		}
+	}
 
 	cfg := bench.Config{Nodes: *nodes, Seed: *seed, MaxPacket: *packet, Parallel: *parallel, Audit: *audit}
 
@@ -85,6 +100,11 @@ func run() error {
 		{"X3", func() (*bench.Table, error) { return bench.RunLifetime(cfg) }},
 		{"X4", func() (*bench.Table, error) { return bench.RunResponseTime(cfg) }},
 		{"X5", func() (*bench.Table, error) { return bench.RunMemory(cfg) }},
+	}
+	if len(lossRates) > 0 {
+		entries = append(entries, entry{"L1", func() (*bench.Table, error) {
+			return bench.RunLossResilience(cfg, lossRates)
+		}})
 	}
 
 	selected := map[string]bool{}

@@ -45,3 +45,29 @@ func TestAllDeterministicAcrossParallelism(t *testing.T) {
 		t.Fatal("tables differ between repeated Parallel=8 runs")
 	}
 }
+
+// The loss-sweep table must be byte-identical across worker counts and
+// repeated runs too: per-(rate, method) seeded loss streams make each
+// cell independent of scheduling.
+func TestLossResilienceDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the loss sweep three times")
+	}
+	render := func(parallel int) string {
+		cfg := smallConfig()
+		cfg.Parallel = parallel
+		tbl, err := RunLossResilience(cfg, []float64{0.05, 0.10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("loss table differs between Parallel=1 and Parallel=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	if again := render(8); par != again {
+		t.Fatal("loss table differs between repeated Parallel=8 runs")
+	}
+}

@@ -45,6 +45,7 @@ func (r *Runner) AuditRun(src string, m Method, t float64) (*Result, []trace.Vio
 	violations = append(violations, trace.Conservation(j)...)
 	violations = append(violations, trace.Reconcile(j, before, after)...)
 	violations = append(violations, trace.SlotOrder(j, r.Tree, auditPhases(m))...)
+	violations = append(violations, trace.Reliability(j)...)
 	// Filter soundness needs the ground truth to be reachable: a dead
 	// member transmits nothing (silently — no drop/lost events), so the
 	// filter legitimately misses its keys and suppressing its join

@@ -32,6 +32,11 @@ const (
 	PhaseFilterDissem = "filter-dissem"
 	PhaseFinalCollect = "final-collect"
 	PhaseExternal     = "extern-collect"
+	// PhaseRecovery charges scoped-recovery traffic (re-requests and
+	// re-collected tuples under reliable transport). It is deliberately
+	// NOT part of any Method.Phases(): the paper's loss-free tables stay
+	// unchanged, and the loss experiment adds it explicitly.
+	PhaseRecovery = "scoped-recovery"
 )
 
 // SENSPhases lists the phases whose sum is the cost of a SENS-Join
@@ -50,6 +55,21 @@ const (
 	kindFinal
 	kindResult
 	kindQuery
+	kindRerequest
+	kindRecover
+)
+
+// Incompleteness reasons surfaced in Result.IncompleteReason.
+const (
+	// ReasonLoss: data was lost in transit; a re-execution (or another
+	// recovery round) can still succeed.
+	ReasonLoss = "loss"
+	// ReasonDeadSubtree: a missing subtree hangs off a dead node (or its
+	// members died); its data cannot be recovered by any retry.
+	ReasonDeadSubtree = "dead-subtree"
+	// ReasonPartition: missing nodes are alive but no live path connects
+	// them to the base station.
+	ReasonPartition = "partition"
 )
 
 // Exec bundles everything one query execution needs.
@@ -124,6 +144,15 @@ type Result struct {
 	// Complete is false when network failures caused data loss during
 	// the execution.
 	Complete bool
+	// MissingSubtrees lists the minimal roots (no missing ancestor) of
+	// the subtrees whose data is still missing; empty when Complete.
+	MissingSubtrees []topology.NodeID
+	// IncompleteReason classifies an incomplete result: ReasonLoss,
+	// ReasonDeadSubtree or ReasonPartition. Empty when Complete.
+	IncompleteReason string
+	// RecoveryRounds counts the scoped-recovery rounds this execution
+	// ran (reliable transport only).
+	RecoveryRounds int
 	// ResponseTime is the simulated seconds from query start to result.
 	ResponseTime float64
 }

@@ -32,14 +32,25 @@ func (External) Run(x *Exec) (*Result, error) {
 	tuples := collectWave(x, p, x.Tree, PhaseExternal, nil)
 	x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseExternal, 0)
 	rows, contrib := exactJoin(x, tuples)
-	return &Result{
+	res := &Result{
 		Columns:           columnsOf(x.Query),
 		Rows:              rows,
 		ContributingNodes: len(contrib),
 		MemberNodes:       p.members,
 		Complete:          len(tuples) == p.members,
 		ResponseTime:      x.Sim.Now() - start,
-	}, nil
+	}
+	// The external join needs every member tuple, so scoped recovery
+	// targets members rather than contributors.
+	needed := memberSet(p)
+	if x.Net.Reliable() {
+		have := tupleIndex(tuples)
+		rounds, missing := runScopedRecovery(x, p, needed, have, nil)
+		finishReliable(x, p, res, have, missing, rounds, start)
+	} else if !res.Complete {
+		annotateIncomplete(x, missingFrom(needed, tupleIndex(tuples)), res)
+	}
+	return res, nil
 }
 
 // collectionSlot returns a slot duration covering the worst-case single

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"sensjoin/internal/netsim"
+	"sensjoin/internal/topology"
+	"sensjoin/internal/trace"
+)
+
+// Under reliable transport and substantial loss, both methods must
+// deliver the exact ground truth with a complete verdict, with the
+// retransmissions visible in the per-phase accounting and every audit
+// pass clean (AutoAudit turns violations into errors).
+func TestReliableLossExactAndComplete(t *testing.T) {
+	for _, loss := range []float64{0.05, 0.10} {
+		for _, m := range []Method{NewSENSJoin(), External{}} {
+			r := testRunner(t, 300, 91)
+			r.AutoAudit = true
+			r.EnableReliableTransport(netsim.ReliableConfig{})
+			r.Net.SetLossRate(loss, 424242)
+			x, err := r.ExecSQL(qBand(0.4), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := GroundTruth(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run(qBand(0.4), m, 0)
+			if err != nil {
+				t.Fatalf("%s at loss %g: %v", m.Name(), loss, err)
+			}
+			if !res.Complete {
+				t.Fatalf("%s at loss %g: incomplete (reason %q, missing %v)",
+					m.Name(), loss, res.IncompleteReason, res.MissingSubtrees)
+			}
+			sameRows(t, truth.Rows, res.Rows, "truth", m.Name())
+			if r.Stats.TotalRetx() == 0 {
+				t.Fatalf("%s at loss %g: no retransmissions recorded", m.Name(), loss)
+			}
+			if r.Stats.TotalAck() == 0 {
+				t.Fatalf("%s at loss %g: no ACKs recorded", m.Name(), loss)
+			}
+		}
+	}
+}
+
+// A permanently jammed down-link makes filter dissemination to a subtree
+// impossible: the transfer gives up, the subtree stands down and scoped
+// recovery re-requests it every round. With the link never healing the
+// result stays incomplete, but the verdict must say exactly what is
+// missing — and the whole run must still audit clean.
+func TestFilterStandDownForcesSubtreeRecovery(t *testing.T) {
+	// 12-node chain: long enough that only the tail is Treecut and a real
+	// filter travels down through nodes 1..9.
+	r := NewRunnerFromDeployment(topology.Line(12, 40, 50), netsim.RadioConfig{}, 5)
+	r.EnableReliableTransport(netsim.ReliableConfig{})
+	rec := r.EnableTrace()
+	// Jam the down-direction of the 1→2 tree edge only: phase A (child to
+	// parent) is untouched, the filter and every re-request give up.
+	r.Net.SetLinkLossRate(1, 2, 1.0)
+	// Explicit AuditRun (not AutoAudit) keeps the journal for inspection.
+	res, violations, err := r.AuditRun(qBand(10), NewSENSJoin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("audit violations on a jammed-link run: %v", violations)
+	}
+	if res.Complete {
+		t.Fatal("subtree behind a jammed link cannot be complete")
+	}
+	if res.RecoveryRounds != maxRecoveryRounds {
+		t.Fatalf("RecoveryRounds = %d, want %d", res.RecoveryRounds, maxRecoveryRounds)
+	}
+	if len(res.MissingSubtrees) != 1 || res.MissingSubtrees[0] != 2 {
+		t.Fatalf("MissingSubtrees = %v, want [2]", res.MissingSubtrees)
+	}
+	if res.IncompleteReason != ReasonLoss {
+		t.Fatalf("IncompleteReason = %q, want %q", res.IncompleteReason, ReasonLoss)
+	}
+	standDown := false
+	for _, ev := range rec.Journal().Events {
+		if ev.Kind == trace.KindStandDown {
+			standDown = true
+		}
+	}
+	if !standDown {
+		t.Fatal("filter give-up did not journal a stand-down")
+	}
+}
+
+// Scoped recovery after a transient outage: a link is down while the
+// subtree should report and comes back before recovery runs, so the
+// re-request path works and the round recovers exactly the missing data.
+func TestScopedRecoveryHealsTransientOutage(t *testing.T) {
+	r := testRunner(t, 150, 95)
+	r.AutoAudit = true
+	r.EnableReliableTransport(netsim.ReliableConfig{})
+	child, parent := failLink(r)
+	// The up-link dies at query start and heals shortly after: the
+	// subtree misses its collection slots, recovery re-requests it.
+	r.Net.SetLinkLossRate(child, parent, 1.0)
+	healed := false
+	var heal func()
+	heal = func() {
+		// Heal once the outage has bitten (the subtree's transfer
+		// exhausted its retransmissions); the subtree's slot has passed
+		// by then, so only scoped recovery can bring its data in.
+		if r.Net.GiveUps > 0 {
+			r.Net.SetLinkLossRate(child, parent, 0)
+			healed = true
+			return
+		}
+		r.Sim.Schedule(r.Sim.Now()+5, heal)
+	}
+	r.Sim.Schedule(5, heal)
+	x, err := r.ExecSQL(qBand(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := GroundTruth(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(qBand(10), NewSENSJoin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !healed {
+		t.Fatal("link never exhausted a transfer; outage did not bite")
+	}
+	if res.RecoveryRounds == 0 {
+		t.Fatal("expected at least one scoped-recovery round")
+	}
+	if !res.Complete {
+		t.Fatalf("recovery did not complete the result (reason %q, missing %v)",
+			res.IncompleteReason, res.MissingSubtrees)
+	}
+	sameRows(t, truth.Rows, res.Rows, "truth", "recovered")
+	if r.Stats.TotalTx(PhaseRecovery) == 0 {
+		t.Fatal("recovery traffic was not charged under its phase")
+	}
+}
+
+// Satellite (b): the give-up path of RunWithRecovery must report the
+// attempt count consistently and surface why the result stayed
+// incomplete.
+func TestRunWithRecoveryGiveUpSurfacesReason(t *testing.T) {
+	r := testRunner(t, 100, 79)
+	var victim topology.NodeID = -1
+	for i := 1; i < r.Dep.N(); i++ {
+		if r.Tree.Depth[i] >= 2 && r.Tree.Descendants[i] == 0 {
+			victim = topology.NodeID(i)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no leaf victim found")
+	}
+	for _, nb := range r.Dep.Neighbors[victim] {
+		r.Net.LinkDown(victim, nb)
+	}
+	// qBand(10) joins everything, so the partitioned node is a needed
+	// contributor on every attempt.
+	res, attempts, err := r.RunWithRecovery(qBand(10), NewSENSJoin(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want exactly the maximum 2", attempts)
+	}
+	if res == nil || res.Complete {
+		t.Fatal("partitioned contributor cannot yield a complete result")
+	}
+	if res.IncompleteReason != ReasonPartition {
+		t.Fatalf("IncompleteReason = %q, want %q", res.IncompleteReason, ReasonPartition)
+	}
+	found := false
+	for _, id := range res.MissingSubtrees {
+		if id == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("MissingSubtrees = %v does not name the victim %d", res.MissingSubtrees, victim)
+	}
+}
+
+// A dead relay takes its subtree's data with it; the verdict must call
+// that a dead subtree, not a recoverable loss.
+func TestIncompleteReasonDeadSubtree(t *testing.T) {
+	r := testRunner(t, 120, 83)
+	var victim topology.NodeID = -1
+	for i := 1; i < r.Dep.N(); i++ {
+		if r.Tree.Depth[i] == 1 && r.Tree.Descendants[i] > 5 {
+			victim = topology.NodeID(i)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no suitable relay")
+	}
+	r.Sim.Schedule(0.5, func() { r.Net.KillNode(victim) })
+	res, err := r.Run(qBand(10), NewSENSJoin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("mid-execution relay death must surface as incomplete")
+	}
+	if res.IncompleteReason != ReasonDeadSubtree {
+		t.Fatalf("IncompleteReason = %q, want %q", res.IncompleteReason, ReasonDeadSubtree)
+	}
+}

@@ -182,28 +182,54 @@ func (r *Runner) RebuildTree() {
 	r.Tree = routing.BuildTree(r.Net.LiveNeighbors(), topology.BaseStation)
 }
 
+// RebuildTreeAvoidingFailures re-forms the tree like RebuildTree, but
+// steers around directed links whose reliable-transport retransmissions
+// exhausted since the last rebuild — persistent link failure detected by
+// the transport itself. The exhaustion record is consumed: the next
+// rebuild trusts the links again unless they fail again. Without
+// reliable transport (no exhaustion records) it is plain RebuildTree.
+func (r *Runner) RebuildTreeAvoidingFailures() {
+	bad := r.Net.ExhaustedLinks()
+	if len(bad) == 0 {
+		r.RebuildTree()
+		return
+	}
+	avoid := func(parent, child topology.NodeID) bool {
+		return bad[netsim.Link{From: parent, To: child}] > 0 ||
+			bad[netsim.Link{From: child, To: parent}] > 0
+	}
+	r.Tree = routing.BuildTreeAvoiding(r.Net.LiveNeighbors(), topology.BaseStation, avoid)
+	r.Net.ClearExhaustedLinks()
+}
+
+// EnableReliableTransport switches all unicast traffic to hop-by-hop
+// reliable delivery (ACKs, bounded retransmissions, duplicate
+// suppression; see netsim) and arms scoped recovery in the join methods.
+func (r *Runner) EnableReliableTransport(cfg netsim.ReliableConfig) {
+	r.Net.EnableReliable(cfg)
+}
+
 // RunWithRecovery executes the query and, when failures made the result
 // incomplete, repairs the routing tree and re-executes — the paper's
 // error handling (§IV-F: "we rely upon the tree protocol to re-establish
 // the routing structure; afterwards, we simply re-execute the query").
 // All attempts are charged to the collector. It returns the final result
-// and the number of executions.
+// and the number of executions; on the give-up path the count is exactly
+// maxAttempts and the result carries MissingSubtrees and
+// IncompleteReason, with no trailing tree rebuild.
 func (r *Runner) RunWithRecovery(src string, m Method, t float64, maxAttempts int) (*Result, int, error) {
 	if maxAttempts <= 0 {
 		maxAttempts = 3
 	}
-	var res *Result
-	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		var err error
-		res, err = r.Run(src, m, t)
+	for attempt := 1; ; attempt++ {
+		res, err := r.Run(src, m, t)
 		if err != nil {
 			return nil, attempt, err
 		}
-		if res.Complete {
+		if res.Complete || attempt == maxAttempts {
 			return res, attempt, nil
 		}
-		r.RebuildTree()
+		r.RebuildTreeAvoidingFailures()
 		r.Trace.Span(r.Sim.Now(), trace.KindRecovery, topology.BaseStation, -1, "", attempt)
 	}
-	return res, maxAttempts, nil
 }

@@ -105,11 +105,12 @@ func (*SENSJoin) Phases() []string { return SENSPhases }
 // sensNode is the per-node protocol state (Fig. 1's local variables).
 type sensNode struct {
 	// Phase A inboxes.
-	fullsIn []finalTuple
-	keysIn  []zorder.Key
-	rawIn   int
-	coverIn int
-	allFull bool
+	fullsIn  []finalTuple
+	keysIn   []zorder.Key
+	rawIn    int
+	coverIn  int
+	allFull  bool
+	children []topology.NodeID
 	// Outcome of phase A.
 	cut            bool
 	activeChildren int
@@ -152,6 +153,22 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 		states[i] = &sensNode{allFull: true}
 	}
 
+	// Under reliable transport a filter transfer that exhausts its
+	// retransmissions means the subtree below the addressee may run
+	// phase C without a filter: record the stand-down so recovery
+	// re-collects that subtree unconditionally.
+	var standDown []topology.NodeID
+	if x.Net.Reliable() {
+		x.Net.OnGiveUp(func(m netsim.Message, attempts int) {
+			if m.Kind != kindFilter {
+				return
+			}
+			standDown = append(standDown, m.Dst)
+			x.span(trace.KindStandDown, m.Dst, m.Src, PhaseFilterDissem, attempts)
+		})
+		defer x.Net.OnGiveUp(nil)
+	}
+
 	// Message handling is shared by all phases.
 	for i := 0; i < n; i++ {
 		id := topology.NodeID(i)
@@ -170,6 +187,7 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 				st.coverIn += pl.covered
 				st.allFull = false
 				st.activeChildren++
+				st.children = append(st.children, m.Src)
 				st.childNeedsFull = st.childNeedsFull || pl.needFull
 			case kindFilter:
 				// Filters travel down the tree: only the broadcast of
@@ -200,6 +218,7 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 	// The base station closes phase A, computes the filter and starts
 	// phase B (Fig. 3); phase C deadlines are derived afterwards.
 	var result *Result
+	var gotTuples []finalTuple
 	tA := start + float64(tree.MaxDepth+1)*slotA
 	x.Sim.Schedule(tA, func() {
 		x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseJACollect, 0)
@@ -214,10 +233,7 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 
 		if len(filter) > 0 && bs.activeChildren > 0 {
 			msg := s.buildFilterMsg(p, o, topology.BaseStation, filter, bs.childNeedsFull)
-			x.Net.Send(netsim.Message{
-				Kind: kindFilter, Src: topology.BaseStation, Dst: netsim.BroadcastID,
-				Phase: PhaseFilterDissem, Size: filterMsgSize(p, o, msg), Payload: msg,
-			})
+			s.sendFilter(x, p, o, topology.BaseStation, bs, msg)
 		}
 
 		// Phase C schedule: after the filter has fully propagated.
@@ -245,6 +261,7 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 			x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseFinalCollect, 0)
 			bsT := states[topology.BaseStation]
 			tuples := append(append([]finalTuple(nil), bsT.fullsIn...), bsT.finalsIn...)
+			gotTuples = tuples
 			rows, contrib := exactJoin(x, tuples)
 			result = &Result{
 				Columns:           columnsOf(x.Query),
@@ -260,7 +277,40 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 		})
 	})
 	x.Sim.Run()
+
+	// Reliable transport: the base station knows which subtrees are
+	// missing; re-request only those instead of re-executing the query.
+	if x.Net.Reliable() {
+		needed := contributorSet(x, p)
+		have := tupleIndex(gotTuples)
+		rounds, missing := runScopedRecovery(x, p, needed, have, standDown)
+		finishReliable(x, p, result, have, missing, rounds, start)
+	} else if result != nil && !result.Complete {
+		annotateIncomplete(x, missingFrom(contributorSet(x, p), tupleIndex(gotTuples)), result)
+	}
 	return result, nil
+}
+
+// sendFilter disseminates a filter message to the node's active
+// children: one local broadcast normally (the paper's model), one
+// reliable unicast per child when hop-by-hop reliable transport is on —
+// ACKs need a single addressee, and an unconfirmed child is exactly the
+// stand-down signal scoped recovery keys on.
+func (s *SENSJoin) sendFilter(x *Exec, p *plan, o Options, id topology.NodeID, st *sensNode, msg *filterMsg) {
+	size := filterMsgSize(p, o, msg)
+	if !x.Net.Reliable() {
+		x.Net.Send(netsim.Message{
+			Kind: kindFilter, Src: id, Dst: netsim.BroadcastID,
+			Phase: PhaseFilterDissem, Size: size, Payload: msg,
+		})
+		return
+	}
+	for _, c := range st.children {
+		x.Net.Send(netsim.Message{
+			Kind: kindFilter, Src: id, Dst: c,
+			Phase: PhaseFilterDissem, Size: size, Payload: msg,
+		})
+	}
 }
 
 // forwardJoinAttrValues is Fig. 2 at one node's phase-A deadline.
@@ -357,10 +407,7 @@ func (s *SENSJoin) onFilter(x *Exec, p *plan, o Options, id topology.NodeID, st 
 		st.matchedProxy = st.proxied
 		if st.activeChildren > 0 {
 			all := &filterMsg{mode: fmAssumeAll}
-			x.Net.Send(netsim.Message{
-				Kind: kindFilter, Src: id, Dst: netsim.BroadcastID,
-				Phase: PhaseFilterDissem, Size: filterMsgSize(p, o, all), Payload: all,
-			})
+			s.sendFilter(x, p, o, id, st, all)
 		}
 		return
 	}
@@ -400,10 +447,7 @@ func (s *SENSJoin) onFilter(x *Exec, p *plan, o Options, id topology.NodeID, st 
 		return
 	}
 	out := s.buildFilterMsg(p, o, id, sub, st.childNeedsFull)
-	x.Net.Send(netsim.Message{
-		Kind: kindFilter, Src: id, Dst: netsim.BroadcastID,
-		Phase: PhaseFilterDissem, Size: filterMsgSize(p, o, out), Payload: out,
-	})
+	s.sendFilter(x, p, o, id, st, out)
 }
 
 // forwardCompleteTuples is the Final-Result-Computation step at one

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"sensjoin/internal/netsim"
 	"sensjoin/internal/topology"
 )
 
@@ -117,4 +118,79 @@ func TestSoakExternalWithLoss(t *testing.T) {
 			}
 		}
 	}
+}
+
+// Soak with reliable transport: chaos plus loss injected *during* the
+// rounds (global rate changes and per-link bursts scheduled mid-round).
+// Reliable delivery and scoped recovery must keep most rounds complete,
+// every complete round must be oracle-exact, and every round must pass
+// all audit passes (AutoAudit turns violations into errors).
+func TestSoakReliableWithChaosLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	r := testRunner(t, 150, 1005)
+	r.AutoAudit = true
+	r.EnableReliableTransport(netsim.ReliableConfig{})
+	rng := rand.New(rand.NewSource(79))
+	m := NewContinuousSENSJoin()
+	src := qBand(0.4)
+
+	var deadNodes []topology.NodeID
+	const rounds = 20
+	completeRounds := 0
+	for round := 0; round < rounds; round++ {
+		tm := float64(round) * 60
+		r.Net.SetLossRate(0.02+0.02*float64(rng.Intn(4)), int64(1000+round))
+
+		// Mid-round chaos: schedule loss changes to hit while the round's
+		// phases are in flight, not just between rounds.
+		now := r.Sim.Now()
+		r.Sim.Schedule(now+2+rng.Float64()*20, func() {
+			r.Net.SetLossRate(0.05+0.05*float64(rng.Intn(3)), int64(2000+round))
+		})
+		// A per-link loss burst on a random tree edge, healed a little
+		// later the same round.
+		v := topology.NodeID(1 + rng.Intn(r.Dep.N()-1))
+		if p := r.Tree.Parent[v]; p >= 0 {
+			r.Sim.Schedule(now+5+rng.Float64()*10, func() {
+				r.Net.SetLinkLossRate(v, p, 0.9)
+				r.Net.SetLinkLossRate(p, v, 0.9)
+			})
+			r.Sim.Schedule(now+40+rng.Float64()*20, func() {
+				r.Net.SetLinkLossRate(v, p, 0)
+				r.Net.SetLinkLossRate(p, v, 0)
+			})
+		}
+		if round%5 == 3 { // occasionally kill a node for a round
+			d := topology.NodeID(1 + rng.Intn(r.Dep.N()-1))
+			r.Net.KillNode(d)
+			deadNodes = append(deadNodes, d)
+		} else if len(deadNodes) > 0 {
+			r.Net.ReviveNode(deadNodes[len(deadNodes)-1])
+			deadNodes = deadNodes[:len(deadNodes)-1]
+		}
+		r.RebuildTreeAvoidingFailures()
+
+		res, err := r.Run(src, m, tm)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Complete {
+			completeRounds++
+			x, err := r.ExecSQL(src, tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := GroundTruth(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRows(t, truth.Rows, res.Rows, "oracle", "reliable-soak-round")
+		}
+	}
+	if completeRounds < rounds/2 {
+		t.Fatalf("only %d of %d rounds complete — reliable transport should ride out loss", completeRounds, rounds)
+	}
+	t.Logf("reliable soak: %d/%d rounds complete under chaos loss", completeRounds, rounds)
 }

@@ -98,7 +98,14 @@ type Network struct {
 
 	lossRate float64
 	lossRNG  *rand.Rand
+	linkLoss map[Link]*linkLossState
 	tracer   Tracer
+
+	// Reliable-unicast mode (see reliable.go).
+	reliable  bool
+	rcfg      ReliableConfig
+	exhausted map[Link]int
+	giveUp    func(m Message, attempts int)
 	// msgSeq numbers every transmission; trace events of one logical
 	// message share its MsgID, which is what lets an audit match each
 	// reception, drop or loss back to the transmission that caused it.
@@ -113,6 +120,15 @@ type Network struct {
 	Dropped int
 	// Lost counts messages dropped by the probabilistic loss model.
 	Lost int
+	// Retx counts reliable-transport retransmission attempts.
+	Retx int
+	// AckTx counts acknowledgements transmitted by reliable receivers.
+	AckTx int
+	// Dups counts duplicate deliveries the reliable transport suppressed.
+	Dups int
+	// GiveUps counts reliable transfers that exhausted their
+	// retransmission budget.
+	GiveUps int
 }
 
 // SetLossRate enables per-packet Bernoulli loss: each packet of a
@@ -185,6 +201,17 @@ type TraceEvent struct {
 	// for any unicast). Conservation audits check that every
 	// transmission's outcome events (rx + drop + lost) add up to it.
 	Expect int
+	// Attempt is the reliable transport's transmission attempt (0 for
+	// the first transmission; best-effort events are always 0).
+	Attempt int
+	// Logical groups all attempts and ACKs of one reliable transfer: it
+	// is the MsgID of the first attempt. Zero on best-effort events.
+	Logical int64
+	// Dup marks a reception the reliable transport suppressed as a
+	// duplicate (the handler did not run again).
+	Dup bool
+	// Ack marks events of link-layer acknowledgements.
+	Ack bool
 }
 
 // Tracer observes every transmission (once) and per-receiver outcome.
@@ -241,6 +268,10 @@ func (n *Network) Send(m Message) {
 	if n.dead[m.Src] {
 		return
 	}
+	if n.reliable && m.Dst != BroadcastID {
+		n.sendReliable(m)
+		return
+	}
 	packets := n.Radio.Packets(m.Size)
 	if n.acct != nil {
 		n.acct.OnTx(m.Src, m.Phase, packets, m.Size)
@@ -262,7 +293,7 @@ func (n *Network) Send(m Message) {
 			if !n.LinkOK(m.Src, v) {
 				continue
 			}
-			if n.lost(packets) {
+			if n.lostOn(m.Src, v, packets) {
 				n.Lost++
 				mm := m
 				mm.Dst = v
@@ -279,26 +310,12 @@ func (n *Network) Send(m Message) {
 		n.trace("drop", m, packets, msgID, 0)
 		return
 	}
-	if n.lost(packets) {
+	if n.lostOn(m.Src, m.Dst, packets) {
 		n.Lost++
 		n.trace("lost", m, packets, msgID, 0)
 		return
 	}
 	n.deliver(m, m.Dst, packets, delay, msgID)
-}
-
-// lost draws the loss model: a message survives only if every packet
-// does.
-func (n *Network) lost(packets int) bool {
-	if n.lossRNG == nil {
-		return false
-	}
-	for i := 0; i < packets; i++ {
-		if n.lossRNG.Float64() < n.lossRate {
-			return true
-		}
-	}
-	return false
 }
 
 // delivery is pooled in-flight message state. Binding run to the
@@ -383,8 +400,19 @@ func (n *Network) MaxAirTime(size int) Time {
 }
 
 // SlotFor returns a conservative slot duration for forwarding size bytes,
-// rounded up to a millisecond multiple for readability of traces.
+// rounded up to a millisecond multiple for readability of traces. With
+// reliable transport enabled the slot covers the worst-case transfer —
+// every retransmission attempt, its ACK wait and backoff — so slotted
+// protocol schedules stay valid under loss.
 func (n *Network) SlotFor(size int) Time {
 	t := n.MaxAirTime(size)
+	if n.reliable {
+		ackAir := n.Radio.AirTime(n.Radio.Packets(n.rcfg.AckBytes), n.rcfg.AckBytes) + 1e-6
+		total := Time(0)
+		for a := 0; a <= n.rcfg.MaxRetries; a++ {
+			total += t + ackAir + n.rcfg.backoff(a)
+		}
+		t = total
+	}
 	return math.Ceil(t*1000) / 1000
 }

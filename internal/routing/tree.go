@@ -12,6 +12,7 @@ package routing
 
 import (
 	"fmt"
+	"sort"
 
 	"sensjoin/internal/topology"
 )
@@ -74,6 +75,80 @@ func BuildTree(neighbors [][]topology.NodeID, root topology.NodeID) *Tree {
 				queue = append(queue, v)
 			}
 		}
+	}
+	t.computeDescendants()
+	return t
+}
+
+// BuildTreeAvoiding constructs a minimum-hop tree like BuildTree but
+// steers around avoided links: the reliable transport reports directed
+// links whose retransmissions exhausted, and the repair prefers parents
+// reachable without them. Avoided links are used only as a last resort,
+// to attach nodes that have no other path — connectivity beats link
+// quality. A nil avoid is equivalent to BuildTree.
+func BuildTreeAvoiding(neighbors [][]topology.NodeID, root topology.NodeID, avoid func(parent, child topology.NodeID) bool) *Tree {
+	if avoid == nil {
+		return BuildTree(neighbors, root)
+	}
+	n := len(neighbors)
+	t := &Tree{
+		Parent:      make([]topology.NodeID, n),
+		Children:    make([][]topology.NodeID, n),
+		Depth:       make([]int, n),
+		Descendants: make([]int, n),
+		Root:        root,
+	}
+	for i := range t.Parent {
+		t.Parent[i] = NoParent
+		t.Depth[i] = -1
+	}
+	attach := func(u, v topology.NodeID) {
+		t.Depth[v] = t.Depth[u] + 1
+		t.Parent[v] = u
+		t.Children[u] = append(t.Children[u], v)
+	}
+	// Pass 1: BFS over non-avoided links only.
+	t.Depth[root] = 0
+	queue := []topology.NodeID{root}
+	var reached []topology.NodeID
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		reached = append(reached, u)
+		for _, v := range neighbors[u] {
+			if t.Depth[v] == -1 && !avoid(u, v) {
+				attach(u, v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	// Pass 2: attach stragglers through avoided links; BFS continues from
+	// the pass-1 tree in depth order, so every node still gets a
+	// shallowest available parent and Depth stays parent-consistent.
+	sort.Slice(reached, func(i, k int) bool {
+		if t.Depth[reached[i]] != t.Depth[reached[k]] {
+			return t.Depth[reached[i]] < t.Depth[reached[k]]
+		}
+		return reached[i] < reached[k]
+	})
+	queue = reached
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range neighbors[u] {
+			if t.Depth[v] == -1 {
+				attach(u, v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i := range t.Depth {
+		if t.Depth[i] > t.MaxDepth {
+			t.MaxDepth = t.Depth[i]
+		}
+	}
+	for _, ch := range t.Children {
+		sortIDs(ch)
 	}
 	t.computeDescendants()
 	return t

@@ -193,3 +193,74 @@ func TestQuickTreeInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBuildTreeAvoidingSkipsBadLinks(t *testing.T) {
+	d := deployment(t, 3, 250, 450)
+	base := BuildTree(d.Neighbors, topology.BaseStation)
+	// Avoid some tree edge whose child has an alternative neighbor at the
+	// parent's depth: the rebuilt tree must not use it and must stay a
+	// valid spanning min-structure.
+	var child, parent topology.NodeID = -1, -1
+	for i := 1; i < d.N(); i++ {
+		id := topology.NodeID(i)
+		p := base.Parent[id]
+		if p == NoParent {
+			continue
+		}
+		for _, nb := range d.Neighbors[id] {
+			if nb != p && base.Depth[nb] == base.Depth[p] {
+				child, parent = id, p
+			}
+		}
+		if child >= 0 {
+			break
+		}
+	}
+	if child < 0 {
+		t.Skip("no avoidable edge with an alternative")
+	}
+	avoid := func(u, v topology.NodeID) bool {
+		return (u == parent && v == child) || (u == child && v == parent)
+	}
+	tr := BuildTreeAvoiding(d.Neighbors, topology.BaseStation, avoid)
+	if tr.Parent[child] == parent {
+		t.Fatalf("avoided link %d-%d still used although node %d has an equal-depth alternative",
+			parent, child, child)
+	}
+	if tr.ReachableCount() != base.ReachableCount() {
+		t.Fatalf("avoiding one redundant link lost connectivity: %d vs %d nodes",
+			tr.ReachableCount(), base.ReachableCount())
+	}
+	if err := tr.Validate(d.Neighbors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTreeAvoidingLastResort(t *testing.T) {
+	// A 3-node chain 0-1-2: avoiding the only link to node 1 must still
+	// attach it (connectivity beats link quality).
+	neighbors := [][]topology.NodeID{{1}, {0, 2}, {1}}
+	avoid := func(u, v topology.NodeID) bool { return u == 0 && v == 1 }
+	tr := BuildTreeAvoiding(neighbors, 0, avoid)
+	if !tr.Reachable(1) || !tr.Reachable(2) {
+		t.Fatalf("avoided-but-only link not used as last resort: depths %v", tr.Depth)
+	}
+	if err := tr.Validate(neighbors); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Parent[1] != 0 || tr.Parent[2] != 1 {
+		t.Fatalf("unexpected parents %v", tr.Parent)
+	}
+}
+
+func TestBuildTreeAvoidingNilMatchesBuildTree(t *testing.T) {
+	d := deployment(t, 4, 150, 350)
+	a := BuildTree(d.Neighbors, topology.BaseStation)
+	b := BuildTreeAvoiding(d.Neighbors, topology.BaseStation, nil)
+	for i := range a.Parent {
+		if a.Parent[i] != b.Parent[i] || a.Depth[i] != b.Depth[i] {
+			t.Fatalf("node %d differs: parent %d/%d depth %d/%d",
+				i, a.Parent[i], b.Parent[i], a.Depth[i], b.Depth[i])
+		}
+	}
+}

@@ -30,11 +30,17 @@ func (c *Counter) Add(packets, bytes int) {
 	c.Bytes += int64(bytes)
 }
 
-// Collector implements netsim.Accountant: per-node, per-phase counters.
+// Collector implements netsim.Accountant (and its reliable-transport
+// extension netsim.ReliabilityAccountant): per-node, per-phase counters.
+// Retransmissions and ACKs are always also charged through OnTx — the
+// retx/ack counters break the reliability overhead out of the totals,
+// they never add to them.
 type Collector struct {
 	n      int
 	tx     []map[string]*Counter
 	rx     []map[string]*Counter
+	retx   []map[string]*Counter
+	ack    []map[string]*Counter
 	phases map[string]struct{}
 }
 
@@ -44,11 +50,15 @@ func NewCollector(n int) *Collector {
 		n:      n,
 		tx:     make([]map[string]*Counter, n),
 		rx:     make([]map[string]*Counter, n),
+		retx:   make([]map[string]*Counter, n),
+		ack:    make([]map[string]*Counter, n),
 		phases: make(map[string]struct{}),
 	}
 	for i := range c.tx {
 		c.tx[i] = make(map[string]*Counter)
 		c.rx[i] = make(map[string]*Counter)
+		c.retx[i] = make(map[string]*Counter)
+		c.ack[i] = make(map[string]*Counter)
 	}
 	return c
 }
@@ -61,6 +71,18 @@ func (c *Collector) OnTx(node topology.NodeID, phase string, packets, bytes int)
 // OnRx records a reception at node.
 func (c *Collector) OnRx(node topology.NodeID, phase string, packets, bytes int) {
 	c.counter(c.rx, node, phase).Add(packets, bytes)
+}
+
+// OnRetx records a reliable-transport retransmission by node (also
+// charged through OnTx).
+func (c *Collector) OnRetx(node topology.NodeID, phase string, packets, bytes int) {
+	c.counter(c.retx, node, phase).Add(packets, bytes)
+}
+
+// OnAck records a link-layer acknowledgement transmitted by node (also
+// charged through OnTx).
+func (c *Collector) OnAck(node topology.NodeID, phase string, packets, bytes int) {
+	c.counter(c.ack, node, phase).Add(packets, bytes)
 }
 
 func (c *Collector) counter(side []map[string]*Counter, node topology.NodeID, phase string) *Counter {
@@ -78,6 +100,8 @@ func (c *Collector) Reset() {
 	for i := range c.tx {
 		c.tx[i] = make(map[string]*Counter)
 		c.rx[i] = make(map[string]*Counter)
+		c.retx[i] = make(map[string]*Counter)
+		c.ack[i] = make(map[string]*Counter)
 	}
 	c.phases = make(map[string]struct{})
 }
@@ -133,6 +157,30 @@ func (c *Collector) NodeRx(node topology.NodeID, phases ...string) (int64, int64
 		}
 	}
 	return p, b
+}
+
+// TotalRetx sums retransmitted packets over all nodes for the given
+// phases — the reliability overhead already contained in TotalTx.
+func (c *Collector) TotalRetx(phases ...string) int64 {
+	return c.totalSide(c.retx, phases)
+}
+
+// TotalAck sums acknowledgement packets over all nodes for the given
+// phases — like TotalRetx, a breakdown of TotalTx, not an addition.
+func (c *Collector) TotalAck(phases ...string) int64 {
+	return c.totalSide(c.ack, phases)
+}
+
+func (c *Collector) totalSide(side []map[string]*Counter, phases []string) int64 {
+	var p int64
+	for i := 0; i < c.n; i++ {
+		for ph, ctr := range side[i] {
+			if match(ph, phases) {
+				p += ctr.Packets
+			}
+		}
+	}
+	return p
 }
 
 // TotalTx sums transmitted packets over all nodes for the given phases.

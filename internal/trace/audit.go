@@ -12,7 +12,7 @@ import (
 // Violation is one failed audit invariant.
 type Violation struct {
 	// Audit names the pass ("conservation", "reconcile", "slot-order",
-	// "filter-soundness").
+	// "filter-soundness", "reliability").
 	Audit string
 	// Detail describes the violation.
 	Detail string
@@ -29,12 +29,20 @@ func violate(out []Violation, audit, format string, args ...any) []Violation {
 // receiver count the medium attempted, no outcome event lacks its
 // transmission, and no reception happens at or before its send instant
 // (the rx-at-send-time class of bug).
+//
+// Reliable-transport attempts (Logical != 0) are conserved at packet
+// granularity instead: one attempt's packets can split between a partial
+// reception and a loss event, so the outcome packet sum — not the event
+// count — must equal the transmitted packets.
 func Conservation(j *Journal) []Violation {
 	type msg struct {
-		hasTx    bool
-		txAt     float64
-		expect   int
-		outcomes int
+		hasTx      bool
+		txAt       float64
+		expect     int
+		outcomes   int
+		reliable   bool
+		txPackets  int
+		outPackets int
 	}
 	msgs := map[int64]*msg{}
 	get := func(id int64) *msg {
@@ -57,8 +65,11 @@ func Conservation(j *Journal) []Violation {
 			m.hasTx = true
 			m.txAt = ev.At
 			m.expect = ev.Expect
+			m.reliable = ev.Logical != 0
+			m.txPackets = ev.Packets
 		default:
 			m.outcomes++
+			m.outPackets += ev.Packets
 			if m.hasTx {
 				if ev.At < m.txAt {
 					out = violate(out, "conservation",
@@ -80,6 +91,13 @@ func Conservation(j *Journal) []Violation {
 		m := msgs[id]
 		if !m.hasTx {
 			out = violate(out, "conservation", "msg %d has %d outcome event(s) but no tx", id, m.outcomes)
+			continue
+		}
+		if m.reliable {
+			if m.outPackets != m.txPackets {
+				out = violate(out, "conservation",
+					"msg %d: reliable attempt sent %d packet(s), outcomes account %d", id, m.txPackets, m.outPackets)
+			}
 			continue
 		}
 		if m.outcomes != m.expect {
@@ -205,7 +223,9 @@ func slotOrderSegment(events []Event, tree *routing.Tree, phase string) []Violat
 	first := map[topology.NodeID]float64{}
 	last := map[topology.NodeID]float64{}
 	for _, ev := range events {
-		if ev.Kind != KindTx || ev.Phase != phase {
+		// ACKs flow parent-to-child against the collection direction by
+		// design; the slot schedule constrains data transmissions only.
+		if ev.Kind != KindTx || ev.Phase != phase || ev.Ack {
 			continue
 		}
 		if _, ok := first[ev.Node]; !ok {

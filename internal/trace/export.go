@@ -88,7 +88,8 @@ func WriteChrome(w io.Writer, j *Journal) error {
 					break
 				}
 			}
-		case KindTreecut, KindProxy, KindPrune, KindSuppress, KindRecovery:
+		case KindTreecut, KindProxy, KindPrune, KindSuppress, KindRecovery,
+			KindGiveUp, KindRerequest, KindStandDown:
 			evs = append(evs, chromeEvent{
 				Name: ev.Kind.String(), Phase: "i", Ts: ev.At * usec,
 				Pid: 0, Tid: int(ev.Node), Scope: "t",

@@ -1,0 +1,96 @@
+package trace
+
+import "sort"
+
+// Reliability audits the reliable transport's end-to-end contract: every
+// reliable transfer (all events sharing one Logical id) must converge to
+// exactly one effective delivery — each payload packet reaching the
+// receiver's ledger once — or an accounted failure (a give-up event).
+// Retransmission attempts must be consecutively numbered, duplicates may
+// only appear after the transfer completed (a lost-final-ACK probe), and
+// every acknowledgement must belong to a known transfer. A journal
+// without reliable events passes vacuously.
+func Reliability(j *Journal) []Violation {
+	type xfer struct {
+		size      int // payload bytes of the full message (attempt-0 tx)
+		total     int // packets of the full message (attempt-0 tx)
+		rxPackets int // cumulative non-duplicate received packets
+		rxBytes   int
+		attempts  []int
+		complete  bool
+		gaveUp    bool
+	}
+	xfers := map[int64]*xfer{}
+	get := func(id int64) *xfer {
+		x := xfers[id]
+		if x == nil {
+			x = &xfer{}
+			xfers[id] = x
+		}
+		return x
+	}
+	var out []Violation
+	for _, ev := range j.Events {
+		if ev.Logical == 0 {
+			continue
+		}
+		if ev.Ack {
+			if xfers[ev.Logical] == nil {
+				out = violate(out, "reliability",
+					"ACK %d references unknown transfer %d", ev.MsgID, ev.Logical)
+			}
+			continue
+		}
+		x := get(ev.Logical)
+		switch ev.Kind {
+		case KindTx:
+			if ev.Attempt == 0 {
+				x.size, x.total = ev.Bytes, ev.Packets
+			}
+			x.attempts = append(x.attempts, ev.Attempt)
+		case KindRx:
+			if ev.Dup {
+				if !x.complete {
+					out = violate(out, "reliability",
+						"transfer %d: duplicate suppressed at %.6f before the transfer completed", ev.Logical, ev.At)
+				}
+				continue
+			}
+			x.rxPackets += ev.Packets
+			x.rxBytes += ev.Bytes
+			if x.rxPackets > x.total {
+				out = violate(out, "reliability",
+					"transfer %d: %d packets delivered, message has only %d", ev.Logical, x.rxPackets, x.total)
+			}
+			if x.rxPackets == x.total {
+				x.complete = true
+			}
+		case KindGiveUp:
+			x.gaveUp = true
+		}
+	}
+	ids := make([]int64, 0, len(xfers))
+	for id := range xfers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	for _, id := range ids {
+		x := xfers[id]
+		for i, a := range x.attempts {
+			if a != i {
+				out = violate(out, "reliability",
+					"transfer %d: attempt sequence %v not consecutive", id, x.attempts)
+				break
+			}
+		}
+		if !x.complete && !x.gaveUp {
+			out = violate(out, "reliability",
+				"transfer %d: neither delivered (%d/%d packets) nor accounted as failed", id, x.rxPackets, x.total)
+		}
+		if x.complete && x.rxBytes != x.size {
+			out = violate(out, "reliability",
+				"transfer %d: delivered %dB, message carries %dB", id, x.rxBytes, x.size)
+		}
+	}
+	return out
+}

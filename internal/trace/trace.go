@@ -60,6 +60,20 @@ const (
 	// KindRecovery marks a routing-tree repair before a re-execution
 	// (§IV-F); Arg is the attempt number.
 	KindRecovery
+	// KindGiveUp marks a reliable transfer ending without delivery:
+	// retransmissions exhausted (or the sender died mid-transfer). It is
+	// the "accounted failure" leg of the reliability audit — every
+	// reliable transfer must converge to exactly one effective delivery
+	// or one of these.
+	KindGiveUp
+	// KindRerequest marks the base station re-requesting a missing
+	// subtree during scoped recovery; Node is the subtree root, Arg the
+	// recovery round.
+	KindRerequest
+	// KindStandDown marks a subtree falling back to ship-everything mode
+	// because filter dissemination to it could not be confirmed; Node is
+	// the subtree root.
+	KindStandDown
 )
 
 var kindNames = [...]string{
@@ -67,6 +81,7 @@ var kindNames = [...]string{
 	KindPhaseStart: "phase-start", KindPhaseEnd: "phase-end",
 	KindTreecut: "treecut", KindProxy: "proxy", KindPrune: "prune",
 	KindSuppress: "suppress", KindRecovery: "recovery",
+	KindGiveUp: "give-up", KindRerequest: "rerequest", KindStandDown: "stand-down",
 }
 
 // String returns the kind's JSONL name.
@@ -102,6 +117,16 @@ type Event struct {
 	Expect  int `json:"expect,omitempty"`
 	// Arg carries kind-specific data for span events.
 	Arg int `json:"arg,omitempty"`
+	// Attempt is the reliable transport's transmission attempt (0 = the
+	// first transmission).
+	Attempt int `json:"attempt,omitempty"`
+	// Logical groups all attempts and ACKs of one reliable transfer: the
+	// MsgID of its first attempt. Zero on best-effort events.
+	Logical int64 `json:"logical,omitempty"`
+	// Dup marks a reception suppressed as a duplicate.
+	Dup bool `json:"dup,omitempty"`
+	// Ack marks link-layer acknowledgement events.
+	Ack bool `json:"ack,omitempty"`
 }
 
 // Recorder accumulates events. The zero-cost rule: every method is a
@@ -132,6 +157,8 @@ func (r *Recorder) Radio() netsim.Tracer {
 			k = KindDrop
 		case "lost":
 			k = KindLost
+		case "giveup":
+			k = KindGiveUp
 		default:
 			return
 		}
@@ -139,6 +166,7 @@ func (r *Recorder) Radio() netsim.Tracer {
 			Seq: len(r.events), At: ev.At, Kind: k,
 			Node: ev.Src, Peer: ev.Dst, MsgID: ev.MsgID, Phase: ev.Phase,
 			Packets: ev.Packets, Bytes: ev.Bytes, Expect: ev.Expect,
+			Attempt: ev.Attempt, Logical: ev.Logical, Dup: ev.Dup, Ack: ev.Ack,
 		})
 	}
 }

@@ -13,5 +13,12 @@ go test -race ./...
 # and reference paths still run on both band and equi shapes.
 go test -run=NONE -bench=ExactJoin -benchtime=1x ./internal/core
 # Audit smoke: one experiment with every execution self-auditing its
-# journal (conservation, reconciliation, slot order, filter soundness).
+# journal (conservation, reconciliation, slot order, filter soundness,
+# reliability).
 go run ./cmd/experiments -nodes 400 -only E1a -audit > /dev/null
+# Loss smoke: the reliable-transport sweep at two loss rates, audited —
+# both methods must stay oracle-exact under packet loss.
+go run ./cmd/experiments -nodes 400 -loss 0.05,0.10 -only L1 -audit > /dev/null
+# Reliable-transport race pass: the ARQ, scoped recovery and the loss
+# sweep under the race detector, beyond the general -race run above.
+go test -race -run 'Reliable|Recovery|StandDown|Loss' ./internal/netsim ./internal/core ./internal/bench
