@@ -6,6 +6,7 @@
 //	experiments [-nodes 1500] [-seed 42] [-packet 48] [-only E1a,E8]
 //	            [-parallel N] [-csv] [-json] [-audit] [-trace run.jsonl]
 //	            [-loss 0.05,0.10] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-serve :9137] [-progress] [-hold]
 //
 // Output is a sequence of aligned text tables, one per experiment, with
 // notes comparing the measured shape to the paper's claims; -csv and
@@ -14,12 +15,17 @@
 // wall-clock lines go to stderr so timing noise never pollutes diffable
 // output. Absolute packet counts depend on this simulator;
 // EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// -serve starts a live observability server (see serve.go): Prometheus
+// /metrics, JSON /progress, expvar and /debug/pprof. -progress prints
+// per-cell completion lines to stderr. Neither changes stdout by a byte.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"sensjoin/internal/bench"
+	"sensjoin/internal/metrics"
 	"sensjoin/internal/trace"
 	"sensjoin/internal/workload"
 )
@@ -51,6 +58,9 @@ func run() error {
 	audit := flag.Bool("audit", false, "self-audit every execution against its journal; violations fail the experiment")
 	traceFile := flag.String("trace", "", "instead of the suite, journal one calibrated SENS-Join run: JSONL to this file, Chrome trace alongside, breakdown to stdout")
 	loss := flag.String("loss", "", "comma-separated packet loss rates (e.g. 0.05,0.10): adds the L1 loss-resilience sweep with hop-by-hop reliable transport")
+	serveAddr := flag.String("serve", "", "serve live observability on this address (e.g. :9137 or 127.0.0.1:0): /metrics, /progress, /debug/vars, /debug/pprof/")
+	progress := flag.Bool("progress", false, "print per-cell sweep completion lines to stderr")
+	hold := flag.Bool("hold", false, "with -serve: keep serving after the suite finishes until GET /quit or interrupt")
 	flag.Parse()
 
 	var lossRates []float64
@@ -68,6 +78,26 @@ func run() error {
 	}
 
 	cfg := bench.Config{Nodes: *nodes, Seed: *seed, MaxPacket: *packet, Parallel: *parallel, Audit: *audit}
+
+	// Observability: a registry when serving, a progress tracker when
+	// serving or -progress (live lines only with -progress). Tables are
+	// byte-identical with or without either.
+	var obs *obsServer
+	if *serveAddr != "" || *progress {
+		var progW io.Writer
+		if *progress {
+			progW = os.Stderr
+		}
+		cfg.Progress = bench.NewProgress(progW)
+	}
+	if *serveAddr != "" {
+		cfg.Metrics = metrics.New()
+		var err error
+		if obs, err = startServe(*serveAddr, cfg.Metrics, cfg.Progress); err != nil {
+			return err
+		}
+		defer obs.stop()
+	}
 
 	if *traceFile != "" {
 		return writeTrace(cfg, *traceFile)
@@ -100,6 +130,7 @@ func run() error {
 		{"X3", func() (*bench.Table, error) { return bench.RunLifetime(cfg) }},
 		{"X4", func() (*bench.Table, error) { return bench.RunResponseTime(cfg) }},
 		{"X5", func() (*bench.Table, error) { return bench.RunMemory(cfg) }},
+		{"X6", func() (*bench.Table, error) { return bench.RunEnergyLifetime(cfg) }},
 	}
 	if len(lossRates) > 0 {
 		entries = append(entries, entry{"L1", func() (*bench.Table, error) {
@@ -140,11 +171,13 @@ func run() error {
 		tbl     *bench.Table
 		elapsed time.Duration
 	}
+	cfg.Progress.Begin("suite", len(active))
 	jobs := make([]func() (result, error), len(active))
 	for i, e := range active {
 		jobs[i] = func() (result, error) {
 			t0 := time.Now()
 			tbl, err := e.run()
+			cfg.Progress.CellDone("suite", err == nil)
 			if err != nil {
 				return result{}, fmt.Errorf("%s failed: %w", e.id, err)
 			}
@@ -187,7 +220,13 @@ func run() error {
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(doc)
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		if obs != nil && *hold {
+			obs.hold()
+		}
+		return nil
 	}
 
 	fmt.Printf("SENS-Join experiment suite — %d nodes, seed %d, %dB packets\n\n", *nodes, *seed, *packet)
@@ -201,40 +240,28 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", e.id, results[i].elapsed.Seconds())
 	}
 	fmt.Fprintf(os.Stderr, "total: %.1fs (parallel %d)\n", total.Seconds(), *parallel)
+	if obs != nil && *hold {
+		obs.hold()
+	}
 	return nil
 }
 
 // writeTrace journals one calibrated SENS-Join run, writes it as JSON
-// Lines plus a Chrome trace_event file, and prints the per-phase
-// response-time breakdown.
+// Lines plus a Chrome trace_event file (gzipped when path ends in
+// ".gz"), and prints the per-phase response-time breakdown.
 func writeTrace(cfg bench.Config, path string) error {
 	j, violations, err := bench.RunTraced(cfg)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	if err := trace.ExportJSONL(path, j); err != nil {
 		return err
 	}
-	if err := trace.WriteJSONL(f, j); err != nil {
-		f.Close()
+	chrome := trace.ChromePathFor(path)
+	if err := trace.ExportChrome(chrome, j); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	cf, err := os.Create(path + ".chrome.json")
-	if err != nil {
-		return err
-	}
-	if err := trace.WriteChrome(cf, j); err != nil {
-		cf.Close()
-		return err
-	}
-	if err := cf.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("journal: %d events -> %s (+ %s.chrome.json)\n\n", len(j.Events), path, path)
+	fmt.Printf("journal: %d events -> %s (+ %s)\n\n", len(j.Events), path, chrome)
 	fmt.Println(trace.PhaseBreakdown(j))
 	for _, v := range violations {
 		fmt.Fprintf(os.Stderr, "audit violation: %s\n", v)

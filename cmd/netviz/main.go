@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	netviz [-nodes 300] [-seed 1] [-dot] [-loads] [-timeline]
+//	netviz [-nodes 300] [-seed 1] [-dot] [-loads] [-timeline] [-heatmap]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"sensjoin/internal/core"
 	"sensjoin/internal/routing"
+	"sensjoin/internal/stats"
 	"sensjoin/internal/topology"
 	"sensjoin/internal/trace"
 )
@@ -25,6 +26,7 @@ func main() {
 	dot := flag.Bool("dot", false, "emit graphviz DOT of the routing tree")
 	loads := flag.Bool("loads", false, "run a default join with both methods and show the per-node load distribution")
 	timeline := flag.Bool("timeline", false, "run a default join and render its execution timeline from the journal")
+	heatmap := flag.Bool("heatmap", false, "run a default join with both methods and render a spatial per-node radio-energy heatmap")
 	flag.Parse()
 
 	r, err := core.NewRunner(core.SetupConfig{Nodes: *nodes, Seed: *seed})
@@ -44,6 +46,10 @@ func main() {
 	}
 	if *timeline {
 		emitTimeline(r)
+		return
+	}
+	if *heatmap {
+		emitHeatmap(r)
 		return
 	}
 
@@ -143,6 +149,81 @@ func emitLoads(r *core.Runner) {
 			bar := strings.Repeat("#", int(avg)+1)
 			fmt.Printf("depth %2d (%3d nodes): %6.1f [%4d] %s\n", d, len(nodes), avg, max, bar)
 		}
+	}
+	show("external-join", core.External{})
+	show("sens-join", core.NewSENSJoin())
+}
+
+// emitHeatmap races both methods on the default join and renders each
+// per-node radio-energy distribution (CC2420-class model) as a spatial
+// ASCII heatmap — the geographic view of the Fig. 11 hotspot story: the
+// external join concentrates energy drain around the base station,
+// SENS-Join flattens it.
+func emitHeatmap(r *core.Runner) {
+	const src = `SELECT A.hum, B.hum FROM Sensors A, Sensors B
+		WHERE A.temp - B.temp > 6 ONCE`
+	const gw, gh = 60, 20
+	ramp := []byte(" .:-=+*#%@")
+	model := stats.CC2420Model()
+	area := r.Dep.Area
+	show := func(name string, m core.Method) {
+		r.Stats.Reset()
+		if _, err := r.Run(src, m, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "netviz:", err)
+			os.Exit(1)
+		}
+		energy := r.Stats.PerNodeEnergy(model, m.Phases()...)
+		var sum [gh][gw]float64
+		var cnt [gh][gw]int
+		cell := func(i int) (int, int) {
+			gx := int((r.Dep.Pos[i].X - area.MinX) / area.Width() * gw)
+			gy := int((r.Dep.Pos[i].Y - area.MinY) / area.Height() * gh)
+			if gx >= gw {
+				gx = gw - 1
+			}
+			if gy >= gh {
+				gy = gh - 1
+			}
+			return gx, gy
+		}
+		var max float64
+		for i := 1; i < len(energy); i++ {
+			gx, gy := cell(i)
+			sum[gy][gx] += energy[i]
+			cnt[gy][gx]++
+		}
+		for y := 0; y < gh; y++ {
+			for x := 0; x < gw; x++ {
+				if cnt[y][x] > 0 && sum[y][x]/float64(cnt[y][x]) > max {
+					max = sum[y][x] / float64(cnt[y][x])
+				}
+			}
+		}
+		node, peak := stats.MaxLoadNode(energy)
+		p := stats.Percentiles(energy, 0.5, 0.99)
+		fmt.Printf("\n%s — mean radio energy per grid cell (peak cell %.2f mJ; B = base station):\n",
+			name, 1000*max)
+		bx, by := cell(int(topology.BaseStation))
+		for y := 0; y < gh; y++ {
+			row := make([]byte, gw)
+			for x := 0; x < gw; x++ {
+				row[x] = ' '
+				if cnt[y][x] > 0 {
+					mean := sum[y][x] / float64(cnt[y][x])
+					idx := int(mean / max * float64(len(ramp)-1))
+					if idx >= len(ramp) {
+						idx = len(ramp) - 1
+					}
+					row[x] = ramp[idx]
+				}
+				if x == bx && y == by {
+					row[x] = 'B'
+				}
+			}
+			fmt.Println(string(row))
+		}
+		fmt.Printf("hotspot node %d: %.2f mJ (%d descendants); p50 %.3f mJ, p99 %.3f mJ, gini %.2f\n",
+			node, 1000*peak, r.Tree.Descendants[node], 1000*p[0], 1000*p[1], stats.Gini(energy))
 	}
 	show("external-join", core.External{})
 	show("sens-join", core.NewSENSJoin())

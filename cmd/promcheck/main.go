@@ -1,0 +1,107 @@
+// Command promcheck fetches a Prometheus text exposition over HTTP,
+// validates it with the in-repo validator (internal/metrics), and
+// optionally requires specific metric families to be present. CI uses
+// it to smoke-test `experiments -serve`.
+//
+// Usage:
+//
+//	promcheck [-retries 20] [-interval 250ms] [-require fam1,fam2] URL
+//	promcheck -raw [-contains substr] URL
+//
+// Exit status 0 means the endpoint answered with a well-formed
+// exposition containing every required family. Retries cover server
+// start-up races: the first successful HTTP fetch is the one validated.
+// -raw skips Prometheus validation and only requires HTTP 200 (plus an
+// optional -contains substring) — CI uses it to poke /progress,
+// /debug/pprof/ and /quit without a curl dependency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"sensjoin/internal/metrics"
+)
+
+func main() {
+	retries := flag.Int("retries", 20, "fetch attempts before giving up")
+	interval := flag.Duration("interval", 250*time.Millisecond, "delay between fetch attempts")
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	raw := flag.Bool("raw", false, "fetch only: require HTTP 200, skip Prometheus validation")
+	contains := flag.String("contains", "", "with -raw: require this substring in the response body")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: promcheck [flags] URL")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+
+	body, err := fetch(url, *retries, *interval)
+	if err != nil {
+		fail(err)
+	}
+	if *raw {
+		if *contains != "" && !strings.Contains(body, *contains) {
+			fail(fmt.Errorf("%s: body does not contain %q", url, *contains))
+		}
+		fmt.Printf("promcheck: %s ok — %d bytes\n", url, len(body))
+		return
+	}
+	families, err := metrics.ValidateProm(strings.NewReader(body))
+	if err != nil {
+		fail(fmt.Errorf("%s: invalid exposition: %w", url, err))
+	}
+	var missing []string
+	if *require != "" {
+		for _, fam := range strings.Split(*require, ",") {
+			fam = strings.TrimSpace(fam)
+			if fam == "" {
+				continue
+			}
+			if _, ok := families[fam]; !ok {
+				missing = append(missing, fam)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		fail(fmt.Errorf("%s: missing required families: %s", url, strings.Join(missing, ", ")))
+	}
+	fmt.Printf("promcheck: %s ok — %d families valid\n", url, len(families))
+}
+
+func fetch(url string, retries int, interval time.Duration) (string, error) {
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(interval)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+			continue
+		}
+		return string(body), nil
+	}
+	return "", fmt.Errorf("%s: no successful fetch after %d attempts: %w", url, retries, lastErr)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

@@ -6,7 +6,7 @@
 //
 //	sensjoin [-nodes 300] [-seed 1] [-method sens|external|noquad]
 //	         [-compare] [-rows 10] [-flood] [-audit] [-trace run.jsonl]
-//	         "SELECT ... ONCE"
+//	         [-metrics out.prom] "SELECT ... ONCE"
 //
 // Example (the paper's Q1):
 //
@@ -16,8 +16,10 @@
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -35,6 +37,7 @@ func main() {
 	flood := flag.Bool("flood", false, "include query dissemination in the run")
 	traceFile := flag.String("trace", "", "write the execution journal as JSON Lines to this file (plus a Chrome trace alongside) and print the phase breakdown")
 	audit := flag.Bool("audit", false, "self-audit the execution against its journal; violations exit nonzero")
+	metricsFile := flag.String("metrics", "", `write live instrument values in Prometheus text format to this file after the run ("-" = stderr)`)
 	flag.Parse()
 
 	src := strings.Join(flag.Args(), " ")
@@ -91,6 +94,9 @@ func main() {
 
 	if *traceFile != "" {
 		net.EnableJournal()
+	}
+	if *metricsFile != "" {
+		net.EnableMetrics()
 	}
 	if *flood {
 		if err := net.DisseminateQuery(src); err != nil {
@@ -151,35 +157,75 @@ func main() {
 		fmt.Printf("\nexternal join: %d packets -> savings %.1f%%\n",
 			ext, 100*(1-float64(total)/float64(ext)))
 	}
+
+	if *metricsFile != "" {
+		if err := writeMetricsOut(net, *metricsFile); err != nil {
+			fail(err)
+		}
+	}
 }
 
-// writeJournal exports the execution journal as JSON Lines plus a Chrome
-// trace_event file and prints the per-phase breakdown.
-func writeJournal(net *sensjoin.Network, path string) error {
+// writeMetricsOut dumps the live instruments in Prometheus text format
+// to path ("-" = stderr).
+func writeMetricsOut(net *sensjoin.Network, path string) error {
+	if path == "-" {
+		return net.WriteMetrics(os.Stderr)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := net.WriteTrace(f); err != nil {
+	if err := net.WriteMetrics(f); err != nil {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
+	return f.Close()
+}
+
+// writeJournal exports the execution journal as JSON Lines plus a Chrome
+// trace_event file (gzipped when path ends in ".gz") and prints the
+// per-phase breakdown.
+func writeJournal(net *sensjoin.Network, path string) error {
+	if err := writeMaybeGz(path, net.WriteTrace); err != nil {
 		return err
 	}
-	cf, err := os.Create(path + ".chrome.json")
+	chrome := strings.TrimSuffix(path, ".gz")
+	if strings.HasSuffix(path, ".gz") {
+		chrome += ".chrome.json.gz"
+	} else {
+		chrome += ".chrome.json"
+	}
+	if err := writeMaybeGz(chrome, net.WriteChromeTrace); err != nil {
+		return err
+	}
+	fmt.Printf("\njournal -> %s (+ %s)\n%s", path, chrome, net.PhaseBreakdown())
+	return nil
+}
+
+// writeMaybeGz creates path and streams write into it, through gzip
+// when the path ends in ".gz".
+func writeMaybeGz(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := net.WriteChromeTrace(cf); err != nil {
-		cf.Close()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := write(w); err != nil {
+		f.Close()
 		return err
 	}
-	if err := cf.Close(); err != nil {
-		return err
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return err
+		}
 	}
-	fmt.Printf("\njournal -> %s (+ %s.chrome.json)\n%s", path, path, net.PhaseBreakdown())
-	return nil
+	return f.Close()
 }
 
 func fail(err error) {

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"sensjoin/internal/metrics"
 )
 
 // renderAll runs every experiment at cfg and renders the tables to one
@@ -69,5 +72,80 @@ func TestLossResilienceDeterministicAcrossParallelism(t *testing.T) {
 	}
 	if again := render(8); par != again {
 		t.Fatal("loss table differs between repeated Parallel=8 runs")
+	}
+}
+
+// TestObservabilityDoesNotChangeTables is the observability layer's core
+// contract: attaching the live metrics registry and the progress tracker
+// must leave every rendered table byte-identical — instruments observe
+// the simulation, they never perturb it. It also checks that the
+// registry actually saw the run (all layers reported) and that the
+// progress tracker converged with nothing in flight.
+func TestObservabilityDoesNotChangeTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	cfg := smallConfig()
+	cfg.Parallel = 4
+	plain := renderAll(t, cfg)
+
+	var stderr bytes.Buffer
+	cfg.Metrics = metrics.New()
+	cfg.Progress = NewProgress(&stderr)
+	observed := renderAll(t, cfg)
+	if plain != observed {
+		t.Fatalf("tables differ with observability enabled:\n--- plain ---\n%s\n--- observed ---\n%s", plain, observed)
+	}
+
+	var prom bytes.Buffer
+	if err := cfg.Metrics.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, family := range []string{
+		"sensjoin_netsim_events_total",
+		"sensjoin_netsim_tx_packets_total",
+		"sensjoin_core_runs_total",
+		"sensjoin_core_phase_transitions_total",
+		"sensjoin_routing_tree_depth",
+		"sensjoin_bench_cells_done_total",
+		"sensjoin_bench_node_energy_joules",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("family %s missing from exposition", family)
+		}
+	}
+	if _, err := metrics.ValidateProm(strings.NewReader(text)); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
+	for _, e := range cfg.Progress.Snapshot() {
+		if e.Done != e.Total || e.Failed != 0 {
+			t.Errorf("progress %s: done %d of %d, %d failed", e.ID, e.Done, e.Total, e.Failed)
+		}
+	}
+	if stderr.Len() == 0 {
+		t.Error("progress writer saw no output")
+	}
+}
+
+// The X6 energy/lifetime table must be byte-identical across worker
+// counts and repeated runs, like every other table.
+func TestEnergyLifetimeDeterministicAcrossParallelism(t *testing.T) {
+	render := func(parallel int) string {
+		cfg := smallConfig()
+		cfg.Parallel = parallel
+		tbl, err := RunEnergyLifetime(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("energy table differs between Parallel=1 and Parallel=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	if again := render(8); par != again {
+		t.Fatal("energy table differs between repeated Parallel=8 runs")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sensjoin/internal/core"
 	"sensjoin/internal/field"
 	"sensjoin/internal/geom"
+	"sensjoin/internal/metrics"
 	"sensjoin/internal/netsim"
 	"sensjoin/internal/stats"
 	"sensjoin/internal/topology"
@@ -37,6 +38,20 @@ type Config struct {
 	// violations turn into experiment errors. Tables are unchanged —
 	// tracing is observation, not interference.
 	Audit bool
+	// Metrics attaches every runner (event loop, radio, reliable
+	// transport, protocol spans), the shared deployment cache and the
+	// harness itself to live instruments on this registry (see
+	// internal/metrics and `experiments -serve`). Nil — the default —
+	// keeps every hook a no-op and the radio hot path allocation-free.
+	// Rendered tables are byte-identical either way.
+	Metrics *metrics.Registry
+	// Progress receives per-experiment sweep-cell completion updates
+	// (the -progress flag and the /progress endpoint); nil disables.
+	// Progress output never touches stdout.
+	Progress *Progress
+
+	// hm holds the harness instruments; the zero value is a no-op.
+	hm harnessMetrics
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +70,12 @@ func (c Config) withDefaults() Config {
 	if c.DefaultFraction == 0 {
 		c.DefaultFraction = 0.05
 	}
+	if c.Metrics != nil {
+		c.hm = newHarnessMetrics(c.Metrics)
+		core.SetCacheMetrics(c.Metrics)
+		g := c.Metrics.Gauge("sensjoin_bench_workers_busy", "Fanout jobs currently executing")
+		fanoutBusy.Store(g)
+	}
 	return c
 }
 
@@ -66,6 +87,9 @@ func (c Config) runner() (*core.Runner, error) {
 		return nil, err
 	}
 	r.AutoAudit = c.Audit
+	if c.Metrics != nil {
+		r.EnableMetrics(c.Metrics)
+	}
 	return r, nil
 }
 
@@ -123,7 +147,7 @@ func RunOverallSavings(cfg Config, preset workload.Preset) (*Table, error) {
 		actual    float64
 		ext, sens int64
 	}
-	cells, err := Fanout(cfg.Parallel, cellJobs(cfg.Fractions, func(f float64) (cell, error) {
+	cells, err := Fanout(cfg.Parallel, cellJobs(cfg, shortID(id), cfg.Fractions, func(f float64) (cell, error) {
 		r, err := cfg.runner()
 		if err != nil {
 			return cell{}, err
@@ -252,7 +276,7 @@ func RunRatioSweep(cfg Config, presets []workload.Preset, id string) (*Table, er
 	type cell struct {
 		ext, sens int64
 	}
-	cells, err := Fanout(cfg.Parallel, cellJobs(presets, func(p workload.Preset) (cell, error) {
+	cells, err := Fanout(cfg.Parallel, cellJobs(cfg, shortID(id), presets, func(p workload.Preset) (cell, error) {
 		r, err := cfg.runner()
 		if err != nil {
 			return cell{}, err
@@ -307,7 +331,7 @@ func RunNetworkSize(cfg Config, sizes []int, preset workload.Preset) (*Table, er
 	type cell struct {
 		ext, sens int64
 	}
-	cells, err := Fanout(cfg.Parallel, cellJobs(sizes, func(n int) (cell, error) {
+	cells, err := Fanout(cfg.Parallel, cellJobs(cfg, "E5", sizes, func(n int) (cell, error) {
 		c := cfg
 		c.Nodes = n
 		r, err := c.runner()
@@ -559,7 +583,7 @@ func RunTreecutAblation(cfg Config, preset workload.Preset) (*Table, error) {
 		label     string
 		ja, total int64
 	}
-	cells, err := Fanout(cfg.Parallel, cellJobs([]int{-1, 10, 30, 60, 120}, func(dmax int) (cell, error) {
+	cells, err := Fanout(cfg.Parallel, cellJobs(cfg, "A1", []int{-1, 10, 30, 60, 120}, func(dmax int) (cell, error) {
 		opt := core.Options{Dmax: dmax}
 		label := fmtInt(int64(dmax))
 		if dmax < 0 {
@@ -605,7 +629,7 @@ func RunFilterLimitAblation(cfg Config, preset workload.Preset) (*Table, error) 
 		label     string
 		fd, total int64
 	}
-	cells, err := Fanout(cfg.Parallel, cellJobs([]int{-1, 50, 500, 5000}, func(limit int) (cell, error) {
+	cells, err := Fanout(cfg.Parallel, cellJobs(cfg, "A2", []int{-1, 50, 500, 5000}, func(limit int) (cell, error) {
 		opt := core.Options{FilterMemLimit: limit}
 		label := fmtInt(int64(limit)) + "B"
 		if limit < 0 {
@@ -833,7 +857,7 @@ func RunResponseTime(cfg Config) (*Table, error) {
 		extT, sensT float64
 		ext, sens   int64
 	}
-	cells, err := Fanout(cfg.Parallel, cellJobs([]float64{0.01, 0.05, 0.25, 0.60}, func(f float64) (cell, error) {
+	cells, err := Fanout(cfg.Parallel, cellJobs(cfg, "X4", []float64{0.01, 0.05, 0.25, 0.60}, func(f float64) (cell, error) {
 		r, err := cfg.runner()
 		if err != nil {
 			return cell{}, err
@@ -932,8 +956,22 @@ func All(cfg Config) ([]*Table, error) {
 		func() (*Table, error) { return RunLifetime(cfg) },
 		func() (*Table, error) { return RunResponseTime(cfg) },
 		func() (*Table, error) { return RunMemory(cfg) },
+		func() (*Table, error) { return RunEnergyLifetime(cfg) },
 	}
-	return Fanout(cfg.Parallel, jobs)
+	// Whole-experiment completion reports under the pseudo-id
+	// "experiments"; the fanned-out sweeps inside report their own cells.
+	cfg.Progress.Begin("experiments", len(jobs))
+	wrapped := make([]func() (*Table, error), len(jobs))
+	for i, job := range jobs {
+		wrapped[i] = func() (*Table, error) {
+			cfg.hm.expInflight.Inc()
+			t, err := job()
+			cfg.hm.expInflight.Dec()
+			cfg.Progress.CellDone("experiments", err == nil)
+			return t, err
+		}
+	}
+	return Fanout(cfg.Parallel, wrapped)
 }
 
 // RunLossResilience measures the robustness extension experiment L1:
@@ -1002,7 +1040,7 @@ func RunLossResilience(cfg Config, rates []float64) (*Table, error) {
 			truth:    len(truth.Rows),
 		}, nil
 	}
-	cells, err := Fanout(cfg.Parallel, cellJobs(rates, func(rate float64) (cell, error) {
+	cells, err := Fanout(cfg.Parallel, cellJobs(cfg, "L1", rates, func(rate float64) (cell, error) {
 		ext, err := run(rate, core.External{})
 		if err != nil {
 			return cell{}, err

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"sync/atomic"
+
+	"sensjoin/internal/metrics"
+)
+
+// harnessMetrics are the experiment-harness instruments. The zero value
+// (all instruments nil) is a complete no-op, so Config can carry it by
+// value and metrics-off runs pay nothing.
+type harnessMetrics struct {
+	cellsStarted  *metrics.Counter
+	cellsDone     *metrics.Counter
+	cellsInflight *metrics.Gauge
+	expInflight   *metrics.Gauge
+}
+
+func newHarnessMetrics(reg *metrics.Registry) harnessMetrics {
+	return harnessMetrics{
+		cellsStarted:  reg.Counter("sensjoin_bench_cells_started_total", "sweep cells started"),
+		cellsDone:     reg.Counter("sensjoin_bench_cells_done_total", "sweep cells completed"),
+		cellsInflight: reg.Gauge("sensjoin_bench_cells_inflight", "sweep cells currently executing"),
+		expInflight:   reg.Gauge("sensjoin_bench_experiments_inflight", "experiments currently executing"),
+	}
+}
+
+// fanoutBusy is the live busy-worker gauge for Fanout. Fanout is a
+// generic package-level function with no Config in scope, so the gauge
+// travels through an atomic pointer; a nil load is a no-op gauge.
+var fanoutBusy atomic.Pointer[metrics.Gauge]

@@ -22,9 +22,12 @@ import "sync"
 func Fanout[T any](workers int, jobs []func() (T, error)) ([]T, error) {
 	out := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
+	busy := fanoutBusy.Load() // nil when metrics are off; methods no-op
 	if workers <= 1 {
 		for i, job := range jobs {
+			busy.Inc()
 			out[i], errs[i] = job()
+			busy.Dec()
 			if errs[i] != nil {
 				return out[:i], errs[i]
 			}
@@ -39,6 +42,8 @@ func Fanout[T any](workers int, jobs []func() (T, error)) ([]T, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			busy.Inc()
+			defer busy.Dec()
 			out[i], errs[i] = job()
 		}()
 	}
@@ -52,11 +57,22 @@ func Fanout[T any](workers int, jobs []func() (T, error)) ([]T, error) {
 }
 
 // cellJobs adapts a per-item function to a Fanout job list, preserving
-// item order.
-func cellJobs[I, R any](items []I, run func(I) (R, error)) []func() (R, error) {
+// item order. Each cell reports start/completion to the harness
+// instruments and the progress tracker under the short experiment id;
+// with observability off both hooks are no-ops.
+func cellJobs[I, R any](cfg Config, id string, items []I, run func(I) (R, error)) []func() (R, error) {
+	cfg.Progress.Begin(id, len(items))
 	out := make([]func() (R, error), len(items))
 	for i, item := range items {
-		out[i] = func() (R, error) { return run(item) }
+		out[i] = func() (R, error) {
+			cfg.hm.cellsStarted.Inc()
+			cfg.hm.cellsInflight.Inc()
+			r, err := run(item)
+			cfg.hm.cellsInflight.Dec()
+			cfg.hm.cellsDone.Inc()
+			cfg.Progress.CellDone(id, err == nil)
+			return r, err
+		}
 	}
 	return out
 }

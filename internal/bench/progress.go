@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ExpProgress is one experiment's sweep-cell completion state, as
+// reported by the /progress endpoint of `experiments -serve`.
+type ExpProgress struct {
+	// ID is the short experiment identifier ("E1a", "X4", ...); the
+	// pseudo-id "experiments" tracks whole-experiment completion of a
+	// full suite run.
+	ID string `json:"id"`
+	// Done counts finished cells (including failed ones).
+	Done int `json:"done"`
+	// Total is the cell count of the current (or last) sweep.
+	Total int `json:"total"`
+	// Failed counts cells that returned an error.
+	Failed int `json:"failed"`
+}
+
+// Progress tracks sweep-cell completion across experiments. Attach one
+// to Config.Progress; every Fanout cell reports into it. All methods
+// are safe for concurrent use and no-ops on a nil receiver. Progress
+// never writes to stdout — the optional live line goes to w (stderr in
+// cmd/experiments), keeping rendered tables byte-identical.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	order []string
+	exps  map[string]*ExpProgress
+}
+
+// NewProgress returns a tracker; w, if non-nil, receives one
+// "progress: <id> <done>/<total>" line per completed cell.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, exps: map[string]*ExpProgress{}}
+}
+
+func (p *Progress) entry(id string) *ExpProgress {
+	e := p.exps[id]
+	if e == nil {
+		e = &ExpProgress{ID: id}
+		p.exps[id] = e
+		p.order = append(p.order, id)
+	}
+	return e
+}
+
+// Begin (re)announces a sweep of total cells under id.
+func (p *Progress) Begin(id string, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entry(id)
+	e.Done, e.Failed, e.Total = 0, 0, total
+}
+
+// CellDone records one completed cell under id.
+func (p *Progress) CellDone(id string, ok bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entry(id)
+	e.Done++
+	if !ok {
+		e.Failed++
+	}
+	if p.w != nil {
+		fmt.Fprintf(p.w, "progress: %-12s %d/%d\n", id, e.Done, e.Total)
+	}
+}
+
+// Snapshot returns the completion state of every sweep seen so far, in
+// first-seen order.
+func (p *Progress) Snapshot() []ExpProgress {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ExpProgress, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, *p.exps[id])
+	}
+	return out
+}

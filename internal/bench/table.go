@@ -82,6 +82,15 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// shortID strips a table id like "E1a / Fig. 10(a)" to its short
+// experiment identifier ("E1a") for progress and metric labels.
+func shortID(id string) string {
+	if i := strings.Index(id, " /"); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
 func fmtInt(v int64) string    { return fmt.Sprintf("%d", v) }
 func fmtFrac(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 func fmtFactor(a, b int64) string {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"sensjoin/internal/field"
+	"sensjoin/internal/metrics"
 	"sensjoin/internal/routing"
 	"sensjoin/internal/topology"
 )
@@ -41,7 +42,19 @@ type sharedSetup struct {
 var (
 	setupMu    sync.Mutex
 	setupCache = map[topology.Config]*sharedSetup{}
+	// Cache instruments, guarded by setupMu like the cache itself; nil
+	// (the default) disables them.
+	cacheHits, cacheMisses *metrics.Counter
 )
+
+// SetCacheMetrics registers hit/miss counters for the shared deployment
+// cache on reg (nil disables them again).
+func SetCacheMetrics(reg *metrics.Registry) {
+	setupMu.Lock()
+	defer setupMu.Unlock()
+	cacheHits = reg.Counter("sensjoin_core_setup_cache_hits_total", "shared deployment cache hits")
+	cacheMisses = reg.Counter("sensjoin_core_setup_cache_misses_total", "shared deployment cache misses")
+}
 
 // sharedSetupFor returns the cached artifacts for tcfg, generating them
 // on first use. tcfg must be fully normalized (defaults resolved) so
@@ -52,8 +65,10 @@ func sharedSetupFor(tcfg topology.Config) (*sharedSetup, error) {
 	setupMu.Lock()
 	defer setupMu.Unlock()
 	if s, ok := setupCache[tcfg]; ok {
+		cacheHits.Inc()
 		return s, nil
 	}
+	cacheMisses.Inc()
 	dep, err := topology.Generate(tcfg)
 	if err != nil {
 		return nil, err

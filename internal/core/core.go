@@ -96,11 +96,17 @@ type Exec struct {
 	// so instrumentation points need no guards; guard only work that
 	// exists solely to feed it (x.Trace.Enabled()).
 	Trace *trace.Recorder
+	// Metrics mirrors span events into live instruments; nil is a no-op.
+	Metrics *CoreMetrics
+	// phaseOpen pairs phase-start times with their ends for the duration
+	// histograms; per-execution state, so concurrent runs never share it.
+	phaseOpen map[string]float64
 }
 
 // span appends a protocol event at the current simulated time.
 func (x *Exec) span(k trace.Kind, node, peer topology.NodeID, phase string, arg int) {
 	x.Trace.Span(x.Sim.Now(), k, node, peer, phase, arg)
+	x.Metrics.observeSpan(x, k, phase)
 }
 
 // NewExec validates and assembles an execution context.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sensjoin/internal/field"
+	"sensjoin/internal/metrics"
 	"sensjoin/internal/netsim"
 	"sensjoin/internal/query"
 	"sensjoin/internal/relation"
@@ -51,6 +52,11 @@ type Runner struct {
 	// Trace records execution journals once EnableTrace is called; nil
 	// keeps the radio hot path allocation-free.
 	Trace *trace.Recorder
+	// Metrics holds the protocol instruments once EnableMetrics is
+	// called; nil keeps every hook a no-op.
+	Metrics *CoreMetrics
+	// treeDepth is the live tree-depth gauge (nil when metrics are off).
+	treeDepth *metrics.Gauge
 	// AutoAudit makes every Run audit itself: each execution's journal
 	// segment is checked (conservation, reconciliation, slot order,
 	// filter soundness) and violations turn into errors. The journal is
@@ -141,6 +147,7 @@ func (r *Runner) Exec(q *query.Query, t float64) (*Exec, error) {
 	}
 	x.Member = r.Member
 	x.Trace = r.Trace
+	x.Metrics = r.Metrics
 	return x, nil
 }
 
@@ -156,6 +163,9 @@ func (r *Runner) ExecSQL(src string, t float64) (*Exec, error) {
 // Run executes a query with the given method at time t. With AutoAudit
 // set, the execution's journal is audited and violations become errors.
 func (r *Runner) Run(src string, m Method, t float64) (*Result, error) {
+	if r.Metrics != nil {
+		r.Metrics.Runs.Inc()
+	}
 	if r.AutoAudit {
 		res, violations, err := r.AuditRun(src, m, t)
 		if err != nil {
@@ -174,12 +184,26 @@ func (r *Runner) Run(src string, m Method, t float64) (*Result, error) {
 	return m.Run(x)
 }
 
+// EnableMetrics wires the whole stack of this runner — event loop,
+// radio, reliable transport and protocol spans — into live instruments
+// on reg. Many runners may share one registry: counters accumulate
+// across them (the experiment fan-out does exactly this). A nil
+// registry disables everything again.
+func (r *Runner) EnableMetrics(reg *metrics.Registry) {
+	r.Sim.SetMetrics(netsim.NewSimMetrics(reg))
+	r.Net.SetMetrics(netsim.NewNetMetrics(reg))
+	r.Metrics = NewMetrics(reg)
+	r.treeDepth = reg.Gauge("sensjoin_routing_tree_depth", "routing tree depth (largest hop count)")
+	r.treeDepth.Set(int64(r.Tree.MaxDepth))
+}
+
 // RebuildTree re-forms the routing tree over the currently live links,
 // standing in for the collection-tree protocol's repair (§IV-F). The
 // equivalent beaconing protocol is in package routing; the experiment
 // harness uses the instant rebuild for determinism.
 func (r *Runner) RebuildTree() {
 	r.Tree = routing.BuildTree(r.Net.LiveNeighbors(), topology.BaseStation)
+	r.treeDepth.Set(int64(r.Tree.MaxDepth))
 }
 
 // RebuildTreeAvoidingFailures re-forms the tree like RebuildTree, but
@@ -199,6 +223,7 @@ func (r *Runner) RebuildTreeAvoidingFailures() {
 			bad[netsim.Link{From: child, To: parent}] > 0
 	}
 	r.Tree = routing.BuildTreeAvoiding(r.Net.LiveNeighbors(), topology.BaseStation, avoid)
+	r.treeDepth.Set(int64(r.Tree.MaxDepth))
 	r.Net.ClearExhaustedLinks()
 }
 

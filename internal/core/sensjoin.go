@@ -230,6 +230,8 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 		}
 		completeA := bs.coverIn+len(bs.fullsIn) == p.members
 		filter := computeFilter(p, bsKeys, !o.DisableBandIndex)
+		filterBytes := o.Rep.SetBytes(p, filter)
+		x.Metrics.observeFilter(len(filter), filterBytes)
 
 		if len(filter) > 0 && bs.activeChildren > 0 {
 			msg := s.buildFilterMsg(p, o, topology.BaseStation, filter, bs.childNeedsFull)
@@ -237,9 +239,9 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 		}
 
 		// Phase C schedule: after the filter has fully propagated.
-		slotB := x.Net.SlotFor(o.Rep.SetBytes(p, filter) + 32)
+		slotB := x.Net.SlotFor(filterBytes + 32)
 		tB := x.Sim.Now() + float64(tree.MaxDepth+1)*slotB
-		if x.Trace.Enabled() {
+		if x.Trace.Enabled() || x.Metrics != nil {
 			// Scheduled first so the phase boundary precedes the deepest
 			// nodes' phase-C transmissions at the same instant.
 			x.Sim.Schedule(tB, func() {

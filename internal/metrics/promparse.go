@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateProm is a deliberately small, stdlib-only validator for the
+// Prometheus text exposition format — enough for CI to prove that what
+// the observability server serves actually parses: metric names follow
+// the grammar, label blocks are well-formed, sample values are floats,
+// every sample belongs to a family announced by a # TYPE line, and
+// histogram families come with _bucket/_sum/_count series. It returns
+// the family -> type map of everything seen.
+func ValidateProm(r io.Reader) (map[string]string, error) {
+	types := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	samples := 0
+	histSeries := map[string]map[string]bool{} // family -> suffixes seen
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type: %q", lineNo, line)
+				}
+				name, typ := fields[2], strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q for %s", lineNo, typ, name)
+				}
+				if prev, ok := types[name]; ok && prev != typ {
+					return nil, fmt.Errorf("line %d: %s re-declared as %s (was %s)", lineNo, name, typ, prev)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, rest, err := parseName(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				return nil, fmt.Errorf("line %d: unterminated label block in %q", lineNo, line)
+			}
+			if err := validateLabels(rest[1:end]); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			rest = rest[end+1:]
+		}
+		value := strings.TrimSpace(rest)
+		// An optional timestamp may follow the value.
+		if i := strings.IndexByte(value, ' '); i >= 0 {
+			ts := strings.TrimSpace(value[i+1:])
+			if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+				return nil, fmt.Errorf("line %d: bad timestamp %q", lineNo, ts)
+			}
+			value = value[:i]
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return nil, fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+		}
+		family, suffix := name, ""
+		if _, ok := types[family]; !ok {
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, s)
+				if base != name {
+					if _, ok := types[base]; ok {
+						family, suffix = base, s
+						break
+					}
+				}
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		if typ == "histogram" {
+			if histSeries[family] == nil {
+				histSeries[family] = map[string]bool{}
+			}
+			if suffix == "" {
+				return nil, fmt.Errorf("line %d: bare sample %s of histogram family", lineNo, name)
+			}
+			histSeries[family][suffix] = true
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if samples == 0 {
+		return nil, fmt.Errorf("no samples in exposition")
+	}
+	for fam, suffixes := range histSeries {
+		for _, want := range []string{"_bucket", "_sum", "_count"} {
+			if !suffixes[want] {
+				return nil, fmt.Errorf("histogram %s missing %s series", fam, want)
+			}
+		}
+	}
+	return types, nil
+}
+
+// parseName splits the leading metric name off a sample line.
+func parseName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		digit := c >= '0' && c <= '9'
+		if !alpha && !(digit && i > 0) {
+			break
+		}
+		i++
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("no metric name in %q", line)
+	}
+	return line[:i], line[i:], nil
+}
+
+// validateLabels checks a k="v",k2="v2" block.
+func validateLabels(s string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := s[:eq]
+		if name, rest, err := parseName(key); err != nil || rest != "" || name == "" {
+			return fmt.Errorf("bad label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label value not quoted in %q", s)
+		}
+		// Scan to the closing unescaped quote.
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value in %q", s)
+		}
+		s = s[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}

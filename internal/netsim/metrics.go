@@ -1,0 +1,61 @@
+package netsim
+
+import "sensjoin/internal/metrics"
+
+// Live instrumentation of the simulator and radio layer.
+//
+// Instruments are stored by value with nil-safe pointers inside, so the
+// zero value (metrics off) costs one predicted branch per call site and
+// no allocations — the send/deliver path keeps its 0 allocs/event
+// guarantee (TestSendDeliverZeroAllocs, TestEventLoopAllocs).
+
+// SimMetrics instruments the event loop.
+type SimMetrics struct {
+	// Events counts executed simulator events.
+	Events *metrics.Counter
+	// Queue tracks the event-queue depth.
+	Queue *metrics.Gauge
+}
+
+// NewSimMetrics registers the event-loop instruments on r. Counters are
+// cumulative across every simulation sharing the registry. A nil
+// registry yields no-op instruments.
+func NewSimMetrics(r *metrics.Registry) SimMetrics {
+	return SimMetrics{
+		Events: r.Counter("sensjoin_netsim_events_total", "simulator events executed"),
+		Queue:  r.Gauge("sensjoin_netsim_queue_depth", "pending events in the simulator queue"),
+	}
+}
+
+// SetMetrics installs event-loop instruments (zero value disables).
+func (s *Sim) SetMetrics(m SimMetrics) { s.met = m }
+
+// NetMetrics instruments the radio layer: traffic, failure modes and the
+// reliable transport.
+type NetMetrics struct {
+	Tx, Rx     *metrics.Counter // packets transmitted / received
+	Drop, Lost *metrics.Counter // failed deliveries / loss-model removals
+	Retx, Ack  *metrics.Counter // reliable retransmissions / ACK packets
+	Dup        *metrics.Counter // suppressed duplicate deliveries
+	GiveUp     *metrics.Counter // reliable transfers that exhausted retries
+	InFlight   *metrics.Gauge   // reliable transfers currently in flight
+}
+
+// NewNetMetrics registers the radio instruments on r. A nil registry
+// yields no-op instruments.
+func NewNetMetrics(r *metrics.Registry) NetMetrics {
+	return NetMetrics{
+		Tx:       r.Counter("sensjoin_netsim_tx_packets_total", "packets transmitted"),
+		Rx:       r.Counter("sensjoin_netsim_rx_packets_total", "packets received"),
+		Drop:     r.Counter("sensjoin_netsim_dropped_total", "messages dropped (link down or receiver dead)"),
+		Lost:     r.Counter("sensjoin_netsim_lost_total", "messages removed by the loss model"),
+		Retx:     r.Counter("sensjoin_netsim_retx_total", "reliable-transport retransmission attempts"),
+		Ack:      r.Counter("sensjoin_netsim_ack_tx_total", "link-layer acknowledgements transmitted"),
+		Dup:      r.Counter("sensjoin_netsim_dup_rx_total", "duplicate deliveries suppressed"),
+		GiveUp:   r.Counter("sensjoin_netsim_giveups_total", "reliable transfers that exhausted retransmissions"),
+		InFlight: r.Gauge("sensjoin_netsim_reliable_inflight", "reliable transfers in flight"),
+	}
+}
+
+// SetMetrics installs radio instruments (zero value disables).
+func (n *Network) SetMetrics(m NetMetrics) { n.met = m }

@@ -115,6 +115,10 @@ type Network struct {
 	// once warm (guarded by TestSendDeliverZeroAllocs).
 	free []*delivery
 
+	// met holds nil-safe live instruments; the zero value disables them
+	// at the cost of one branch per call site.
+	met NetMetrics
+
 	// Dropped counts unicast messages that could not be delivered
 	// because the link was down or the receiver dead.
 	Dropped int
@@ -276,6 +280,7 @@ func (n *Network) Send(m Message) {
 	if n.acct != nil {
 		n.acct.OnTx(m.Src, m.Phase, packets, m.Size)
 	}
+	n.met.Tx.Add(int64(packets))
 	n.msgSeq++
 	msgID := n.msgSeq
 	delay := n.Radio.AirTime(packets, m.Size)
@@ -295,6 +300,7 @@ func (n *Network) Send(m Message) {
 			}
 			if n.lostOn(m.Src, v, packets) {
 				n.Lost++
+				n.met.Lost.Inc()
 				mm := m
 				mm.Dst = v
 				n.trace("lost", mm, packets, msgID, 0)
@@ -307,11 +313,13 @@ func (n *Network) Send(m Message) {
 	n.trace("tx", m, packets, msgID, 1)
 	if !n.LinkOK(m.Src, m.Dst) {
 		n.Dropped++
+		n.met.Drop.Inc()
 		n.trace("drop", m, packets, msgID, 0)
 		return
 	}
 	if n.lostOn(m.Src, m.Dst, packets) {
 		n.Lost++
+		n.met.Lost.Inc()
 		n.trace("lost", m, packets, msgID, 0)
 		return
 	}
@@ -351,12 +359,14 @@ func (d *delivery) deliver() {
 	to := m.Dst
 	if n.dead[to] {
 		n.Dropped++
+		n.met.Drop.Inc()
 		n.trace("drop", m, packets, msgID, 0)
 		return
 	}
 	if n.acct != nil {
 		n.acct.OnRx(to, m.Phase, packets, m.Size)
 	}
+	n.met.Rx.Add(int64(packets))
 	n.trace("rx", m, packets, msgID, 0)
 	if h := n.handlers[to]; h != nil {
 		h(m)

@@ -210,6 +210,7 @@ type pendingTx struct {
 func (n *Network) sendReliable(m Message) {
 	packets := n.Radio.Packets(m.Size)
 	p := &pendingTx{m: m, total: packets, remain: packets, remB: m.Size}
+	n.met.InFlight.Inc()
 	n.transmit(p)
 }
 
@@ -231,7 +232,9 @@ func (n *Network) transmit(p *pendingTx) {
 		p.logical = msgID
 	} else {
 		n.Retx++
+		n.met.Retx.Inc()
 	}
+	n.met.Tx.Add(int64(send))
 	if n.acct != nil {
 		n.acct.OnTx(m.Src, m.Phase, send, sendB)
 		if p.attempt > 0 {
@@ -245,10 +248,12 @@ func (n *Network) transmit(p *pendingTx) {
 	switch {
 	case !n.LinkOK(m.Src, m.Dst):
 		n.Dropped++
+		n.met.Drop.Inc()
 		n.traceRel("drop", m, send, sendB, msgID, 0, p.attempt, p.logical, false, false)
 	case probe:
 		if n.lostCountOn(m.Src, m.Dst, send) > 0 {
 			n.Lost++
+			n.met.Lost.Inc()
 			n.traceRel("lost", m, send, sendB, msgID, 0, p.attempt, p.logical, false, false)
 		} else {
 			n.Sim.Schedule(n.Sim.Now()+air, func() { n.deliverProbe(p, msgID) })
@@ -262,6 +267,7 @@ func (n *Network) transmit(p *pendingTx) {
 			// ledger invariant Packets(remB) == remain holds throughout.
 			arrivedB = min(sendB, arrived*n.Radio.Payload())
 			n.Lost++
+			n.met.Lost.Inc()
 			n.traceRel("lost", m, lost, sendB-arrivedB, msgID, 0, p.attempt, p.logical, false, false)
 		}
 		if arrived > 0 {
@@ -281,6 +287,7 @@ func (n *Network) deliverReliable(p *pendingTx, msgID int64, arrived, arrivedB i
 	to := m.Dst
 	if n.dead[to] {
 		n.Dropped++
+		n.met.Drop.Inc()
 		n.traceRel("drop", m, arrived, arrivedB, msgID, 0, p.attempt, p.logical, false, false)
 		return
 	}
@@ -289,6 +296,7 @@ func (n *Network) deliverReliable(p *pendingTx, msgID int64, arrived, arrivedB i
 	if n.acct != nil {
 		n.acct.OnRx(to, m.Phase, arrived, arrivedB)
 	}
+	n.met.Rx.Add(int64(arrived))
 	n.traceRel("rx", m, arrived, arrivedB, msgID, 0, p.attempt, p.logical, false, false)
 	if p.remain == 0 {
 		if h := n.handlers[to]; h != nil {
@@ -306,13 +314,16 @@ func (n *Network) deliverProbe(p *pendingTx, msgID int64) {
 	to := m.Dst
 	if n.dead[to] {
 		n.Dropped++
+		n.met.Drop.Inc()
 		n.traceRel("drop", m, 1, 0, msgID, 0, p.attempt, p.logical, false, false)
 		return
 	}
 	n.Dups++
+	n.met.Dup.Inc()
 	if n.acct != nil {
 		n.acct.OnRx(to, m.Phase, 1, 0)
 	}
+	n.met.Rx.Inc()
 	n.traceRel("rx", m, 1, 0, msgID, 0, p.attempt, p.logical, true, false)
 	n.sendAck(p, to)
 }
@@ -328,6 +339,8 @@ func (n *Network) sendAck(p *pendingTx, from NodeID) {
 	n.msgSeq++
 	msgID := n.msgSeq
 	n.AckTx++
+	n.met.Ack.Inc()
+	n.met.Tx.Add(int64(packets))
 	if n.acct != nil {
 		n.acct.OnTx(from, p.m.Phase, packets, size)
 		if ra, ok := n.acct.(ReliabilityAccountant); ok {
@@ -339,15 +352,18 @@ func (n *Network) sendAck(p *pendingTx, from NodeID) {
 	switch {
 	case !n.LinkOK(from, dst):
 		n.Dropped++
+		n.met.Drop.Inc()
 		n.traceRel("drop", am, packets, size, msgID, 0, 0, p.logical, false, true)
 	case n.lostCountOn(from, dst, packets) > 0:
 		n.Lost++
+		n.met.Lost.Inc()
 		n.traceRel("lost", am, packets, size, msgID, 0, 0, p.logical, false, true)
 	default:
 		final := p.remain == 0
 		n.Sim.Schedule(n.Sim.Now()+n.Radio.AirTime(packets, size), func() {
 			if n.dead[dst] {
 				n.Dropped++
+				n.met.Drop.Inc()
 				n.traceRel("drop", am, packets, size, msgID, 0, 0, p.logical, false, true)
 				return
 			}
@@ -371,6 +387,7 @@ func (n *Network) onTimeout(p *pendingTx, attempt int) {
 	}
 	if p.acked || n.dead[p.m.Src] {
 		p.done = true
+		n.met.InFlight.Dec()
 		if !p.acked {
 			// Sender died mid-transfer: account the failure for audits.
 			n.traceRel("giveup", p.m, p.remain, p.remB, 0, 0, attempt, p.logical, false, false)
@@ -379,8 +396,10 @@ func (n *Network) onTimeout(p *pendingTx, attempt int) {
 	}
 	if attempt >= n.rcfg.MaxRetries {
 		p.done = true
+		n.met.InFlight.Dec()
 		n.traceRel("giveup", p.m, p.remain, p.remB, 0, 0, attempt, p.logical, false, false)
 		n.GiveUps++
+		n.met.GiveUp.Inc()
 		if n.exhausted == nil {
 			n.exhausted = make(map[Link]int)
 		}

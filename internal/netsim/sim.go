@@ -87,6 +87,7 @@ type Sim struct {
 	seq    int64
 	steps  int64
 	halted bool
+	met    SimMetrics
 }
 
 // NewSim returns a simulator at time zero.
@@ -118,6 +119,8 @@ func (s *Sim) Run() {
 		e := s.heap.pop()
 		s.now = e.t
 		s.steps++
+		s.met.Events.Inc()
+		s.met.Queue.Set(int64(len(s.heap)))
 		e.fn()
 	}
 }
@@ -129,6 +132,8 @@ func (s *Sim) RunUntil(t Time) {
 		e := s.heap.pop()
 		s.now = e.t
 		s.steps++
+		s.met.Events.Inc()
+		s.met.Queue.Set(int64(len(s.heap)))
 		e.fn()
 	}
 	if !s.halted && s.now < t {

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"sensjoin/internal/metrics"
 	"sensjoin/internal/netsim"
 	"sensjoin/internal/topology"
 )
@@ -36,6 +37,14 @@ type Protocol struct {
 	parent   []topology.NodeID
 	sent     []int // freshest round this node has seen
 	sentHops []int // hop count last announced this round
+
+	rounds *metrics.Counter // nil-safe live beacon-round counter
+}
+
+// EnableMetrics registers a live beacon-round counter on reg (nil
+// disables it).
+func (p *Protocol) EnableMetrics(reg *metrics.Registry) {
+	p.rounds = reg.Counter("sensjoin_routing_beacon_rounds_total", "beacon rounds initiated")
 }
 
 // NewProtocol attaches a beacon protocol to net. Call Start to begin
@@ -85,6 +94,7 @@ func (p *Protocol) Start() {
 // flood itself proceeds via message events.
 func (p *Protocol) RunRound() {
 	p.round++
+	p.rounds.Inc()
 	p.hops[topology.BaseStation] = 0
 	p.sent[topology.BaseStation] = p.round
 	p.Net.Send(netsim.Message{

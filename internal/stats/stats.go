@@ -12,6 +12,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -361,6 +362,75 @@ func (c *Collector) PerNodeEnergy(m EnergyModel, phases ...string) []float64 {
 		out[i] = c.NodeEnergy(m, topology.NodeID(i), phases...)
 	}
 	return out
+}
+
+// MaxLoadNode returns the most-loaded sensor node and its load, given a
+// per-node load slice (packets or Joules). The base station at index 0
+// is powered and excluded, matching Collector.MaxTx. Returns (-1, 0)
+// when there are no sensor nodes.
+func MaxLoadNode(load []float64) (node int, max float64) {
+	node = -1
+	for i := 1; i < len(load); i++ {
+		if node == -1 || load[i] > max {
+			node, max = i, load[i]
+		}
+	}
+	return node, max
+}
+
+// Percentiles returns the q-quantiles (each in [0,1]) of the sensor-node
+// loads, linearly interpolated over the sorted values. The base station
+// at index 0 is excluded. NaN entries are returned when there are no
+// sensor nodes.
+func Percentiles(load []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(load) < 2 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := append([]float64(nil), load[1:]...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = sorted[n-1]
+			continue
+		}
+		pos := q * float64(n-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		out[i] = sorted[lo] + (sorted[lo+1]-sorted[lo])*frac
+	}
+	return out
+}
+
+// Gini returns the Gini coefficient of the sensor-node loads (base
+// station at index 0 excluded): 0 means every node carries the same
+// load, values approaching 1 mean the load concentrates on few nodes —
+// the imbalance the paper's Fig. 11 hotspot discussion is about.
+// Returns 0 for fewer than two sensor nodes or an all-zero load.
+func Gini(load []float64) float64 {
+	if len(load) < 3 { // base station + at least 2 sensors
+		return 0
+	}
+	sorted := append([]float64(nil), load[1:]...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	var sum, weighted float64
+	for i, v := range sorted {
+		sum += v
+		weighted += float64(i+1) * v
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*sum) / (float64(n) * sum)
 }
 
 // LoadByDescendants bins per-node transmitted packets by the node's

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -184,5 +185,81 @@ func TestSnapshotDeepCopy(t *testing.T) {
 	}
 	if s.N() != 2 {
 		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestMaxLoadNode(t *testing.T) {
+	if n, v := MaxLoadNode([]float64{99, 1, 7, 3}); n != 2 || v != 7 {
+		t.Fatalf("MaxLoadNode = (%d, %g), want (2, 7)", n, v)
+	}
+	// Base station at index 0 never wins, even when largest.
+	if n, _ := MaxLoadNode([]float64{1000, 1}); n != 1 {
+		t.Fatalf("base station won: node %d", n)
+	}
+	if n, v := MaxLoadNode([]float64{5}); n != -1 || v != 0 {
+		t.Fatalf("no sensors: got (%d, %g)", n, v)
+	}
+	if n, v := MaxLoadNode(nil); n != -1 || v != 0 {
+		t.Fatalf("nil: got (%d, %g)", n, v)
+	}
+	// Ties resolve to the lowest node id (deterministic).
+	if n, _ := MaxLoadNode([]float64{0, 4, 4}); n != 1 {
+		t.Fatalf("tie resolved to node %d, want 1", n)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	// Sensors 1..5 carry 10,20,30,40,50.
+	load := []float64{0, 10, 20, 30, 40, 50}
+	got := Percentiles(load, 0, 0.5, 1)
+	if got[0] != 10 || got[1] != 30 || got[2] != 50 {
+		t.Fatalf("Percentiles = %v, want [10 30 50]", got)
+	}
+	// Linear interpolation between order statistics.
+	if q := Percentiles(load, 0.25)[0]; q != 20 {
+		t.Fatalf("p25 = %g, want 20", q)
+	}
+	if q := Percentiles(load, 0.125)[0]; q != 15 {
+		t.Fatalf("p12.5 = %g, want 15", q)
+	}
+	// Unsorted input sorts internally and does not mutate the caller's slice.
+	shuffled := []float64{0, 50, 10, 40, 20, 30}
+	if q := Percentiles(shuffled, 0.5)[0]; q != 30 {
+		t.Fatalf("unsorted median = %g, want 30", q)
+	}
+	if shuffled[1] != 50 {
+		t.Fatal("Percentiles mutated its input")
+	}
+	// No sensor nodes: NaN.
+	for _, v := range Percentiles([]float64{7}, 0.5, 0.9) {
+		if !math.IsNaN(v) {
+			t.Fatalf("empty percentile = %g, want NaN", v)
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	// Perfectly even load: 0.
+	if g := Gini([]float64{0, 5, 5, 5, 5}); g != 0 {
+		t.Fatalf("even Gini = %g, want 0", g)
+	}
+	// All load on one of n nodes: (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 0, 12}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("concentrated Gini = %g, want 0.75", g)
+	}
+	// 1,2,3,4 has a known Gini of 0.25.
+	if g := Gini([]float64{9, 1, 2, 3, 4}); math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("Gini(1..4) = %g, want 0.25", g)
+	}
+	// Degenerate inputs.
+	if g := Gini([]float64{1, 2}); g != 0 {
+		t.Fatalf("single sensor Gini = %g, want 0", g)
+	}
+	if g := Gini([]float64{0, 0, 0}); g != 0 {
+		t.Fatalf("zero-load Gini = %g, want 0", g)
+	}
+	// Base station excluded: its huge load must not register.
+	if g := Gini([]float64{1e9, 5, 5}); g != 0 {
+		t.Fatalf("base station influenced Gini: %g", g)
 	}
 }

@@ -22,3 +22,21 @@ go run ./cmd/experiments -nodes 400 -loss 0.05,0.10 -only L1 -audit > /dev/null
 # Reliable-transport race pass: the ARQ, scoped recovery and the loss
 # sweep under the race detector, beyond the general -race run above.
 go test -race -run 'Reliable|Recovery|StandDown|Loss' ./internal/netsim ./internal/core ./internal/bench
+# Observability smoke: run an audited experiment with the live server
+# holding, validate the Prometheus exposition (in-repo validator, no
+# external deps), check /progress, pull a 1 s CPU profile, then release
+# the server via /quit. The tables on stdout must not change by a byte
+# versus a plain run.
+go build -o /tmp/sensjoin-experiments ./cmd/experiments
+go build -o /tmp/sensjoin-promcheck ./cmd/promcheck
+/tmp/sensjoin-experiments -nodes 400 -only E1a,X6 -audit > /tmp/sensjoin-tables-plain.txt
+/tmp/sensjoin-experiments -nodes 400 -only E1a,X6 -audit -serve 127.0.0.1:39414 -progress -hold > /tmp/sensjoin-tables-served.txt 2>/dev/null &
+OBS_PID=$!
+trap 'kill $OBS_PID 2>/dev/null || true' EXIT
+/tmp/sensjoin-promcheck -require sensjoin_netsim_events_total,sensjoin_netsim_tx_packets_total,sensjoin_core_runs_total,sensjoin_core_phase_transitions_total,sensjoin_core_phase_seconds,sensjoin_routing_tree_depth,sensjoin_bench_cells_done_total,sensjoin_bench_node_energy_joules http://127.0.0.1:39414/metrics
+/tmp/sensjoin-promcheck -raw -contains '"id": "E1a"' http://127.0.0.1:39414/progress
+/tmp/sensjoin-promcheck -raw 'http://127.0.0.1:39414/debug/pprof/profile?seconds=1'
+/tmp/sensjoin-promcheck -raw http://127.0.0.1:39414/quit
+wait $OBS_PID
+trap - EXIT
+cmp /tmp/sensjoin-tables-plain.txt /tmp/sensjoin-tables-served.txt

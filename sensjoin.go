@@ -28,6 +28,7 @@ import (
 	"sensjoin/internal/compress"
 	"sensjoin/internal/core"
 	"sensjoin/internal/field"
+	"sensjoin/internal/metrics"
 	"sensjoin/internal/netsim"
 	"sensjoin/internal/query"
 	"sensjoin/internal/relation"
@@ -199,6 +200,7 @@ type Network struct {
 	r       *core.Runner
 	clock   float64
 	members map[string]func(int) bool
+	reg     *metrics.Registry
 }
 
 // NewNetwork builds a connected random deployment with the standard
@@ -465,6 +467,27 @@ func (n *Network) SetTrace(fn func(TraceEvent)) {
 			Src: int(ev.Src), Dst: int(ev.Dst), Bytes: ev.Bytes, Packets: ev.Packets,
 		})
 	})
+}
+
+// EnableMetrics attaches the network's whole stack — event loop, radio,
+// reliable transport, protocol phases — to live instruments (counters,
+// gauges, histograms). Render them with WriteMetrics. Metrics observe
+// the simulation without perturbing it: results and packet accounting
+// are identical with metrics on or off. Idempotent.
+func (n *Network) EnableMetrics() {
+	if n.reg == nil {
+		n.reg = metrics.New()
+	}
+	n.r.EnableMetrics(n.reg)
+}
+
+// WriteMetrics renders the live instruments in Prometheus text format
+// (version 0.0.4). Requires EnableMetrics.
+func (n *Network) WriteMetrics(w io.Writer) error {
+	if n.reg == nil {
+		return fmt.Errorf("sensjoin: no metrics; call EnableMetrics before executing")
+	}
+	return n.reg.WritePrometheus(w)
 }
 
 // EnableJournal starts recording a structured execution journal: every
