@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -61,6 +62,9 @@ func run() error {
 	serveAddr := flag.String("serve", "", "serve live observability on this address (e.g. :9137 or 127.0.0.1:0): /metrics, /progress, /debug/vars, /debug/pprof/")
 	progress := flag.Bool("progress", false, "print per-cell sweep completion lines to stderr")
 	hold := flag.Bool("hold", false, "with -serve: keep serving after the suite finishes until GET /quit or interrupt")
+	scale := flag.String("scale", "", "comma-separated node counts (e.g. 10000,100000): instead of the suite, run the X7 scale experiment")
+	shards := flag.String("shards", "1,8", "with -scale: comma-separated simulator shard counts per size")
+	scaleJSON := flag.String("scale-json", "", "with -scale: also write the machine-readable result to this file")
 	flag.Parse()
 
 	var lossRates []float64
@@ -101,6 +105,9 @@ func run() error {
 
 	if *traceFile != "" {
 		return writeTrace(cfg, *traceFile)
+	}
+	if *scale != "" {
+		return runScale(*scale, *shards, *seed, *scaleJSON, *cpuprofile)
 	}
 
 	type entry struct {
@@ -242,6 +249,61 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "total: %.1fs (parallel %d)\n", total.Seconds(), *parallel)
 	if obs != nil && *hold {
 		obs.hold()
+	}
+	return nil
+}
+
+// intList parses a comma-separated list of positive integers.
+func intList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("%s: bad value %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runScale executes the X7 scale experiment: the table goes to stdout,
+// per-point progress to stderr, and -scale-json writes the raw artifact.
+func runScale(sizes, shards string, seed int64, jsonPath, cpuprofile string) error {
+	ns, err := intList("-scale", sizes)
+	if err != nil {
+		return err
+	}
+	sh, err := intList("-shards", shards)
+	if err != nil {
+		return err
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	res, err := bench.RunScale(bench.ScaleConfig{Sizes: ns, Shards: sh, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
 	}
 	return nil
 }

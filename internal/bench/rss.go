@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// peakRSSMB reports the process's peak resident set size in MiB. On
+// Linux it reads VmHWM from /proc/self/status — the kernel's high-water
+// mark, which includes every allocation the scale run made so far.
+// Elsewhere (or if the file is unreadable) it falls back to the Go
+// heap's high-water mark, an underestimate that ignores non-heap memory.
+func peakRSSMB() float64 {
+	if f, err := os.Open("/proc/self/status"); err == nil {
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line) // "VmHWM: <n> kB"
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					return kb / 1024
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapSys) / (1024 * 1024)
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sensjoin/internal/core"
+	"sensjoin/internal/field"
+	"sensjoin/internal/routing"
+	"sensjoin/internal/topology"
+	"sensjoin/internal/workload"
+)
+
+// ScaleConfig parameterizes the X7 scale experiment.
+type ScaleConfig struct {
+	// Sizes lists the node counts to measure (e.g. 10k..1M).
+	Sizes []int
+	// Shards lists the simulator shard counts per size (1 = classic
+	// engine).
+	Shards []int
+	// Seed drives placement and field generation.
+	Seed int64
+	// SetupWorkers parallelizes deployment generation, tree
+	// construction and plan building (0 = GOMAXPROCS).
+	SetupWorkers int
+	// Fraction is the calibrated result-fraction target (0 = 1%).
+	Fraction float64
+}
+
+// ScalePoint is one measured (size, shards, method) cell.
+type ScalePoint struct {
+	Nodes        int     `json:"nodes"`
+	Shards       int     `json:"shards"`
+	Method       string  `json:"method"`
+	WallSec      float64 `json:"wall_sec"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+	ResponseTime float64 `json:"response_time_sec"`
+	Rows         int     `json:"rows"`
+	Complete     bool    `json:"complete"`
+	PeakRSSMB    float64 `json:"peak_rss_mb"`
+}
+
+// ScaleSetup records the per-size setup cost (placement + neighbor
+// grid + routing tree), which the parallel setup path targets.
+type ScaleSetup struct {
+	Nodes    int     `json:"nodes"`
+	WallSec  float64 `json:"wall_sec"`
+	MaxDepth int     `json:"max_depth"`
+}
+
+// ScaleResult is the machine-readable X7 artifact (BENCH_scale.json).
+type ScaleResult struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Seed       int64        `json:"seed"`
+	Setup      []ScaleSetup `json:"setup"`
+	Points     []ScalePoint `json:"points"`
+}
+
+// RunScale measures X7: wall-clock, simulator event throughput, radio
+// bytes per node and peak RSS for both join methods as the deployment
+// grows, at each configured shard count. Timings are wall-clock and
+// machine-dependent, so X7 is deliberately not part of All(): its table
+// is not byte-reproducible, only its protocol observables are (and
+// TestShardCountDeterminism pins those).
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("bench: scale run needs at least one size")
+	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1}
+	}
+	if cfg.Fraction == 0 {
+		cfg.Fraction = 0.01
+	}
+	if cfg.SetupWorkers == 0 {
+		cfg.SetupWorkers = runtime.GOMAXPROCS(0)
+	}
+	res := &ScaleResult{GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: cfg.Seed}
+	for _, n := range cfg.Sizes {
+		t0 := time.Now()
+		// Repair instead of rejection sampling: at constant density the
+		// probability that every boundary node connects vanishes with n.
+		dep, err := topology.GenerateParallel(topology.Config{
+			Nodes: n, Area: topology.ScaledArea(n), Range: 50, Seed: cfg.Seed,
+			Repair: true,
+		}, cfg.SetupWorkers)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scale setup at n=%d: %w", n, err)
+		}
+		env := field.StandardEnvironment(dep.Area, cfg.Seed+1000)
+		tree := routing.BuildTreeParallel(dep.Neighbors, topology.BaseStation, cfg.SetupWorkers)
+		res.Setup = append(res.Setup, ScaleSetup{
+			Nodes: n, WallSec: time.Since(t0).Seconds(), MaxDepth: tree.MaxDepth,
+		})
+
+		// One calibration per size: the workload cache keys on the
+		// (dep, env) pair, shared by every shard count's runner.
+		src := ""
+		for _, shards := range cfg.Shards {
+			r := core.NewRunnerFromSetup(dep, env, tree, core.SetupConfig{
+				Shards: shards, ShardWorkers: 0, SetupWorkers: cfg.SetupWorkers,
+			})
+			if src == "" {
+				delta, _ := workload.Calibrate(r, workload.Ratio33(), cfg.Fraction)
+				// An aggregate COUNT folds matches inline at the base
+				// station: the result computation stays O(matches)
+				// without materializing rows, which matters at 1M nodes.
+				src = workload.CountQuery(delta)
+			}
+			for _, m := range []core.Method{core.External{}, core.NewSENSJoin()} {
+				r.Stats.Reset()
+				steps0 := r.Sim.Steps()
+				t1 := time.Now()
+				out, err := r.Run(src, m, 0)
+				wall := time.Since(t1).Seconds()
+				if err != nil {
+					return nil, fmt.Errorf("bench: scale n=%d shards=%d %s: %w", n, shards, m.Name(), err)
+				}
+				events := r.Sim.Steps() - steps0
+				p := ScalePoint{
+					Nodes: n, Shards: shards, Method: m.Name(),
+					WallSec: wall, Events: events,
+					BytesPerNode: float64(r.Stats.TotalTxBytes(m.Phases()...)) / float64(n),
+					ResponseTime: out.ResponseTime,
+					Rows:         len(out.Rows),
+					Complete:     out.Complete,
+					PeakRSSMB:    peakRSSMB(),
+				}
+				if wall > 0 {
+					p.EventsPerSec = float64(events) / wall
+				}
+				res.Points = append(res.Points, p)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the scale result in the suite's table format.
+func (r *ScaleResult) Table() *Table {
+	t := &Table{
+		ID:     "X7",
+		Title:  "scale: wall-clock, event throughput and memory vs network size",
+		Header: []string{"nodes", "shards", "method", "wall(s)", "events", "events/s", "B/node", "resp(s)", "peakRSS(MB)"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(
+			fmtInt(int64(p.Nodes)), fmtInt(int64(p.Shards)), p.Method,
+			fmt.Sprintf("%.2f", p.WallSec), fmtInt(p.Events),
+			fmt.Sprintf("%.0f", p.EventsPerSec),
+			fmt.Sprintf("%.1f", p.BytesPerNode),
+			fmt.Sprintf("%.2f", p.ResponseTime),
+			fmt.Sprintf("%.0f", p.PeakRSSMB),
+		)
+	}
+	for _, s := range r.Setup {
+		t.Note("setup n=%d: %.2fs (placement + neighbor grid + tree, depth %d)", s.Nodes, s.WallSec, s.MaxDepth)
+	}
+	t.Note("GOMAXPROCS=%d; wall-clock cells are machine-dependent, protocol observables are not", r.GOMAXPROCS)
+	t.Note("peak RSS is the process high-water mark (monotone across rows)")
+	return t
+}

@@ -10,6 +10,7 @@ import (
 // through Exec.Trace. Returns the recorder for export/audit calls.
 func (r *Runner) EnableTrace() *trace.Recorder {
 	if r.Trace == nil {
+		r.disableSharding()
 		r.Trace = trace.New()
 		r.Net.SetTracer(r.Trace.Radio())
 	}

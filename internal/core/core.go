@@ -101,6 +101,11 @@ type Exec struct {
 	// phaseOpen pairs phase-start times with their ends for the duration
 	// histograms; per-execution state, so concurrent runs never share it.
 	phaseOpen map[string]float64
+
+	// Workers parallelizes the per-node setup work of buildPlan without
+	// changing its output (0/1 = sequential). Set from
+	// SetupConfig.SetupWorkers by Runner.Exec.
+	Workers int
 }
 
 // span appends a protocol event at the current simulated time.

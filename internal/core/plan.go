@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sensjoin/internal/quadtree"
 	"sensjoin/internal/query"
@@ -102,6 +103,12 @@ func buildPlan(x *Exec) (*plan, error) {
 		shippedByFlags: make(map[uint64][]string),
 		rawTupleBytes:  relation.TupleBytes(len(dimNames)),
 	}
+	if grid != nil {
+		// Build the quadtree codec up front: under the sharded simulator
+		// region workers reach it concurrently, so the lazy init in
+		// codec() must never fire during a run.
+		p.codec()
+	}
 
 	// Attributes any member node may need: shipped plus join attrs.
 	needed := make(map[string]bool)
@@ -114,10 +121,14 @@ func buildPlan(x *Exec) (*plan, error) {
 		needed[name] = true
 	}
 
-	for id := 1; id < x.Dep.N(); id++ {
+	// fill samples one node; it writes only p.nodes[id] and reports
+	// whether the node is a member. All reads (environment, catalog,
+	// predicates, the pre-warmed shipped cache) are concurrency-safe, so
+	// disjoint id ranges can run in parallel.
+	fill := func(id int) (bool, error) {
 		nid := topology.NodeID(id)
 		if x.Net != nil && !x.Net.Alive(nid) {
-			continue // a dead node contributes no tuple
+			return false, nil // a dead node contributes no tuple
 		}
 		var flags uint64
 		vals := make(map[string]float64, len(needed))
@@ -134,7 +145,7 @@ func buildPlan(x *Exec) (*plan, error) {
 				continue
 			}
 			if _, err := x.Catalog.Lookup(ref.Relation); err != nil {
-				return nil, err
+				return false, err
 			}
 			pred := a.LocalPredicate(i)
 			if pred != nil {
@@ -146,7 +157,7 @@ func buildPlan(x *Exec) (*plan, error) {
 			flags |= zorder.FlagFor(i, n)
 		}
 		if flags == 0 {
-			continue
+			return false, nil
 		}
 		for name := range needed {
 			read(name)
@@ -161,7 +172,64 @@ func buildPlan(x *Exec) (*plan, error) {
 		}
 		nd.tupleBytes = relation.TupleBytes(len(p.shipped(flags)))
 		p.nodes[id] = nd
-		p.members++
+		return true, nil
+	}
+
+	total := x.Dep.N()
+	workers := x.Workers
+	// Membership callbacks are arbitrary user code with no thread-safety
+	// contract, so they force the sequential path.
+	if workers > 1 && total >= 4096 && n <= 8 && x.Member == nil {
+		// Pre-warm the shipped cache for every possible mask: the
+		// parallel workers then only read it.
+		for mask := uint64(1); mask < uint64(1)<<n; mask++ {
+			p.shipped(mask)
+		}
+		chunk := (total - 1 + workers - 1) / workers
+		counts := make([]int, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := 1 + w*chunk
+			hi := lo + chunk
+			if lo > total {
+				lo = total
+			}
+			if hi > total {
+				hi = total
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				for id := lo; id < hi; id++ {
+					member, err := fill(id)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if member {
+						counts[w]++
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			if errs[w] != nil {
+				return nil, errs[w]
+			}
+			p.members += counts[w]
+		}
+		return p, nil
+	}
+	for id := 1; id < total; id++ {
+		member, err := fill(id)
+		if err != nil {
+			return nil, err
+		}
+		if member {
+			p.members++
+		}
 	}
 	return p, nil
 }

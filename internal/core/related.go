@@ -49,7 +49,16 @@ func collectWave(x *Exec, p *plan, tree *routing.Tree, phase string, include fun
 			if m.Kind != kindFinal {
 				return
 			}
-			inbox[id] = append(inbox[id], m.Payload.([]finalTuple)...)
+			pl := m.Payload.([]finalTuple)
+			if inbox[id] == nil {
+				// Adopt the first child's slice: the sender abandons it
+				// at Send (and its inbox reference right after), so
+				// ownership transfers without copying — near the root
+				// this saves re-copying whole subtrees.
+				inbox[id] = pl
+				return
+			}
+			inbox[id] = append(inbox[id], pl...)
 		})
 	}
 	for i := 0; i < n; i++ {
@@ -58,7 +67,7 @@ func collectWave(x *Exec, p *plan, tree *routing.Tree, phase string, include fun
 			continue
 		}
 		deadline := start + float64(tree.MaxDepth-tree.Depth[id])*slot
-		x.Sim.Schedule(deadline, func() {
+		x.Sim.ScheduleNode(id, id, deadline, func() {
 			tuples := inbox[id]
 			if p.nodes[id] != nil && (include == nil || include(id)) {
 				tuples = append(tuples, p.tuple(id))
@@ -74,6 +83,11 @@ func collectWave(x *Exec, p *plan, tree *routing.Tree, phase string, include fun
 				Kind: kindFinal, Src: id, Dst: tree.Parent[id],
 				Phase: phase, Size: size, Payload: tuples,
 			})
+			// The subtree's tuples now live in the in-flight payload
+			// (soon adopted or copied by the parent); dropping this
+			// reference keeps the wave's live memory proportional to
+			// the frontier instead of O(nodes × depth).
+			inbox[id] = nil
 		})
 	}
 	x.Sim.RunUntil(start + float64(tree.MaxDepth+1)*slot)

@@ -33,6 +33,20 @@ type SetupConfig struct {
 	// for all callers that treat them as read-only, which is everything
 	// in this repository.
 	Private bool
+	// Shards > 1 partitions the simulator into that many spatial regions
+	// executed in parallel under conservative time-window
+	// synchronization (see netsim/shard.go). Results are bit-identical
+	// for any shard count; enabling tracing, metrics, reliable transport
+	// or the loss model reverts the runner to the classic engine.
+	Shards int
+	// ShardWorkers bounds the goroutines running one synchronization
+	// window (0 = one per shard, capped by GOMAXPROCS).
+	ShardWorkers int
+	// SetupWorkers parallelizes the setup path — node placement's
+	// neighbor scan, tree construction, per-node plan building — without
+	// changing any output (0/1 = sequential). Only honored for Private
+	// runners: shared deployments come from the cache.
+	SetupWorkers int
 }
 
 // Runner owns a simulated deployment and executes queries on it with any
@@ -62,6 +76,8 @@ type Runner struct {
 	// filter soundness) and violations turn into errors. The journal is
 	// truncated after each run to bound memory.
 	AutoAudit bool
+	// workers is SetupConfig.SetupWorkers, forwarded to each Exec.
+	workers int
 }
 
 // NewRunner builds a connected deployment, its environment, the standard
@@ -87,12 +103,12 @@ func NewRunner(cfg SetupConfig) (*Runner, error) {
 	)
 	if cfg.Private {
 		var err error
-		dep, err = topology.Generate(tcfg)
+		dep, err = topology.GenerateParallel(tcfg, cfg.SetupWorkers)
 		if err != nil {
 			return nil, err
 		}
 		env = field.StandardEnvironment(dep.Area, cfg.Seed+1000)
-		tree = routing.BuildTree(dep.Neighbors, topology.BaseStation)
+		tree = routing.BuildTreeParallel(dep.Neighbors, topology.BaseStation, cfg.SetupWorkers)
 	} else {
 		shared, err := sharedSetupFor(tcfg)
 		if err != nil {
@@ -100,6 +116,14 @@ func NewRunner(cfg SetupConfig) (*Runner, error) {
 		}
 		dep, env, tree = shared.dep, shared.env, shared.tree
 	}
+	return NewRunnerFromSetup(dep, env, tree, cfg), nil
+}
+
+// NewRunnerFromSetup assembles a runner around already-built setup
+// artifacts — the scale harness generates one deployment and reuses it
+// across shard counts. Only the Radio, Shards, ShardWorkers and
+// SetupWorkers fields of cfg apply.
+func NewRunnerFromSetup(dep *topology.Deployment, env *field.Environment, tree *routing.Tree, cfg SetupConfig) *Runner {
 	radio := cfg.Radio
 	if radio.MaxPacket == 0 {
 		radio = netsim.DefaultRadio()
@@ -108,7 +132,7 @@ func NewRunner(cfg SetupConfig) (*Runner, error) {
 	sim := netsim.NewSim()
 	coll := stats.NewCollector(dep.N())
 	net := netsim.NewNetwork(sim, dep, radio, coll)
-	return &Runner{
+	r := &Runner{
 		Dep:     dep,
 		Env:     env,
 		Catalog: relation.Catalog{schema.Name: schema},
@@ -116,7 +140,23 @@ func NewRunner(cfg SetupConfig) (*Runner, error) {
 		Net:     net,
 		Tree:    tree,
 		Stats:   coll,
-	}, nil
+		workers: cfg.SetupWorkers,
+	}
+	if cfg.Shards > 1 {
+		// Lookahead: the air time of one empty packet, the minimum
+		// latency of any cross-node interaction.
+		sim.EnableSharding(netsim.PartitionStrips(dep, cfg.Shards), cfg.Shards,
+			radio.AirTime(1, 0), cfg.ShardWorkers)
+		net.BindSharding()
+	}
+	return r
+}
+
+// disableSharding reverts this runner to the classic engine; called by
+// every feature whose hot path is incompatible with parallel regions.
+func (r *Runner) disableSharding() {
+	r.Sim.DisableSharding()
+	r.Net.BindSharding()
 }
 
 // NewRunnerFromDeployment wraps an existing deployment (tests use
@@ -148,6 +188,7 @@ func (r *Runner) Exec(q *query.Query, t float64) (*Exec, error) {
 	x.Member = r.Member
 	x.Trace = r.Trace
 	x.Metrics = r.Metrics
+	x.Workers = r.workers
 	return x, nil
 }
 
@@ -190,6 +231,7 @@ func (r *Runner) Run(src string, m Method, t float64) (*Result, error) {
 // across them (the experiment fan-out does exactly this). A nil
 // registry disables everything again.
 func (r *Runner) EnableMetrics(reg *metrics.Registry) {
+	r.disableSharding()
 	r.Sim.SetMetrics(netsim.NewSimMetrics(reg))
 	r.Net.SetMetrics(netsim.NewNetMetrics(reg))
 	r.Metrics = NewMetrics(reg)
@@ -231,6 +273,7 @@ func (r *Runner) RebuildTreeAvoidingFailures() {
 // reliable delivery (ACKs, bounded retransmissions, duplicate
 // suppression; see netsim) and arms scoped recovery in the join methods.
 func (r *Runner) EnableReliableTransport(cfg netsim.ReliableConfig) {
+	r.disableSharding()
 	r.Net.EnableReliable(cfg)
 }
 

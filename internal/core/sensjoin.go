@@ -124,6 +124,12 @@ type sensNode struct {
 	childNeedsFull bool
 	// Phase C inbox.
 	finalsIn []finalTuple
+	// Memory accounting, folded into MemoryReport after the run. Keeping
+	// it per node means handlers never touch method-level state, which is
+	// what lets sharded regions run them in parallel.
+	memProxyBytes   int
+	memSubtreeBytes int
+	memFilterBytes  int
 }
 
 // Run implements Method.
@@ -148,9 +154,11 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 	}
 	s.Memory = MemoryReport{}
 
-	states := make([]*sensNode, n)
+	// One flat allocation instead of n small ones; at scale the per-node
+	// pointer chase and allocator traffic dominate setup.
+	states := make([]sensNode, n)
 	for i := range states {
-		states[i] = &sensNode{allFull: true}
+		states[i].allFull = true
 	}
 
 	// Under reliable transport a filter transfer that exhausts its
@@ -172,7 +180,7 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 	// Message handling is shared by all phases.
 	for i := 0; i < n; i++ {
 		id := topology.NodeID(i)
-		st := states[id]
+		st := &states[id]
 		x.Net.SetHandler(id, func(m netsim.Message) {
 			if st.cut {
 				return // the node exited the query after Treecut
@@ -210,8 +218,8 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 			continue
 		}
 		deadline := start + float64(tree.MaxDepth-tree.Depth[id])*slotA
-		x.Sim.Schedule(deadline, func() {
-			s.forwardJoinAttrValues(x, p, o, id, states[id])
+		x.Sim.ScheduleNode(id, id, deadline, func() {
+			s.forwardJoinAttrValues(x, p, o, id, &states[id])
 		})
 	}
 
@@ -220,10 +228,10 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 	var result *Result
 	var gotTuples []finalTuple
 	tA := start + float64(tree.MaxDepth+1)*slotA
-	x.Sim.Schedule(tA, func() {
+	x.Sim.ScheduleNode(topology.BaseStation, topology.BaseStation, tA, func() {
 		x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseJACollect, 0)
 		x.span(trace.KindPhaseStart, topology.BaseStation, -1, PhaseFilterDissem, 0)
-		bs := states[topology.BaseStation]
+		bs := &states[topology.BaseStation]
 		bsKeys := bs.keysIn
 		for _, t := range bs.fullsIn {
 			bsKeys = quadtree.UnionKeys(bsKeys, []zorder.Key{p.keyOf(t)})
@@ -238,9 +246,13 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 			s.sendFilter(x, p, o, topology.BaseStation, bs, msg)
 		}
 
-		// Phase C schedule: after the filter has fully propagated.
+		// Phase C schedule: after the filter has fully propagated. tB is
+		// computed from tA, the statically known time of this event, not
+		// from the clock — under sharding there is no global "now" inside
+		// a run (the values are identical: the classic engine sets the
+		// clock to exactly tA here).
 		slotB := x.Net.SlotFor(filterBytes + 32)
-		tB := x.Sim.Now() + float64(tree.MaxDepth+1)*slotB
+		tB := tA + float64(tree.MaxDepth+1)*slotB
 		if x.Trace.Enabled() || x.Metrics != nil {
 			// Scheduled first so the phase boundary precedes the deepest
 			// nodes' phase-C transmissions at the same instant.
@@ -255,13 +267,14 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 				continue
 			}
 			deadline := tB + float64(tree.MaxDepth-tree.Depth[id])*slotC
-			x.Sim.Schedule(deadline, func() {
-				s.forwardCompleteTuples(x, p, id, states[id])
+			x.Sim.ScheduleNode(topology.BaseStation, id, deadline, func() {
+				s.forwardCompleteTuples(x, p, id, &states[id])
 			})
 		}
-		x.Sim.Schedule(tB+float64(tree.MaxDepth+1)*slotC, func() {
+		tEnd := tB + float64(tree.MaxDepth+1)*slotC
+		x.Sim.ScheduleNode(topology.BaseStation, topology.BaseStation, tEnd, func() {
 			x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseFinalCollect, 0)
-			bsT := states[topology.BaseStation]
+			bsT := &states[topology.BaseStation]
 			tuples := append(append([]finalTuple(nil), bsT.fullsIn...), bsT.finalsIn...)
 			gotTuples = tuples
 			rows, contrib := exactJoin(x, tuples)
@@ -271,7 +284,7 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 				ContributingNodes: len(contrib),
 				MemberNodes:       p.members,
 				Complete:          completeA && finalComplete(p, filter, tuples),
-				ResponseTime:      x.Sim.Now() - start,
+				ResponseTime:      tEnd - start,
 			}
 			if s.cont != nil {
 				s.cont.Rounds++
@@ -279,6 +292,23 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 		})
 	})
 	x.Sim.Run()
+
+	// Fold the per-node memory accounting into the report.
+	for i := range states {
+		st := &states[i]
+		if st.memProxyBytes > s.Memory.MaxProxyBytes {
+			s.Memory.MaxProxyBytes = st.memProxyBytes
+		}
+		if st.memSubtreeBytes > s.Memory.MaxSubtreeBytes {
+			s.Memory.MaxSubtreeBytes = st.memSubtreeBytes
+		}
+		if st.memFilterBytes > s.Memory.MaxFilterBytes {
+			s.Memory.MaxFilterBytes = st.memFilterBytes
+		}
+		if st.overflow {
+			s.Memory.OverflowNodes++
+		}
+	}
 
 	// Reliable transport: the base station knows which subtrees are
 	// missing; re-request only those instead of re-executing the query.
@@ -352,17 +382,12 @@ func (s *SENSJoin) forwardJoinAttrValues(x *Exec, p *plan, o Options, id topolog
 	if len(st.proxied) > 0 {
 		x.span(trace.KindProxy, id, -1, PhaseJACollect, len(st.proxied))
 	}
-	if fullBytes > s.Memory.MaxProxyBytes {
-		s.Memory.MaxProxyBytes = fullBytes
-	}
+	st.memProxyBytes = fullBytes
 	if sb := o.Rep.SetBytes(p, st.keysIn); sb <= o.FilterMemLimit {
 		st.subtreeKeys = st.keysIn
-		if sb > s.Memory.MaxSubtreeBytes {
-			s.Memory.MaxSubtreeBytes = sb
-		}
+		st.memSubtreeBytes = sb
 	} else {
 		st.overflow = true
-		s.Memory.OverflowNodes++
 	}
 	keys := st.keysIn
 	for _, t := range st.proxied {
@@ -414,9 +439,7 @@ func (s *SENSJoin) onFilter(x *Exec, p *plan, o Options, id topology.NodeID, st 
 		return
 	}
 
-	if fb := o.Rep.SetBytes(p, filter); fb > s.Memory.MaxFilterBytes {
-		s.Memory.MaxFilterBytes = fb
-	}
+	st.memFilterBytes = o.Rep.SetBytes(p, filter)
 	if nd := p.nodes[id]; nd != nil {
 		if quadtree.ContainsKey(filter, nd.key) {
 			st.ownMatch = true

@@ -114,6 +114,10 @@ type Network struct {
 	// so that the send/deliver path performs zero allocations per event
 	// once warm (guarded by TestSendDeliverZeroAllocs).
 	free []*delivery
+	// freeR replaces free under sharded execution: one freelist per
+	// region, so pool objects are acquired by the sender's worker and
+	// released by the receiver's without shared mutable state.
+	freeR [][]*delivery
 
 	// met holds nil-safe live instruments; the zero value disables them
 	// at the cost of one branch per call site.
@@ -145,6 +149,12 @@ func (n *Network) SetLossRate(rate float64, seed int64) {
 	if rate <= 0 {
 		n.lossRate, n.lossRNG = 0, nil
 		return
+	}
+	if n.Sim.Sharded() {
+		// The loss model draws from one RNG stream; fall back to the
+		// classic engine so draws stay ordered and deterministic.
+		n.Sim.DisableSharding()
+		n.BindSharding()
 	}
 	n.lossRate = rate
 	n.lossRNG = rand.New(rand.NewSource(seed))
@@ -281,9 +291,14 @@ func (n *Network) Send(m Message) {
 		n.acct.OnTx(m.Src, m.Phase, packets, m.Size)
 	}
 	n.met.Tx.Add(int64(packets))
-	n.msgSeq++
-	msgID := n.msgSeq
-	delay := n.Radio.AirTime(packets, m.Size)
+	// Message ids exist for the tracer; untraced runs skip the counter so
+	// the field is never contended across sharded regions.
+	var msgID int64
+	if n.tracer != nil {
+		n.msgSeq++
+		msgID = n.msgSeq
+	}
+	at := n.sendTime(m.Src) + n.Radio.AirTime(packets, m.Size)
 	if m.Dst == BroadcastID {
 		if n.tracer != nil {
 			expect := 0
@@ -293,6 +308,19 @@ func (n *Network) Send(m Message) {
 				}
 			}
 			n.trace("tx", m, packets, msgID, expect)
+		}
+		if n.lossRNG == nil && len(n.down) == 0 {
+			// Fast path: every v comes from the sender's neighbor list, no
+			// links are down and nothing can be lost, so LinkOK reduces to
+			// the receiver being alive — O(deg) instead of the O(deg²)
+			// per-neighbor membership scan.
+			for _, v := range n.Dep.Neighbors[m.Src] {
+				if n.dead[v] {
+					continue
+				}
+				n.deliver(m, v, packets, at, msgID)
+			}
+			return
 		}
 		for _, v := range n.Dep.Neighbors[m.Src] {
 			if !n.LinkOK(m.Src, v) {
@@ -306,7 +334,7 @@ func (n *Network) Send(m Message) {
 				n.trace("lost", mm, packets, msgID, 0)
 				continue
 			}
-			n.deliver(m, v, packets, delay, msgID)
+			n.deliver(m, v, packets, at, msgID)
 		}
 		return
 	}
@@ -323,7 +351,34 @@ func (n *Network) Send(m Message) {
 		n.trace("lost", m, packets, msgID, 0)
 		return
 	}
-	n.deliver(m, m.Dst, packets, delay, msgID)
+	n.deliver(m, m.Dst, packets, at, msgID)
+}
+
+// sendTime returns the sender's current clock: its region clock during a
+// sharded run (written only by the region's own worker), the global
+// clock otherwise.
+func (n *Network) sendTime(src NodeID) Time {
+	if sh := n.Sim.sh; sh != nil && sh.running.Load() {
+		return sh.regions[sh.regionOf[src]].now
+	}
+	return n.Sim.now
+}
+
+// BindSharding sizes the per-region delivery freelists for the
+// simulator's current sharding (or reverts to the shared freelist when
+// sharding is off). It refuses configurations whose hot path carries
+// cross-node mutable state; core.Runner guarantees those features
+// disable sharding first.
+func (n *Network) BindSharding() {
+	sh := n.Sim.sh
+	if sh == nil {
+		n.freeR = nil
+		return
+	}
+	if n.tracer != nil || n.reliable || n.lossRNG != nil {
+		panic("netsim: sharding is incompatible with tracing, reliable transport and the loss model")
+	}
+	n.freeR = make([][]*delivery, len(sh.regions))
 }
 
 // delivery is pooled in-flight message state. Binding run to the
@@ -337,11 +392,15 @@ type delivery struct {
 	run     func()
 }
 
-func (n *Network) getDelivery() *delivery {
-	if k := len(n.free); k > 0 {
-		d := n.free[k-1]
-		n.free[k-1] = nil
-		n.free = n.free[:k-1]
+func (n *Network) getDelivery(src NodeID) *delivery {
+	free := &n.free
+	if n.freeR != nil {
+		free = &n.freeR[n.Sim.sh.regionOf[src]]
+	}
+	if k := len(*free); k > 0 {
+		d := (*free)[k-1]
+		(*free)[k-1] = nil
+		*free = (*free)[:k-1]
 		return d
 	}
 	d := &delivery{n: n}
@@ -355,7 +414,14 @@ func (n *Network) getDelivery() *delivery {
 func (d *delivery) deliver() {
 	n, m, packets, msgID := d.n, d.m, d.packets, d.msgID
 	d.m = Message{} // release the payload reference
-	n.free = append(n.free, d)
+	if n.freeR != nil {
+		// Sharded: this runs on the receiver's worker, so the object goes
+		// to the receiver's region pool.
+		reg := n.Sim.sh.regionOf[m.Dst]
+		n.freeR[reg] = append(n.freeR[reg], d)
+	} else {
+		n.free = append(n.free, d)
+	}
 	to := m.Dst
 	if n.dead[to] {
 		n.Dropped++
@@ -373,13 +439,13 @@ func (d *delivery) deliver() {
 	}
 }
 
-func (n *Network) deliver(m Message, to NodeID, packets int, delay Time, msgID int64) {
-	d := n.getDelivery()
+func (n *Network) deliver(m Message, to NodeID, packets int, at Time, msgID int64) {
+	d := n.getDelivery(m.Src)
 	d.m = m
 	d.m.Dst = to
 	d.packets = packets
 	d.msgID = msgID
-	n.Sim.Schedule(n.Sim.Now()+delay, d.run)
+	n.Sim.ScheduleNode(m.Src, to, at, d.run)
 }
 
 // N returns the node count including the base station.

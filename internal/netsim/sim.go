@@ -80,7 +80,8 @@ func (h *eventHeap) pop() event {
 
 // Sim is the event loop: a priority queue of timestamped callbacks.
 // Events at equal times run in scheduling order, so runs are
-// deterministic.
+// deterministic. With EnableSharding the single heap is replaced by
+// per-region heaps executed in parallel windows (see shard.go).
 type Sim struct {
 	now    Time
 	heap   eventHeap
@@ -88,7 +89,12 @@ type Sim struct {
 	steps  int64
 	halted bool
 	met    SimMetrics
+	sh     *shardEngine
 }
+
+// simMetricsSample batches event-counter updates and queue-gauge samples
+// in the metered loops: exact totals, 1/1024th of the hot-loop cost.
+const simMetricsSample = 1024
 
 // NewSim returns a simulator at time zero.
 func NewSim() *Sim { return &Sim{} }
@@ -100,13 +106,33 @@ func (s *Sim) Now() Time { return s.now }
 func (s *Sim) Steps() int64 { return s.steps }
 
 // Schedule runs fn at absolute time t. Scheduling in the past panics:
-// it would silently reorder causality.
+// it would silently reorder causality. Under sharding, events without a
+// node affinity may only be scheduled from coordinator context (outside
+// Run); event handlers must use ScheduleNode so the engine knows which
+// region's heap and clock apply.
 func (s *Sim) Schedule(t Time, fn func()) {
+	if s.sh != nil {
+		s.scheduleSharded(t, fn)
+		return
+	}
 	if t < s.now {
 		panic(fmt.Sprintf("netsim: scheduling event at %.6f before now %.6f", t, s.now))
 	}
 	s.seq++
 	s.heap.push(event{t: t, seq: s.seq, fn: fn})
+}
+
+// scheduleSharded routes a plain Schedule to the base station's region.
+func (s *Sim) scheduleSharded(t Time, fn func()) {
+	if s.sh.running.Load() {
+		panic("netsim: plain Schedule from an event handler during a sharded run; use ScheduleNode")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: scheduling event at %.6f before now %.6f", t, s.now))
+	}
+	r := &s.sh.regions[s.sh.regionOf[0]]
+	r.seq++
+	r.heap.push(event{t: t, seq: r.seq, fn: fn})
 }
 
 // After runs fn d seconds from now.
@@ -115,34 +141,85 @@ func (s *Sim) After(d Time, fn func()) { s.Schedule(s.now+d, fn) }
 // Run executes events until the queue is empty or Halt is called.
 func (s *Sim) Run() {
 	s.halted = false
+	if s.sh != nil {
+		s.runSharded(inf())
+		return
+	}
+	if s.met.Events == nil {
+		// Untraced hot loop: no metrics bookkeeping per event.
+		for len(s.heap) > 0 && !s.halted {
+			e := s.heap.pop()
+			s.now = e.t
+			s.steps++
+			e.fn()
+		}
+		return
+	}
+	var batch int64
 	for len(s.heap) > 0 && !s.halted {
 		e := s.heap.pop()
 		s.now = e.t
 		s.steps++
-		s.met.Events.Inc()
-		s.met.Queue.Set(int64(len(s.heap)))
+		if batch++; batch >= simMetricsSample {
+			s.met.Events.Add(batch)
+			batch = 0
+			s.met.Queue.Set(int64(len(s.heap)))
+		}
 		e.fn()
 	}
+	s.met.Events.Add(batch)
+	s.met.Queue.Set(int64(len(s.heap)))
 }
 
 // RunUntil executes events with time <= t, then sets the clock to t.
 func (s *Sim) RunUntil(t Time) {
 	s.halted = false
+	if s.sh != nil {
+		s.runSharded(t)
+		return
+	}
+	if s.met.Events == nil {
+		for len(s.heap) > 0 && !s.halted && s.heap[0].t <= t {
+			e := s.heap.pop()
+			s.now = e.t
+			s.steps++
+			e.fn()
+		}
+		if !s.halted && s.now < t {
+			s.now = t
+		}
+		return
+	}
+	var batch int64
 	for len(s.heap) > 0 && !s.halted && s.heap[0].t <= t {
 		e := s.heap.pop()
 		s.now = e.t
 		s.steps++
-		s.met.Events.Inc()
-		s.met.Queue.Set(int64(len(s.heap)))
+		if batch++; batch >= simMetricsSample {
+			s.met.Events.Add(batch)
+			batch = 0
+			s.met.Queue.Set(int64(len(s.heap)))
+		}
 		e.fn()
 	}
 	if !s.halted && s.now < t {
 		s.now = t
 	}
+	s.met.Events.Add(batch)
+	s.met.Queue.Set(int64(len(s.heap)))
 }
 
 // Halt stops Run/RunUntil after the current event returns.
 func (s *Sim) Halt() { s.halted = true }
 
 // Pending reports how many events are queued.
-func (s *Sim) Pending() int { return len(s.heap) }
+func (s *Sim) Pending() int {
+	if s.sh != nil {
+		n := 0
+		for i := range s.sh.regions {
+			n += len(s.sh.regions[i].heap) + len(s.sh.regions[i].inbox)
+		}
+		return n
+	}
+	return len(s.heap)
+}

@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"testing"
+
+	"sensjoin/internal/metrics"
 )
 
 func TestEventOrdering(t *testing.T) {
@@ -141,4 +143,49 @@ func TestHeapOrderWithTies(t *testing.T) {
 			t.Fatalf("execution order %v, want %v", got, want)
 		}
 	}
+}
+
+// Metered runs batch the event counter every simMetricsSample events but
+// must still report the exact total: the remainder is flushed when the
+// loop drains.
+func TestMeteredEventCountExact(t *testing.T) {
+	reg := metrics.New()
+	s := NewSim()
+	s.SetMetrics(NewSimMetrics(reg))
+	fn := func() {}
+	const n = simMetricsSample*3 + 17 // force a non-empty remainder
+	for i := 0; i < n; i++ {
+		s.Schedule(float64(i), fn)
+	}
+	s.Run()
+	got := reg.Snapshot()["sensjoin_netsim_events_total"]
+	if got != int64(n) {
+		t.Fatalf("events_total = %v, want %d", got, n)
+	}
+}
+
+// BenchmarkEventLoop guards the hot loop in both configurations: the
+// unmetered path must stay allocation-free and untouched by the
+// observability layer, and the metered path must amortize its counter
+// updates over simMetricsSample events.
+func BenchmarkEventLoop(b *testing.B) {
+	run := func(b *testing.B, s *Sim) {
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 256; j++ {
+				s.After(float64(j%7), fn)
+			}
+			s.Run()
+		}
+	}
+	b.Run("unmetered", func(b *testing.B) {
+		run(b, NewSim())
+	})
+	b.Run("metered", func(b *testing.B) {
+		s := NewSim()
+		s.SetMetrics(NewSimMetrics(metrics.New()))
+		run(b, s)
+	})
 }

@@ -1,0 +1,71 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"sensjoin/internal/topology"
+)
+
+func assertTreesEqual(t *testing.T, seq, par *Tree) {
+	t.Helper()
+	if !reflect.DeepEqual(seq.Parent, par.Parent) {
+		t.Fatal("Parent vectors differ")
+	}
+	if !reflect.DeepEqual(seq.Depth, par.Depth) {
+		t.Fatal("Depth vectors differ")
+	}
+	if !reflect.DeepEqual(seq.Descendants, par.Descendants) {
+		t.Fatal("Descendant counts differ")
+	}
+	if seq.MaxDepth != par.MaxDepth {
+		t.Fatalf("MaxDepth %d != %d", seq.MaxDepth, par.MaxDepth)
+	}
+	for i := range seq.Children {
+		if len(seq.Children[i]) == 0 && len(par.Children[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(seq.Children[i], par.Children[i]) {
+			t.Fatalf("Children of %d differ: %v vs %v", i, seq.Children[i], par.Children[i])
+		}
+	}
+}
+
+// TestBuildTreeParallelEquals50k is the scale smoke of the issue: the
+// frontier-parallel BFS must reproduce the sequential tree exactly on a
+// 50k-node deployment at the paper's density.
+func TestBuildTreeParallelEquals50k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-node deployment in -short mode")
+	}
+	const n = 50_000
+	dep, err := topology.GenerateParallel(topology.Config{
+		Nodes: n, Area: topology.ScaledArea(n), Range: 50, Seed: 11,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := BuildTree(dep.Neighbors, topology.BaseStation)
+	for _, workers := range []int{2, 4, 8} {
+		par := BuildTreeParallel(dep.Neighbors, topology.BaseStation, workers)
+		assertTreesEqual(t, seq, par)
+	}
+}
+
+// TestBuildTreeParallelEqualsSmall covers several random deployments just
+// above the parallel-path threshold, where frontiers are small and worker
+// chunks uneven.
+func TestBuildTreeParallelEqualsSmall(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		const n = 5000
+		dep, err := topology.GenerateParallel(topology.Config{
+			Nodes: n, Area: topology.ScaledArea(n), Range: 50, Seed: seed,
+		}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := BuildTree(dep.Neighbors, topology.BaseStation)
+		par := BuildTreeParallel(dep.Neighbors, topology.BaseStation, 3)
+		assertTreesEqual(t, seq, par)
+	}
+}

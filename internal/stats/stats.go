@@ -36,32 +36,32 @@ func (c *Counter) Add(packets, bytes int) {
 // Retransmissions and ACKs are always also charged through OnTx — the
 // retx/ack counters break the reliability overhead out of the totals,
 // they never add to them.
+//
+// Concurrency: all state is strictly per node. Charges to one node only
+// ever touch that node's maps, which is what lets the sharded simulator
+// charge nodes from parallel region workers — OnTx runs on the sender's
+// worker, OnRx on the receiver's — without locks. There is deliberately
+// no collector-global mutable state (Phases derives the label set from
+// the per-node maps on demand). Per-node maps are also allocated lazily
+// on first charge: at million-node scale, eager allocation of four maps
+// per node is most of the collector's footprint.
 type Collector struct {
-	n      int
-	tx     []map[string]*Counter
-	rx     []map[string]*Counter
-	retx   []map[string]*Counter
-	ack    []map[string]*Counter
-	phases map[string]struct{}
+	n    int
+	tx   []map[string]*Counter
+	rx   []map[string]*Counter
+	retx []map[string]*Counter
+	ack  []map[string]*Counter
 }
 
 // NewCollector returns a collector for n nodes.
 func NewCollector(n int) *Collector {
-	c := &Collector{
-		n:      n,
-		tx:     make([]map[string]*Counter, n),
-		rx:     make([]map[string]*Counter, n),
-		retx:   make([]map[string]*Counter, n),
-		ack:    make([]map[string]*Counter, n),
-		phases: make(map[string]struct{}),
+	return &Collector{
+		n:    n,
+		tx:   make([]map[string]*Counter, n),
+		rx:   make([]map[string]*Counter, n),
+		retx: make([]map[string]*Counter, n),
+		ack:  make([]map[string]*Counter, n),
 	}
-	for i := range c.tx {
-		c.tx[i] = make(map[string]*Counter)
-		c.rx[i] = make(map[string]*Counter)
-		c.retx[i] = make(map[string]*Counter)
-		c.ack[i] = make(map[string]*Counter)
-	}
-	return c
 }
 
 // OnTx records a transmission by node.
@@ -87,11 +87,15 @@ func (c *Collector) OnAck(node topology.NodeID, phase string, packets, bytes int
 }
 
 func (c *Collector) counter(side []map[string]*Counter, node topology.NodeID, phase string) *Counter {
-	c.phases[phase] = struct{}{}
-	ctr := side[node][phase]
+	m := side[node]
+	if m == nil {
+		m = make(map[string]*Counter, 4)
+		side[node] = m
+	}
+	ctr := m[phase]
 	if ctr == nil {
 		ctr = &Counter{}
-		side[node][phase] = ctr
+		m[phase] = ctr
 	}
 	return ctr
 }
@@ -99,18 +103,27 @@ func (c *Collector) counter(side []map[string]*Counter, node topology.NodeID, ph
 // Reset clears all counters.
 func (c *Collector) Reset() {
 	for i := range c.tx {
-		c.tx[i] = make(map[string]*Counter)
-		c.rx[i] = make(map[string]*Counter)
-		c.retx[i] = make(map[string]*Counter)
-		c.ack[i] = make(map[string]*Counter)
+		c.tx[i] = nil
+		c.rx[i] = nil
+		c.retx[i] = nil
+		c.ack[i] = nil
 	}
-	c.phases = make(map[string]struct{})
 }
 
-// Phases returns the phase labels seen, sorted.
+// Phases returns the phase labels seen, sorted. The set is the union
+// over every node's per-side maps; every charge creates its phase entry,
+// so nothing is missed.
 func (c *Collector) Phases() []string {
-	out := make([]string, 0, len(c.phases))
-	for p := range c.phases {
+	seen := make(map[string]struct{}, 8)
+	for _, side := range [][]map[string]*Counter{c.tx, c.rx, c.retx, c.ack} {
+		for _, m := range side {
+			for p := range m {
+				seen[p] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
 		out = append(out, p)
 	}
 	sort.Strings(out)

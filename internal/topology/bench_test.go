@@ -1,0 +1,72 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sensjoin/internal/geom"
+)
+
+// randomDeployment builds positions without the connectivity check —
+// neighbor construction is what is being measured.
+func randomDeployment(n int, seed int64) *Deployment {
+	rng := rand.New(rand.NewSource(seed))
+	area := ScaledArea(n)
+	pos := make([]geom.Point, n+1)
+	pos[0] = area.Corner()
+	for i := 1; i <= n; i++ {
+		pos[i] = area.Lerp(rng.Float64(), rng.Float64())
+	}
+	return &Deployment{Pos: pos, Range: 50, Area: area}
+}
+
+// TestBuildNeighborsParallelMatches: the counting-sort layout and the
+// parallel scan must reproduce the sequential neighbor lists exactly.
+func TestBuildNeighborsParallelMatches(t *testing.T) {
+	d1 := randomDeployment(20_000, 3)
+	d2 := randomDeployment(20_000, 3)
+	d1.buildNeighborsParallel(1)
+	d2.buildNeighborsParallel(4)
+	if !reflect.DeepEqual(d1.Neighbors, d2.Neighbors) {
+		t.Fatal("parallel neighbor lists differ from sequential")
+	}
+}
+
+// BenchmarkBuildNeighbors measures the flat counting-sort grid at the
+// issue's reference sizes.
+func BenchmarkBuildNeighbors(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		d := randomDeployment(n, 42)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.buildNeighborsParallel(1)
+			}
+		})
+	}
+}
+
+// TestRepairConnects: a sparse placement that rejection sampling would
+// reject must come back fully connected under Repair, with the same
+// result for any worker count.
+func TestRepairConnects(t *testing.T) {
+	cfg := Config{
+		Nodes: 2000, Area: ScaledArea(6000), Range: 50, Seed: 5, Repair: true,
+	}
+	d1, err := GenerateParallel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Connected() {
+		t.Fatal("repaired deployment is not connected")
+	}
+	d4, err := GenerateParallel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1.Neighbors, d4.Neighbors) {
+		t.Fatal("repaired deployment differs across worker counts")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"sensjoin/internal/geom"
 )
@@ -47,6 +48,14 @@ type Config struct {
 	// MaxRetries bounds re-sampling attempts when the random placement
 	// is disconnected. Zero means a sensible default.
 	MaxRetries int
+	// Repair, instead of re-sampling a disconnected placement,
+	// deterministically relocates every node outside the base station's
+	// component into the radio disk of a reachable node. Rejection
+	// sampling is hopeless at scale — a boundary node of a
+	// constant-density placement is isolated with probability
+	// ~e^(-deg/2), so the chance that all of them connect vanishes as n
+	// grows — while the repair perturbs only the few affected nodes.
+	Repair bool
 }
 
 // Deployment is a concrete placement with its communication graph.
@@ -72,6 +81,16 @@ type Deployment struct {
 // Generate places nodes per cfg and returns a connected deployment.
 // It re-samples with derived seeds until the unit-disk graph is connected.
 func Generate(cfg Config) (*Deployment, error) {
+	return GenerateParallel(cfg, 1)
+}
+
+// GenerateParallel is Generate with the neighbor-list scan spread over
+// the given number of workers. The resulting deployment is identical for
+// any worker count (workers only split disjoint per-node writes), so
+// callers may pick the count freely without affecting reproducibility.
+// The worker count is deliberately not part of Config: configs act as
+// cache keys for shared deployments.
+func GenerateParallel(cfg Config, workers int) (*Deployment, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("topology: need at least one node, got %d", cfg.Nodes)
 	}
@@ -82,8 +101,13 @@ func Generate(cfg Config) (*Deployment, error) {
 	if retries == 0 {
 		retries = 50
 	}
+	if cfg.Repair {
+		d := place(cfg, cfg.Seed, workers)
+		d.repair(cfg.Seed, workers)
+		return d, nil
+	}
 	for attempt := 0; attempt < retries; attempt++ {
-		d := place(cfg, cfg.Seed+int64(attempt)*1_000_003)
+		d := place(cfg, cfg.Seed+int64(attempt)*1_000_003, workers)
 		if d.Connected() {
 			return d, nil
 		}
@@ -92,7 +116,57 @@ func Generate(cfg Config) (*Deployment, error) {
 		cfg.Nodes, cfg.Area.Width(), cfg.Area.Height(), retries)
 }
 
-func place(cfg Config, seed int64) *Deployment {
+// repair relocates every node the base station cannot reach into the
+// radio disk of a reachable node (chosen by a seeded RNG, so the result
+// is deterministic), then rebuilds the neighbor lists. One pass
+// suffices: each relocated node lands within range of an
+// already-reachable node, and may itself anchor later relocations.
+func (d *Deployment) repair(seed int64, workers int) {
+	reach := make([]bool, d.N())
+	queue := []NodeID{BaseStation}
+	reach[BaseStation] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range d.Neighbors[u] {
+			if !reach[v] {
+				reach[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	var anchors []NodeID
+	var moved bool
+	for id := 0; id < d.N(); id++ {
+		if reach[id] {
+			anchors = append(anchors, NodeID(id))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed1e55))
+	for id := 0; id < d.N(); id++ {
+		if reach[id] {
+			continue
+		}
+		a := d.Pos[anchors[rng.Intn(len(anchors))]]
+		angle := 2 * math.Pi * rng.Float64()
+		// sqrt for an area-uniform radius; 0.95 keeps a margin so the
+		// link survives floating-point distance rounding.
+		radius := 0.95 * d.Range * math.Sqrt(rng.Float64())
+		p := geom.Point{X: a.X + radius*math.Cos(angle), Y: a.Y + radius*math.Sin(angle)}
+		// Clamping into the area only moves the point closer to the
+		// in-area anchor, so it stays within range.
+		p.X = math.Min(math.Max(p.X, d.Area.MinX), d.Area.MaxX)
+		p.Y = math.Min(math.Max(p.Y, d.Area.MinY), d.Area.MaxY)
+		d.Pos[id] = p
+		anchors = append(anchors, NodeID(id))
+		moved = true
+	}
+	if moved {
+		d.buildNeighborsParallel(workers)
+	}
+}
+
+func place(cfg Config, seed int64, workers int) *Deployment {
 	rng := rand.New(rand.NewSource(seed))
 	pos := make([]geom.Point, cfg.Nodes+1)
 	switch cfg.Base {
@@ -105,20 +179,32 @@ func place(cfg Config, seed int64) *Deployment {
 		pos[i] = cfg.Area.Lerp(rng.Float64(), rng.Float64())
 	}
 	d := &Deployment{Pos: pos, Range: cfg.Range, Area: cfg.Area}
-	d.buildNeighbors()
+	d.buildNeighborsParallel(workers)
 	return d
 }
 
 // buildNeighbors fills the neighbor lists using a uniform grid so that
 // construction is O(n) at constant density rather than O(n^2).
-func (d *Deployment) buildNeighbors() {
+func (d *Deployment) buildNeighbors() { d.buildNeighborsParallel(1) }
+
+// buildNeighborsParallel builds the grid as a flat counting-sort bucket
+// layout — cell index per node, prefix sums, one contiguous node array —
+// instead of a map of slices: two passes over the nodes and three fixed
+// allocations, independent of the cell count. The 3×3 scan then runs
+// over node chunks on the given workers; every worker writes only its
+// own nodes' neighbor lists, and each list is insertion-sorted the same
+// way regardless of worker count, so the result is bit-identical to the
+// sequential build.
+func (d *Deployment) buildNeighborsParallel(workers int) {
 	n := len(d.Pos)
 	d.Neighbors = make([][]NodeID, n)
 	cell := d.Range
 	cols := int(d.Area.Width()/cell) + 2
 	rows := int(d.Area.Height()/cell) + 2
-	grid := make(map[int][]NodeID, n)
-	key := func(p geom.Point) (int, int) {
+	ncells := cols * rows
+	cellOf := make([]int32, n)
+	starts := make([]int32, ncells+1)
+	for i, p := range d.Pos {
 		cx := int((p.X - d.Area.MinX) / cell)
 		cy := int((p.Y - d.Area.MinY) / cell)
 		if cx < 0 {
@@ -133,33 +219,71 @@ func (d *Deployment) buildNeighbors() {
 		if cy >= rows {
 			cy = rows - 1
 		}
-		return cx, cy
+		ci := int32(cy*cols + cx)
+		cellOf[i] = ci
+		starts[ci+1]++
 	}
-	for i, p := range d.Pos {
-		cx, cy := key(p)
-		grid[cy*cols+cx] = append(grid[cy*cols+cx], NodeID(i))
+	for c := 0; c < ncells; c++ {
+		starts[c+1] += starts[c]
+	}
+	cellNodes := make([]NodeID, n)
+	cursor := make([]int32, ncells)
+	copy(cursor, starts[:ncells])
+	// Ascending node order here means every cell's bucket lists ids
+	// ascending, like the append order of the old map grid.
+	for i := range d.Pos {
+		ci := cellOf[i]
+		cellNodes[cursor[ci]] = NodeID(i)
+		cursor[ci]++
 	}
 	r2 := d.Range * d.Range
-	for i, p := range d.Pos {
-		cx, cy := key(p)
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				gx, gy := cx+dx, cy+dy
-				if gx < 0 || gy < 0 || gx >= cols || gy >= rows {
+	scan := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := d.Pos[i]
+			ci := int(cellOf[i])
+			cx, cy := ci%cols, ci/cols
+			for dy := -1; dy <= 1; dy++ {
+				gy := cy + dy
+				if gy < 0 || gy >= rows {
 					continue
 				}
-				for _, j := range grid[gy*cols+gx] {
-					if int(j) == i {
+				for dx := -1; dx <= 1; dx++ {
+					gx := cx + dx
+					if gx < 0 || gx >= cols {
 						continue
 					}
-					if geom.Dist2(p, d.Pos[j]) <= r2 {
-						d.Neighbors[i] = append(d.Neighbors[i], j)
+					c := gy*cols + gx
+					for _, j := range cellNodes[starts[c]:starts[c+1]] {
+						if int(j) == i {
+							continue
+						}
+						if geom.Dist2(p, d.Pos[j]) <= r2 {
+							d.Neighbors[i] = append(d.Neighbors[i], j)
+						}
 					}
 				}
 			}
+			sortIDs(d.Neighbors[i])
 		}
-		sortIDs(d.Neighbors[i])
 	}
+	if workers <= 1 || n < 4096 {
+		scan(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scan(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 func sortIDs(ids []NodeID) {

@@ -135,7 +135,7 @@ func TestGridNeighborMatchesBruteForce(t *testing.T) {
 	// the O(n^2) definition.
 	f := func(seed int64) bool {
 		cfg := Config{Nodes: 60, Area: geom.Square(250), Range: 50, Seed: seed % 1000}
-		d := place(cfg, cfg.Seed)
+		d := place(cfg, cfg.Seed, 1)
 		r2 := d.Range * d.Range
 		for i := 0; i < d.N(); i++ {
 			want := []NodeID{}

@@ -69,6 +69,15 @@ func (p Preset) Build(delta float64) string {
 // Ratio returns the join-attributes-to-total ratio.
 func (p Preset) Ratio() float64 { return float64(p.JoinAttrs) / float64(p.TotalAttrs) }
 
+// CountQuery renders an aggregate variant of the Q1 band join: COUNT
+// folds matching pairs at the base station without materializing rows,
+// keeping the result computation linear in the match count — the form
+// the scale experiment uses at very large deployments.
+func CountQuery(delta float64) string {
+	return fmt.Sprintf("SELECT COUNT(A.temp) FROM Sensors A, Sensors B WHERE A.temp - B.temp > %s ONCE",
+		strconv.FormatFloat(delta, 'g', -1, 64))
+}
+
 // Ratio33 is the paper's first default: one join attribute (temp) out of
 // three shipped attributes (temp, hum, pres).
 func Ratio33() Preset {

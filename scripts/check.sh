@@ -22,6 +22,15 @@ go run ./cmd/experiments -nodes 400 -loss 0.05,0.10 -only L1 -audit > /dev/null
 # Reliable-transport race pass: the ARQ, scoped recovery and the loss
 # sweep under the race detector, beyond the general -race run above.
 go test -race -run 'Reliable|Recovery|StandDown|Loss' ./internal/netsim ./internal/core ./internal/bench
+# Sharded-simulator race pass: window workers, cross-region inboxes,
+# per-region freelists and the parallel setup paths (neighbor grid,
+# BFS tree, plan building) under the race detector.
+go test -race -run 'Shard|Parallel' ./internal/netsim ./internal/bench ./internal/routing ./internal/topology
+# Scale smoke (X7, time-budgeted): a 50k-node run of both join methods
+# on the classic and the sharded engine, plus a reduced-scale run under
+# the race detector. The JSON artifact is what CI uploads.
+go run ./cmd/experiments -scale 50000 -shards 1,4 -scale-json BENCH_scale.json > /dev/null
+go run -race ./cmd/experiments -scale 10000 -shards 4 > /dev/null
 # Observability smoke: run an audited experiment with the live server
 # holding, validate the Prometheus exposition (in-repo validator, no
 # external deps), check /progress, pull a 1 s CPU profile, then release
