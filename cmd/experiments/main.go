@@ -7,6 +7,7 @@
 //	            [-parallel N] [-csv] [-json] [-audit] [-trace run.jsonl]
 //	            [-loss 0.05,0.10] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	            [-serve :9137] [-progress] [-hold]
+//	            [-scale 10000,100000] [-mqo -mqo-n 1,2,4,8,16 -mqo-json BENCH_mqo.json]
 //
 // Output is a sequence of aligned text tables, one per experiment, with
 // notes comparing the measured shape to the paper's claims; -csv and
@@ -65,6 +66,9 @@ func run() error {
 	scale := flag.String("scale", "", "comma-separated node counts (e.g. 10000,100000): instead of the suite, run the X7 scale experiment")
 	shards := flag.String("shards", "1,8", "with -scale: comma-separated simulator shard counts per size")
 	scaleJSON := flag.String("scale-json", "", "with -scale: also write the machine-readable result to this file")
+	mqo := flag.Bool("mqo", false, "instead of the suite, run the X8 multi-query optimization experiment")
+	mqoNs := flag.String("mqo-n", "1,2,4,8,16", "with -mqo: comma-separated concurrent query counts")
+	mqoJSON := flag.String("mqo-json", "", "with -mqo: also write the machine-readable result to this file")
 	flag.Parse()
 
 	var lossRates []float64
@@ -108,6 +112,9 @@ func run() error {
 	}
 	if *scale != "" {
 		return runScale(*scale, *shards, *seed, *scaleJSON, *cpuprofile)
+	}
+	if *mqo {
+		return runMQO(*nodes, *seed, *packet, *mqoNs, *mqoJSON)
 	}
 
 	type entry struct {
@@ -289,6 +296,33 @@ func runScale(sizes, shards string, seed int64, jsonPath, cpuprofile string) err
 		defer pprof.StopCPUProfile()
 	}
 	res, err := bench.RunScale(bench.ScaleConfig{Sizes: ns, Shards: sh, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runMQO executes the X8 shared-execution experiment: the table goes to
+// stdout and -mqo-json writes the raw artifact.
+func runMQO(nodes int, seed int64, packet int, nsList, jsonPath string) error {
+	ns, err := intList("-mqo-n", nsList)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunMQO(bench.MQOConfig{Nodes: nodes, Seed: seed, MaxPacket: packet, Ns: ns})
 	if err != nil {
 		return err
 	}

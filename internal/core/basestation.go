@@ -245,3 +245,24 @@ func GroundTruth(x *Exec) (*Result, error) {
 		Complete:          true,
 	}, nil
 }
+
+// maskAlign computes the per-key membership masks of a shared-execution
+// union filter: bit j of masks[i] is set iff union[i] is in filters[j]
+// (member j's own filter). All inputs are sorted; one merge walk per
+// member.
+func maskAlign(union []zorder.Key, filters [][]zorder.Key) []uint64 {
+	masks := make([]uint64, len(union))
+	for j, f := range filters {
+		bit := uint64(1) << uint(j)
+		fi := 0
+		for i, k := range union {
+			for fi < len(f) && f[fi] < k {
+				fi++
+			}
+			if fi < len(f) && f[fi] == k {
+				masks[i] |= bit
+			}
+		}
+	}
+	return masks
+}

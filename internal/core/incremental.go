@@ -63,6 +63,9 @@ type contState struct {
 	// needFull is raised after a detected desynchronization and carried
 	// to the parent in the next collection phase.
 	needFull []bool
+	// scratch is the arena for the per-epoch symmetric differences of
+	// buildFilterMsg; reset once per round (see SENSJoin.Run).
+	scratch diffScratch
 	// Rounds counts completed executions.
 	Rounds int
 }
@@ -127,8 +130,8 @@ func (s *SENSJoin) buildFilterMsg(p *plan, o Options, id topology.NodeID, sub []
 			mode:    fmDelta,
 			seq:     c.seq[id] + 1,
 			baseSeq: c.seq[id],
-			adds:    diffKeys(sub, c.prevSent[id]),
-			dels:    diffKeys(c.prevSent[id], sub),
+			adds:    c.scratch.diff(sub, c.prevSent[id]),
+			dels:    c.scratch.diff(c.prevSent[id], sub),
 		}
 		if filterMsgSize(p, o, delta) < filterMsgSize(p, o, full) {
 			msg = delta
@@ -170,9 +173,15 @@ func (s *SENSJoin) applyFilterMsg(id topology.NodeID, from topology.NodeID, m *f
 	}
 }
 
-// diffKeys returns a \ b over sorted key sets.
+// diffKeys returns a \ b over sorted key sets in a freshly allocated
+// slice. Use it when the result outlives the round (applyFilterMsg
+// caches its reconstruction across epochs); transient per-epoch
+// differences go through diffScratch.diff instead.
 func diffKeys(a, b []zorder.Key) []zorder.Key {
-	out := make([]zorder.Key, 0, len(a))
+	return diffKeysInto(make([]zorder.Key, 0, len(a)), a, b)
+}
+
+func diffKeysInto(out, a, b []zorder.Key) []zorder.Key {
 	i, j := 0, 0
 	for i < len(a) {
 		switch {
@@ -187,4 +196,28 @@ func diffKeys(a, b []zorder.Key) []zorder.Key {
 		}
 	}
 	return out
+}
+
+// diffScratch is a grow-only arena for the symmetric differences
+// buildFilterMsg computes every epoch at every forwarding node. Deltas
+// live only until their filterMsg is consumed within the round, so one
+// arena reset per round replaces two slice allocations per node per
+// epoch. Results are capped subslices: later diffs append past them and
+// can never alias earlier ones, even when growth reallocates the
+// backing array (the old array keeps the old subslices alive).
+type diffScratch struct {
+	buf []zorder.Key
+}
+
+// reset recycles the arena at the start of a round. Callers must not
+// retain diffs across a reset.
+func (d *diffScratch) reset() {
+	d.buf = d.buf[:0]
+}
+
+// diff returns a \ b over sorted key sets, backed by the arena.
+func (d *diffScratch) diff(a, b []zorder.Key) []zorder.Key {
+	start := len(d.buf)
+	d.buf = diffKeysInto(d.buf, a, b)
+	return d.buf[start:len(d.buf):len(d.buf)]
 }

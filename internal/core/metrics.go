@@ -24,6 +24,12 @@ type CoreMetrics struct {
 	StandDowns  *metrics.Counter
 	FilterKeys  *metrics.Histogram
 	FilterBytes *metrics.Histogram
+
+	// Shared-execution (multi-query optimization) instruments.
+	MQOGroups           *metrics.Gauge
+	MQOMergedBroadcasts *metrics.Counter
+	MQODedupTuples      *metrics.Counter
+	MQOBitmapBytes      *metrics.Counter
 }
 
 // metricPhases is the closed set of phase labels instrumented with their
@@ -53,6 +59,11 @@ func NewMetrics(r *metrics.Registry) *CoreMetrics {
 		StandDowns:  r.Counter("sensjoin_core_standdown_total", "subtrees falling back to ship-everything mode"),
 		FilterKeys:  r.Histogram("sensjoin_core_filter_keys", "join filter size in quadtree keys", []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}),
 		FilterBytes: r.Histogram("sensjoin_core_filter_bytes", "join filter wire size in bytes", []float64{8, 32, 128, 512, 2048, 8192, 32768}),
+
+		MQOGroups:           r.Gauge("sensjoin_mqo_groups", "shared-execution clusters of the active query group"),
+		MQOMergedBroadcasts: r.Counter("sensjoin_mqo_merged_broadcasts_total", "merged (union + masks) filter transmissions"),
+		MQODedupTuples:      r.Counter("sensjoin_mqo_dedup_tuples_total", "tuples shipped once while wanted by >= 2 queries"),
+		MQOBitmapBytes:      r.Counter("sensjoin_mqo_bitmap_bytes_total", "wire bytes spent on query-membership bitmaps"),
 	}
 	for _, p := range metricPhases {
 		m.transitions[p] = r.Counter("sensjoin_core_phase_transitions_total", "protocol phase starts", metrics.L{Key: "phase", Value: p})
@@ -105,4 +116,31 @@ func (m *CoreMetrics) observeFilter(keys, bytes int) {
 	}
 	m.FilterKeys.Observe(float64(keys))
 	m.FilterBytes.Observe(float64(bytes))
+}
+
+// observeMQOBroadcast counts one merged filter transmission and its
+// membership-bitmap overhead.
+func (m *CoreMetrics) observeMQOBroadcast(bitmapBytes int) {
+	if m == nil {
+		return
+	}
+	m.MQOMergedBroadcasts.Inc()
+	m.MQOBitmapBytes.Add(int64(bitmapBytes))
+}
+
+// observeMQOBitmap charges phase-C per-tuple bitmap bytes.
+func (m *CoreMetrics) observeMQOBitmap(bytes int) {
+	if m == nil {
+		return
+	}
+	m.MQOBitmapBytes.Add(int64(bytes))
+}
+
+// observeMQODedup counts tuples that shipped once while wanted by two
+// or more queries of the cluster.
+func (m *CoreMetrics) observeMQODedup(tuples int) {
+	if m == nil {
+		return
+	}
+	m.MQODedupTuples.Add(int64(tuples))
 }

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sensjoin/internal/netsim"
+)
+
+// qTempBand builds compatible Q1-style band joins: identical SELECT
+// list, relations and (absent) local predicates, differing only in the
+// join-condition delta — the shape one shared cluster serves.
+func qTempBand(delta float64) string {
+	return fmt.Sprintf(
+		"SELECT A.temp, A.hum, B.temp, B.hum FROM Sensors A, Sensors B WHERE A.temp - B.temp > %g ONCE", delta)
+}
+
+func mustAdd(t *testing.T, g *QueryGroup, src string) int {
+	t.Helper()
+	idx, err := g.Add(src)
+	if err != nil {
+		t.Fatalf("Add(%q): %v", src, err)
+	}
+	return idx
+}
+
+// Compatible queries — including canonically equal spellings of the
+// local predicates — must share a cluster; different local predicates
+// or different join attributes must split.
+func TestQueryGroupClustering(t *testing.T) {
+	g := NewQueryGroup(Options{})
+	a := mustAdd(t, g, "SELECT A.temp, B.temp FROM Sensors A, Sensors B WHERE A.temp - B.temp > 3 AND A.hum > 2 + 1 ONCE")
+	b := mustAdd(t, g, "SELECT A.temp, B.temp FROM Sensors A, Sensors B WHERE A.temp - B.temp > 5 AND 3 < A.hum ONCE")
+	c := mustAdd(t, g, "SELECT A.temp, B.temp FROM Sensors A, Sensors B WHERE A.temp - B.temp > 3 AND A.hum > 4 ONCE")
+	d := mustAdd(t, g, qBand(0.4)) // adds a distance condition: join attrs {temp,x,y}
+
+	if g.ClusterOf(a) != g.ClusterOf(b) {
+		t.Errorf("canonically equal local predicates must cluster: %d vs %d", g.ClusterOf(a), g.ClusterOf(b))
+	}
+	if g.ClusterOf(a) == g.ClusterOf(c) {
+		t.Error("different local predicates must not cluster")
+	}
+	if g.ClusterOf(a) == g.ClusterOf(d) {
+		t.Error("different join attributes must not cluster")
+	}
+	if g.Clusters() != 3 {
+		t.Errorf("Clusters = %d, want 3", g.Clusters())
+	}
+	if g.Len() != 4 {
+		t.Errorf("Len = %d, want 4", g.Len())
+	}
+}
+
+func TestQueryGroupRejectsNonJoins(t *testing.T) {
+	g := NewQueryGroup(Options{})
+	if _, err := g.Add("SELECT A.temp FROM Sensors A ONCE"); err == nil {
+		t.Error("single-relation query must be rejected")
+	}
+	if _, err := g.Add("SELECT A.temp, B.temp FROM Sensors A, Sensors B ONCE"); err == nil {
+		t.Error("cross join without join attributes must be rejected")
+	}
+	if _, err := g.RunRound(nil, 0); err == nil {
+		t.Error("empty group must not run")
+	}
+}
+
+// Every per-query table of a shared round must equal the ground truth
+// for that query, across epochs and across clusters.
+func TestQueryGroupMatchesGroundTruth(t *testing.T) {
+	r := testRunner(t, 150, 301)
+	g := NewQueryGroup(Options{})
+	srcs := []string{qTempBand(2), qTempBand(2.5), qTempBand(3), qBand(0.4)}
+	for _, s := range srcs {
+		mustAdd(t, g, s)
+	}
+	if g.Clusters() != 2 {
+		t.Fatalf("Clusters = %d, want 2", g.Clusters())
+	}
+	for round := 0; round < 3; round++ {
+		tm := float64(round) * 30
+		res, err := g.RunRound(r, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range srcs {
+			x, err := r.ExecSQL(s, tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := GroundTruth(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRows(t, truth.Rows, res[i].Rows, "truth", fmt.Sprintf("shared q%d round %d", i, round))
+			if !res[i].Complete {
+				t.Errorf("round %d query %d incomplete", round, i)
+			}
+			if res[i].MemberNodes != truth.MemberNodes || res[i].ContributingNodes != truth.ContributingNodes {
+				t.Errorf("round %d query %d: members/contributors %d/%d, want %d/%d", round, i,
+					res[i].MemberNodes, res[i].ContributingNodes, truth.MemberNodes, truth.ContributingNodes)
+			}
+		}
+	}
+	if g.Rounds() != 3 {
+		t.Fatalf("Rounds = %d, want 3", g.Rounds())
+	}
+}
+
+// The differential guarantee of the ISSUE: under reliable transport the
+// per-query tables of a shared run are byte-identical to N independent
+// continuous runs — at loss 0 and at 5% loss.
+func TestQueryGroupByteIdenticalToIndependent(t *testing.T) {
+	srcs := []string{qTempBand(2), qTempBand(2.5), qTempBand(3), qBand(0.4)}
+	const epochs = 3
+	const nodes = 150
+
+	type key struct{ epoch, q int }
+	runShared := func(loss float64) map[key]*Result {
+		r := testRunner(t, nodes, 307)
+		r.EnableReliableTransport(netsim.ReliableConfig{})
+		if loss > 0 {
+			r.Net.SetLossRate(loss, 911)
+		}
+		g := NewQueryGroup(Options{})
+		for _, s := range srcs {
+			mustAdd(t, g, s)
+		}
+		out := make(map[key]*Result)
+		for e := 0; e < epochs; e++ {
+			res, err := g.RunRound(r, float64(e)*30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q, rr := range res {
+				out[key{e, q}] = rr
+			}
+		}
+		return out
+	}
+	runIndependent := func(loss float64) map[key]*Result {
+		out := make(map[key]*Result)
+		for q, s := range srcs {
+			r := testRunner(t, nodes, 307)
+			r.EnableReliableTransport(netsim.ReliableConfig{})
+			if loss > 0 {
+				r.Net.SetLossRate(loss, 911+int64(q))
+			}
+			m := NewContinuousSENSJoin()
+			for e := 0; e < epochs; e++ {
+				res, err := r.Run(s, m, float64(e)*30)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[key{e, q}] = res
+			}
+		}
+		return out
+	}
+
+	for _, loss := range []float64{0, 0.05} {
+		shared := runShared(loss)
+		indep := runIndependent(loss)
+		for e := 0; e < epochs; e++ {
+			for q := range srcs {
+				k := key{e, q}
+				s, ind := shared[k], indep[k]
+				if !reflect.DeepEqual(s.Columns, ind.Columns) {
+					t.Fatalf("loss %g epoch %d query %d: columns %v vs %v", loss, e, q, s.Columns, ind.Columns)
+				}
+				if !reflect.DeepEqual(s.Rows, ind.Rows) {
+					t.Fatalf("loss %g epoch %d query %d: %d shared rows vs %d independent rows (or byte difference)",
+						loss, e, q, len(s.Rows), len(ind.Rows))
+				}
+				if s.ContributingNodes != ind.ContributingNodes || s.MemberNodes != ind.MemberNodes || s.Complete != ind.Complete {
+					t.Fatalf("loss %g epoch %d query %d: contrib/members/complete %d/%d/%t vs %d/%d/%t",
+						loss, e, q, s.ContributingNodes, s.MemberNodes, s.Complete,
+						ind.ContributingNodes, ind.MemberNodes, ind.Complete)
+				}
+			}
+		}
+	}
+}
+
+// A shared round over compatible queries must transmit less than the
+// same queries run independently — the point of the optimization.
+func TestQueryGroupSharesTraffic(t *testing.T) {
+	srcs := []string{qTempBand(2), qTempBand(2.5), qTempBand(3), qTempBand(3.5)}
+	const epochs = 2
+
+	r1 := testRunner(t, 200, 309)
+	g := NewQueryGroup(Options{})
+	for _, s := range srcs {
+		mustAdd(t, g, s)
+	}
+	for e := 0; e < epochs; e++ {
+		if _, err := g.RunRound(r1, float64(e)*30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sharedTx := r1.Stats.TotalTx(SENSPhases...)
+
+	var indepTx int64
+	for _, s := range srcs {
+		r := testRunner(t, 200, 309)
+		m := NewContinuousSENSJoin()
+		for e := 0; e < epochs; e++ {
+			if _, err := r.Run(s, m, float64(e)*30); err != nil {
+				t.Fatal(err)
+			}
+		}
+		indepTx += r.Stats.TotalTx(SENSPhases...)
+	}
+	if sharedTx*2 > indepTx {
+		t.Fatalf("shared %d transmissions vs independent %d: not below 50%%", sharedTx, indepTx)
+	}
+	t.Logf("transmissions over %d epochs, %d queries: shared=%d independent=%d (%.0f%%)",
+		epochs, len(srcs), sharedTx, indepTx, 100*float64(sharedTx)/float64(indepTx))
+}
+
+// AuditRound over a mixed group: all passes clean, per cluster.
+func TestQueryGroupAuditClean(t *testing.T) {
+	r := testRunner(t, 150, 311)
+	g := NewQueryGroup(Options{})
+	for _, s := range []string{qTempBand(2), qTempBand(3), qBand(0.4)} {
+		mustAdd(t, g, s)
+	}
+	for round := 0; round < 2; round++ {
+		res, violations, err := g.AuditRound(r, float64(round)*30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(violations) > 0 {
+			t.Fatalf("round %d: %d violation(s), first: %s", round, len(violations), violations[0])
+		}
+		for i, rr := range res {
+			if rr == nil || !rr.Complete {
+				t.Fatalf("round %d query %d incomplete", round, i)
+			}
+		}
+	}
+}

@@ -311,3 +311,13 @@ func expandStar(q *query.Query, cat relation.Catalog) error {
 	q.Select = items
 	return nil
 }
+
+// forExec returns a shallow copy of the plan bound to another execution
+// context. Shared-execution cluster members share the node data (the
+// compatibility key guarantees it is identical); only the query-side
+// fields — analysis, join conditions, SELECT list — differ per member.
+func (p *plan) forExec(x *Exec) *plan {
+	c := *p
+	c.x = x
+	return &c
+}

@@ -151,6 +151,7 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 	slotA, slotC := sensSlots(x, p)
 	if s.cont != nil {
 		s.cont = s.cont.ensure(n)
+		s.cont.scratch.reset()
 	}
 	s.Memory = MemoryReport{}
 

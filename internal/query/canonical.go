@@ -1,0 +1,139 @@
+package query
+
+import "sort"
+
+// Canonicalization: a normal form under which differently written but
+// identical predicates render to the same string. core.QueryGroup hashes
+// canonical local predicates into its compatibility key, so "A.temp > 2
+// + 1", "A.temp > 3" and "3 < A.temp" all land in the same shared
+// execution cluster.
+//
+// Every rewrite is exact under IEEE-754 evaluation — not merely
+// algebraically plausible. Queries that only *almost* normalize to the
+// same form must not be grouped, because a shared execution evaluates
+// one cluster member's predicate on behalf of all of them:
+//
+//   - constant folding (Fold/FoldBool) collapses all-constant subtrees,
+//     preserving the original evaluation order within them;
+//   - two-operand + and * commute (IEEE addition and multiplication are
+//     commutative; only associativity is not), so a binary Arith sorts
+//     its operands — chains are left alone to keep association intact;
+//   - comparisons flip exactly (a > b ⇔ b < a, a >= b ⇔ b <= a) and
+//     = / != sort their operands;
+//   - AND/OR chains flatten and sort (predicates are pure, so conjunct
+//     order cannot change the truth value);
+//   - least/greatest sort their arguments (min/max select one of their
+//     operands and Go's math.Min/Max resolve ±0 and NaN ties
+//     order-independently);
+//   - distance swaps its two points (negating both differences is
+//     exact).
+
+// CanonicalNum returns the canonical form of a numeric expression. The
+// result evaluates bit-identically to e under every environment.
+func CanonicalNum(e NumExpr) NumExpr {
+	if e == nil {
+		return nil
+	}
+	return canonNum(Fold(e))
+}
+
+func canonNum(e NumExpr) NumExpr {
+	switch n := e.(type) {
+	case Neg:
+		return Neg{canonNum(n.X)}
+	case Abs:
+		return Abs{canonNum(n.X)}
+	case Sqrt:
+		return Sqrt{canonNum(n.X)}
+	case Arith:
+		l, r := canonNum(n.L), canonNum(n.R)
+		if (n.Op == OpAdd || n.Op == OpMul) && r.String() < l.String() {
+			l, r = r, l
+		}
+		return Arith{Op: n.Op, L: l, R: r}
+	case Distance:
+		x1, y1 := canonNum(n.X1), canonNum(n.Y1)
+		x2, y2 := canonNum(n.X2), canonNum(n.Y2)
+		if x2.String()+"\x00"+y2.String() < x1.String()+"\x00"+y1.String() {
+			x1, y1, x2, y2 = x2, y2, x1, y1
+		}
+		return Distance{x1, y1, x2, y2}
+	case MinMax:
+		args := make([]NumExpr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = canonNum(a)
+		}
+		sort.SliceStable(args, func(i, j int) bool {
+			return args[i].String() < args[j].String()
+		})
+		return MinMax{IsMax: n.IsMax, Args: args}
+	}
+	return e // Const, Attr
+}
+
+// Canonical returns the canonical form of a predicate. The result
+// evaluates identically to e under every environment; equivalent
+// spellings (folded constants, flipped comparisons, commuted operands
+// and conjuncts) render to the same String().
+func Canonical(e BoolExpr) BoolExpr {
+	if e == nil {
+		return nil
+	}
+	return canonBool(FoldBool(e))
+}
+
+func canonBool(e BoolExpr) BoolExpr {
+	switch n := e.(type) {
+	case Cmp:
+		op, l, r := n.Op, canonNum(n.L), canonNum(n.R)
+		switch op {
+		case CmpGT:
+			op, l, r = CmpLT, r, l
+		case CmpGE:
+			op, l, r = CmpLE, r, l
+		case CmpEQ, CmpNE:
+			if r.String() < l.String() {
+				l, r = r, l
+			}
+		}
+		return Cmp{Op: op, L: l, R: r}
+	case And:
+		cs := Conjuncts(n)
+		for i := range cs {
+			cs[i] = canonBool(cs[i])
+		}
+		sort.SliceStable(cs, func(i, j int) bool {
+			return cs[i].String() < cs[j].String()
+		})
+		return AndAll(cs)
+	case Or:
+		ds := disjuncts(n)
+		for i := range ds {
+			ds[i] = canonBool(ds[i])
+		}
+		sort.SliceStable(ds, func(i, j int) bool {
+			return ds[i].String() < ds[j].String()
+		})
+		return orAll(ds)
+	case Not:
+		return Not{canonBool(n.X)}
+	}
+	return e
+}
+
+// disjuncts flattens nested ORs into a list.
+func disjuncts(e BoolExpr) []BoolExpr {
+	if or, ok := e.(Or); ok {
+		return append(disjuncts(or.L), disjuncts(or.R)...)
+	}
+	return []BoolExpr{e}
+}
+
+// orAll rebuilds a disjunction from a non-empty list.
+func orAll(ds []BoolExpr) BoolExpr {
+	out := ds[0]
+	for _, d := range ds[1:] {
+		out = Or{out, d}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// whereOf parses a two-relation query around the predicate and returns
+// the bound WHERE clause.
+func whereOf(t *testing.T, pred string) BoolExpr {
+	t.Helper()
+	q, err := Parse("SELECT A.temp FROM Sensors A, Sensors B WHERE " + pred + " ONCE")
+	if err != nil {
+		t.Fatalf("parse %q: %v", pred, err)
+	}
+	return q.Where
+}
+
+func TestCanonicalEquivalentForms(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+	}{
+		{"folded constant", "A.temp - B.temp > 2 + 1", "A.temp - B.temp > 3"},
+		{"flipped gt", "A.temp > 3", "3 < A.temp"},
+		{"flipped ge", "A.temp >= 3", "3 <= A.temp"},
+		{"commuted eq", "A.temp = B.temp", "B.temp = A.temp"},
+		{"commuted ne", "A.temp != B.temp", "B.temp != A.temp"},
+		{"commuted sum", "A.hum + B.hum > 2", "B.hum + A.hum > 2"},
+		{"commuted product", "A.hum * B.hum > 2", "B.hum * A.hum > 2"},
+		{"commuted and", "A.temp < 5 AND B.hum > 1", "B.hum > 1 AND A.temp < 5"},
+		{"commuted or", "A.temp < 5 OR B.hum > 1", "B.hum > 1 OR A.temp < 5"},
+		{"commuted least", "least(A.temp, B.temp) < 5", "least(B.temp, A.temp) < 5"},
+		{"symmetric distance", "distance(A.x, A.y, B.x, B.y) > 100", "distance(B.x, B.y, A.x, A.y) > 100"},
+		{"folded and flipped", "2 + 1 < A.temp - B.temp", "A.temp - B.temp > 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ca := Canonical(whereOf(t, tc.a)).String()
+			cb := Canonical(whereOf(t, tc.b)).String()
+			if ca != cb {
+				t.Fatalf("canonical forms differ:\n  %q -> %q\n  %q -> %q", tc.a, ca, tc.b, cb)
+			}
+		})
+	}
+}
+
+func TestCanonicalDistinguishesDifferentPredicates(t *testing.T) {
+	cases := [][2]string{
+		{"A.temp > 3", "A.temp > 4"},
+		{"A.temp - B.temp > 3", "B.temp - A.temp > 3"}, // subtraction does not commute
+		{"A.temp > 3", "A.temp >= 3"},
+		{"A.temp < 5 AND B.hum > 1", "A.temp < 5 OR B.hum > 1"},
+	}
+	for _, tc := range cases {
+		ca := Canonical(whereOf(t, tc[0])).String()
+		cb := Canonical(whereOf(t, tc[1])).String()
+		if ca == cb {
+			t.Errorf("distinct predicates %q and %q share the canonical form %q", tc[0], tc[1], ca)
+		}
+	}
+}
+
+// TestCanonicalEvalExact checks the exactness contract: the canonical
+// form evaluates bit-identically to the original under random
+// environments, including values that stress float non-associativity.
+func TestCanonicalEvalExact(t *testing.T) {
+	preds := []string{
+		"A.temp - B.temp > 2 + 1",
+		"B.hum + A.hum > 2.5",
+		"A.hum * B.hum >= 0.3",
+		"3 < A.temp AND B.hum != A.hum",
+		"least(B.temp, A.temp, A.hum) < greatest(A.temp, B.hum)",
+		"distance(B.x, B.y, A.x, A.y) > 100 OR A.temp = B.temp",
+		"NOT (A.temp > 1e16 + 1)",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, src := range preds {
+		orig := whereOf(t, src)
+		canon := Canonical(orig)
+		for trial := 0; trial < 200; trial++ {
+			vals := map[string]float64{}
+			env := TupleEnv{Lookup: func(rel int, name string) float64 {
+				k := name + string(rune('0'+rel))
+				v, ok := vals[k]
+				if !ok {
+					v = (rng.Float64() - 0.5) * 1e17 * rng.Float64()
+					vals[k] = v
+				}
+				return v
+			}}
+			if got, want := canon.Eval(env), orig.Eval(env); got != want {
+				t.Fatalf("%q: canonical form %q diverges: got %v want %v (vals %v)",
+					src, canon.String(), got, want, vals)
+			}
+		}
+	}
+}
+
+// TestCanonicalIdempotent: canonicalizing a canonical form is a no-op.
+func TestCanonicalIdempotent(t *testing.T) {
+	for _, src := range []string{
+		"A.temp - B.temp > 2 + 1",
+		"B.hum > 1 AND A.temp < 5 AND 3 < A.temp",
+		"distance(B.x, B.y, A.x, A.y) > 100",
+	} {
+		c1 := Canonical(whereOf(t, src))
+		c2 := Canonical(c1)
+		if c1.String() != c2.String() {
+			t.Errorf("%q: not idempotent: %q -> %q", src, c1.String(), c2.String())
+		}
+	}
+}

@@ -31,6 +31,14 @@ go test -race -run 'Shard|Parallel' ./internal/netsim ./internal/bench ./interna
 # the race detector. The JSON artifact is what CI uploads.
 go run ./cmd/experiments -scale 50000 -shards 1,4 -scale-json BENCH_scale.json > /dev/null
 go run -race ./cmd/experiments -scale 10000 -shards 4 > /dev/null
+# MQO smoke (X8, reduced size): N concurrent continuous queries shared
+# vs independent — every per-query table must match its independent
+# counterpart. The JSON artifact is what CI uploads.
+go run ./cmd/experiments -mqo -nodes 400 -mqo-n 1,2,4 -mqo-json BENCH_mqo.json > /tmp/sensjoin-mqo.txt
+! grep -q DIFFER /tmp/sensjoin-mqo.txt
+# MQO race pass: query-group clustering, the shared round, filter
+# canonicalization and the diff scratch arena under the race detector.
+go test -race -run 'QueryGroup|Canonical|DiffScratch|BuildFilterMsg|MQO' ./internal/core ./internal/query ./internal/bench
 # Observability smoke: run an audited experiment with the live server
 # holding, validate the Prometheus exposition (in-repo validator, no
 # external deps), check /progress, pull a 1 s CPU profile, then release
@@ -42,7 +50,7 @@ go build -o /tmp/sensjoin-promcheck ./cmd/promcheck
 /tmp/sensjoin-experiments -nodes 400 -only E1a,X6 -audit -serve 127.0.0.1:39414 -progress -hold > /tmp/sensjoin-tables-served.txt 2>/dev/null &
 OBS_PID=$!
 trap 'kill $OBS_PID 2>/dev/null || true' EXIT
-/tmp/sensjoin-promcheck -require sensjoin_netsim_events_total,sensjoin_netsim_tx_packets_total,sensjoin_core_runs_total,sensjoin_core_phase_transitions_total,sensjoin_core_phase_seconds,sensjoin_routing_tree_depth,sensjoin_bench_cells_done_total,sensjoin_bench_node_energy_joules http://127.0.0.1:39414/metrics
+/tmp/sensjoin-promcheck -require sensjoin_netsim_events_total,sensjoin_netsim_tx_packets_total,sensjoin_core_runs_total,sensjoin_core_phase_transitions_total,sensjoin_core_phase_seconds,sensjoin_routing_tree_depth,sensjoin_bench_cells_done_total,sensjoin_bench_node_energy_joules,sensjoin_mqo_groups,sensjoin_mqo_merged_broadcasts_total,sensjoin_mqo_dedup_tuples_total,sensjoin_mqo_bitmap_bytes_total http://127.0.0.1:39414/metrics
 /tmp/sensjoin-promcheck -raw -contains '"id": "E1a"' http://127.0.0.1:39414/progress
 /tmp/sensjoin-promcheck -raw 'http://127.0.0.1:39414/debug/pprof/profile?seconds=1'
 /tmp/sensjoin-promcheck -raw http://127.0.0.1:39414/quit
