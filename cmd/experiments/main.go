@@ -69,6 +69,11 @@ func run() error {
 	mqo := flag.Bool("mqo", false, "instead of the suite, run the X8 multi-query optimization experiment")
 	mqoNs := flag.String("mqo-n", "1,2,4,8,16", "with -mqo: comma-separated concurrent query counts")
 	mqoJSON := flag.String("mqo-json", "", "with -mqo: also write the machine-readable result to this file")
+	serveLoad := flag.Bool("serve-load", false, "instead of the suite, run the X9 sensjoind serving-load experiment")
+	serveNodes := flag.Int("serve-nodes", 150, "with -serve-load: deployment node count")
+	serveClients := flag.Int("serve-clients", 0, "with -serve-load: concurrent client sessions (0 = 2x GOMAXPROCS)")
+	serveSeconds := flag.Float64("serve-seconds", 3, "with -serve-load: measured load window in seconds")
+	serveLoadJSON := flag.String("serve-load-json", "", "with -serve-load: also write the machine-readable result to this file")
 	flag.Parse()
 
 	var lossRates []float64
@@ -115,6 +120,9 @@ func run() error {
 	}
 	if *mqo {
 		return runMQO(*nodes, *seed, *packet, *mqoNs, *mqoJSON)
+	}
+	if *serveLoad {
+		return runServeLoad(*serveNodes, *seed, *serveClients, *serveSeconds, *serveLoadJSON)
 	}
 
 	type entry struct {
@@ -323,6 +331,32 @@ func runMQO(nodes int, seed int64, packet int, nsList, jsonPath string) error {
 		return err
 	}
 	res, err := bench.RunMQO(bench.MQOConfig{Nodes: nodes, Seed: seed, MaxPacket: packet, Ns: ns})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runServeLoad executes the X9 serving experiment: the table goes to
+// stdout and -serve-load-json writes the raw artifact.
+func runServeLoad(nodes int, seed int64, clients int, seconds float64, jsonPath string) error {
+	res, err := bench.RunServeLoad(bench.ServeConfig{
+		Nodes: nodes, Seed: seed, Clients: clients,
+		Duration: time.Duration(seconds * float64(time.Second)),
+	})
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ import (
 
 	"sensjoin/internal/bench"
 	"sensjoin/internal/metrics"
+	"sensjoin/internal/server"
 )
 
 // obsServer serves the live observability endpoints while the suite
@@ -64,7 +65,11 @@ func startServe(addr string, reg *metrics.Registry, prog *bench.Progress) (*obsS
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{"experiments": snap})
+		if err := enc.Encode(map[string]any{"experiments": snap}); err != nil {
+			// Headers are gone; all we can do is log instead of
+			// silently truncating the response.
+			fmt.Fprintf(os.Stderr, "-serve: /progress: %v\n", err)
+		}
 	})
 	mux.HandleFunc("/quit", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "bye")
@@ -84,13 +89,19 @@ func startServe(addr string, reg *metrics.Registry, prog *bench.Progress) (*obsS
 		fmt.Fprintln(w, "sensjoin experiments: /metrics /progress /debug/vars /debug/pprof/ /quit")
 	})
 
-	// Expose the registry through expvar too; expvar.Publish panics on
-	// re-registration, but startServe runs at most once per process.
-	expvar.Publish("sensjoin", expvar.Func(func() any { return reg.Snapshot() }))
+	// Expose the registry through expvar too. PublishExpvar is safe
+	// against double starts (expvar.Publish itself panics on
+	// re-registration) and retargets the existing var on later calls.
+	metrics.PublishExpvar("sensjoin", reg)
 
-	o.srv = &http.Server{Handler: mux}
+	// Hardened server config: header/idle timeouts defeat slowloris
+	// clients; WriteTimeout stays 0 so /debug/pprof/profile can stream
+	// its whole profiling window.
+	o.srv = server.Hardened(mux)
 	o.addr = ln.Addr()
-	go o.srv.Serve(ln)
+	server.ServeHTTP(o.srv, ln, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "-serve: "+format+"\n", args...)
+	})
 	fmt.Fprintf(os.Stderr, "serving observability on http://%s/ (metrics, progress, pprof)\n", o.addr)
 	return o, nil
 }

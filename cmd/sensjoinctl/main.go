@@ -1,0 +1,105 @@
+// Command sensjoinctl is the command-line client for sensjoind.
+//
+// Usage:
+//
+//	sensjoinctl [-addr 127.0.0.1:7077] [-method sens|external]
+//	            [-at 0] [-rounds 1] [-nodes 0] [-seed 0] [-rows 10]
+//	            "SELECT ... ONCE"
+//
+// One-shot queries print one table; periodic queries print one table
+// per epoch (-rounds many). Facts about the execution (cache hit,
+// shared execution) go to stderr; tables go to stdout. A query or
+// connection failure exits nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sensjoin/pkg/client"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "sensjoind address")
+	method := flag.String("method", "", "join method: sens (default) or external")
+	at := flag.Float64("at", 0, "snapshot time of the first epoch")
+	rounds := flag.Int("rounds", 1, "epochs to stream for a periodic query")
+	nodes := flag.Int("nodes", 0, "deployment node-count override (0 = server default)")
+	seed := flag.Int64("seed", 0, "deployment seed override (0 = server default)")
+	maxRows := flag.Int("rows", 10, "result rows to print per epoch (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sensjoinctl [flags] \"SELECT ...\"")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, flag.Arg(0), client.Options{
+		Method: *method, At: *at, Rounds: *rounds, Nodes: *nodes, Seed: *seed,
+	}, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "sensjoinctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, src string, o client.Options, maxRows int) error {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(os.Stderr, "session %d on %d nodes (seed %d)\n",
+		c.Hello.Session, c.Hello.Nodes, c.Hello.Seed)
+
+	st, err := c.Stream(src, o)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	first := true
+	for {
+		t, err := st.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if first {
+			facts := []string{}
+			if t.CacheHit {
+				facts = append(facts, "prepared-cache hit")
+			}
+			if t.Shared {
+				facts = append(facts, fmt.Sprintf("shared execution (cluster of %d)", t.ClusterSize))
+			}
+			if len(facts) > 0 {
+				fmt.Fprintln(os.Stderr, strings.Join(facts, ", "))
+			}
+			first = false
+		}
+		printTable(t, maxRows)
+	}
+}
+
+func printTable(t *client.Table, maxRows int) {
+	fmt.Printf("epoch %d (t=%g): %d row(s), %d/%d contributing nodes, complete=%t\n",
+		t.Epoch, t.Time, len(t.Rows), t.Contributing, t.Members, t.Complete)
+	fmt.Println(strings.Join(t.Columns, "\t"))
+	n := len(t.Rows)
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	for _, row := range t.Rows[:n] {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = fmt.Sprintf("%.3f", v)
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	if n < len(t.Rows) {
+		fmt.Printf("... (%d more rows)\n", len(t.Rows)-n)
+	}
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sensjoin/internal/core"
+	"sensjoin/internal/metrics"
+	"sensjoin/internal/server"
+	"sensjoin/pkg/client"
+)
+
+// X9 (serving): sustained query throughput through sensjoind. The
+// experiment starts an in-process daemon, hammers it from many
+// concurrent client sessions with a small set of repeated query shapes
+// (varying only in literals, like a real serving workload), and
+// checks every returned table byte-for-byte against direct library
+// execution. It reports the sustained QPS and the prepared-cache hit
+// rate — the daemon's two headline claims.
+
+// ServeConfig parameterizes X9; zero values select defaults.
+type ServeConfig struct {
+	// Nodes/Seed describe the deployment (defaults 150 / 5).
+	Nodes int
+	Seed  int64
+	// Clients is the concurrent session count (default 2*GOMAXPROCS).
+	Clients int
+	// Shapes is the number of distinct query shapes cycled through
+	// (default 4).
+	Shapes int
+	// Duration is the measured load window (default 3s).
+	Duration time.Duration
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 150
+	}
+	if c.Seed == 0 {
+		c.Seed = 5
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Shapes <= 0 {
+		c.Shapes = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	return c
+}
+
+// ServeResult is the machine-readable X9 artifact (BENCH_serve.json).
+type ServeResult struct {
+	Nodes   int
+	Seed    int64
+	Clients int
+	Shapes  int
+	// Queries completed within the window, and the wall-clock seconds
+	// they took.
+	Queries int
+	Seconds float64
+	QPS     float64
+	// Cache counters from the daemon's registry.
+	CacheHits    int64
+	CacheMisses  int64
+	CacheHitRate float64
+	// ByteIdentical reports that EVERY returned table matched direct
+	// library execution byte for byte (order-normalized).
+	ByteIdentical bool
+	// Mismatches counts tables that differed (0 when ByteIdentical).
+	Mismatches int
+	// Rejected counts admission-control rejections (the load loop does
+	// not retry, so rejections reduce Queries but never fail the run).
+	Rejected int64
+}
+
+// Table renders the X9 result for stdout.
+func (r *ServeResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# X9 serve-load: sustained QPS through sensjoind (nodes=%d seed=%d)\n", r.Nodes, r.Seed)
+	fmt.Fprintf(&b, "%-8s %-7s %-8s %-8s %-8s %-15s %-15s %s\n",
+		"clients", "shapes", "queries", "seconds", "qps", "cache_hit_rate", "byte_identical", "rejected")
+	fmt.Fprintf(&b, "%-8d %-7d %-8d %-8.2f %-8.0f %-15.4f %-15t %d\n",
+		r.Clients, r.Shapes, r.Queries, r.Seconds, r.QPS, r.CacheHitRate, r.ByteIdentical, r.Rejected)
+	return b.String()
+}
+
+// serveShapes builds the workload: one canonical shape per index,
+// distinct literals so each is its own cache entry.
+func serveShapes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		switch i % 4 {
+		case 0:
+			out[i] = fmt.Sprintf(`SELECT A.temp, B.hum FROM Sensors A, Sensors B WHERE A.temp - B.temp > %.1f ONCE`, 5.0+0.5*float64(i))
+		case 1:
+			out[i] = fmt.Sprintf(`SELECT A.temp FROM Sensors A, Sensors B WHERE A.temp = B.temp AND A.hum < %.1f ONCE`, 70.0-float64(i))
+		case 2:
+			out[i] = fmt.Sprintf(`SELECT MIN(distance(A.x, A.y, B.x, B.y)) FROM Sensors A, Sensors B WHERE A.temp - B.temp > %.1f ONCE`, 6.0+0.5*float64(i))
+		default:
+			out[i] = fmt.Sprintf(`SELECT * FROM Sensors A, Sensors B WHERE A.temp - B.temp > %.1f AND A.pres < 1015 ONCE`, 7.0+0.5*float64(i))
+		}
+	}
+	return out
+}
+
+// clientTableKey order-normalizes a client-side table with the exact
+// rendering of tableKey, so equal keys mean byte-identical row sets.
+func clientTableKey(tb *client.Table) string {
+	rows := make([]string, len(tb.Rows))
+	for i, row := range tb.Rows {
+		s := ""
+		for _, v := range row {
+			s += fmt.Sprintf("%x|", v)
+		}
+		rows[i] = s
+	}
+	sort.Strings(rows)
+	key := fmt.Sprintf("cols=%v contrib=%d members=%d complete=%t;", tb.Columns, tb.Contributing, tb.Members, tb.Complete)
+	for _, s := range rows {
+		key += s + "\n"
+	}
+	return key
+}
+
+// RunServeLoad measures X9.
+func RunServeLoad(cfg ServeConfig) (*ServeResult, error) {
+	cfg = cfg.withDefaults()
+	shapes := serveShapes(cfg.Shapes)
+
+	// Ground truth: every shape executed directly through the library.
+	ref := make(map[string]string, len(shapes))
+	r, err := core.NewRunner(core.SetupConfig{Nodes: cfg.Nodes, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range shapes {
+		res, err := r.Run(src, core.NewSENSJoin(), 0)
+		if err != nil {
+			return nil, err
+		}
+		ref[src] = tableKey(res)
+	}
+
+	reg := metrics.New()
+	srv, err := server.Listen("127.0.0.1:0", server.Config{
+		Nodes: cfg.Nodes, Seed: cfg.Seed, Registry: reg,
+		// The load loop keeps at most one query in flight per client;
+		// admit them all so rejections measure real overload only.
+		MaxQueue: cfg.Clients + 1,
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		queries    int
+		mismatches int
+		workerErr  error
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr().String())
+			if err != nil {
+				mu.Lock()
+				workerErr = err
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			n, bad := 0, 0
+			for i := 0; time.Now().Before(deadline); i++ {
+				src := shapes[(w+i)%len(shapes)]
+				tb, err := c.Query(src)
+				if err != nil {
+					if se, ok := err.(*client.ServerError); ok && se.Code == "over-capacity" {
+						continue // counted server-side; do not retry-spin
+					}
+					mu.Lock()
+					workerErr = fmt.Errorf("client %d: %w", w, err)
+					mu.Unlock()
+					return
+				}
+				n++
+				if clientTableKey(tb) != ref[src] {
+					bad++
+				}
+			}
+			mu.Lock()
+			queries += n
+			mismatches += bad
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if workerErr != nil {
+		return nil, workerErr
+	}
+
+	snap := reg.Snapshot()
+	out := &ServeResult{
+		Nodes: cfg.Nodes, Seed: cfg.Seed, Clients: cfg.Clients, Shapes: cfg.Shapes,
+		Queries: queries, Seconds: elapsed,
+		CacheHits:     snap["sensjoind_prepared_cache_hits_total"].(int64),
+		CacheMisses:   snap["sensjoind_prepared_cache_misses_total"].(int64),
+		Rejected:      snap["sensjoind_rejected_total"].(int64),
+		Mismatches:    mismatches,
+		ByteIdentical: mismatches == 0,
+	}
+	if elapsed > 0 {
+		out.QPS = float64(queries) / elapsed
+	}
+	if total := out.CacheHits + out.CacheMisses; total > 0 {
+		out.CacheHitRate = float64(out.CacheHits) / float64(total)
+	}
+	return out, nil
+}

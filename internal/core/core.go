@@ -106,6 +106,12 @@ type Exec struct {
 	// changing its output (0/1 = sequential). Set from
 	// SetupConfig.SetupWorkers by Runner.Exec.
 	Workers int
+
+	// prog is the pre-compiled kernel program of a prepared query; nil
+	// makes joinKernel compile on the fly (identical results — the
+	// prepared program is the same computation hoisted out of the
+	// per-execution path).
+	prog *kernelProg
 }
 
 // span appends a protocol event at the current simulated time.

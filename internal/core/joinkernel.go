@@ -316,47 +316,19 @@ type kernelProbe struct {
 // exactness and determinism argument.
 func joinKernel(x *Exec, byAlias [][]finalTuple) ([]Row, map[topology.NodeID]bool) {
 	n := len(byAlias)
-	conds := x.Analysis.JoinConds
 
-	// Compile every expression once, assigning each distinct (rel, attr)
-	// reference a dense slot; enumeration then reads float slots instead
-	// of paying a string-map lookup per reference per tuple combination.
-	type slotRef struct {
-		name string
-		slot int
+	// The compiled program — slot layout, condition/SELECT/GROUP BY
+	// closures, join shape — depends only on the query, so prepared
+	// executions reuse a cached one; ad-hoc executions compile here.
+	prog := x.prog
+	if prog == nil {
+		prog = compileKernel(x.Query, x.Analysis)
 	}
-	slotsOf := make([][]slotRef, n)
-	nextSlot := 0
-	resolve := func(ref query.AttrRef) int {
-		for _, s := range slotsOf[ref.Rel] {
-			if s.name == ref.Name {
-				return s.slot
-			}
-		}
-		slotsOf[ref.Rel] = append(slotsOf[ref.Rel], slotRef{ref.Name, nextSlot})
-		nextSlot++
-		return nextSlot - 1
-	}
-	compiledConds := make([]query.CompiledBool, len(conds))
-	condRels := make([][]int, len(conds))
-	for i, c := range conds {
-		compiledConds[i] = query.CompileBool(c, resolve)
-		seen := make(map[int]bool)
-		c.VisitNums(func(e query.NumExpr) {
-			if at, ok := e.(query.Attr); ok && !seen[at.Ref.Rel] {
-				seen[at.Ref.Rel] = true
-				condRels[i] = append(condRels[i], at.Ref.Rel)
-			}
-		})
-	}
-	selects := make([]query.CompiledNum, len(x.Query.Select))
-	for i, it := range x.Query.Select {
-		selects[i] = query.CompileNum(it.Expr, resolve)
-	}
-	groupBy := make([]query.CompiledNum, len(x.Query.GroupBy))
-	for i, e := range x.Query.GroupBy {
-		groupBy[i] = query.CompileNum(e, resolve)
-	}
+	slotsOf := prog.slotsOf
+	compiledConds := prog.compiledConds
+	condRels := prog.condRels
+	selects := prog.selects
+	groupBy := prog.groupBy
 
 	// Extract each candidate tuple's referenced values once (one map
 	// lookup per tuple per attribute, not per combination).
@@ -388,7 +360,7 @@ func joinKernel(x *Exec, byAlias [][]finalTuple) ([]Row, map[topology.NodeID]boo
 		return slotsOf[ref.Rel][kIndexOf(ref.Rel, ref.Name)].slot
 	}
 
-	plan := planJoin(n, lens, query.ShapeOf(conds), condRels)
+	plan := planJoin(n, lens, prog.shape, condRels)
 	if joinPlanHook != nil {
 		joinPlanHook(plan.info())
 	}
@@ -450,7 +422,7 @@ func joinKernel(x *Exec, byAlias [][]finalTuple) ([]Row, map[topology.NodeID]boo
 	grouped := len(x.Query.GroupBy) > 0
 	groups := make(map[string]*aggState)
 	var groupKeys []string
-	vals := make([]float64, nextSlot)
+	vals := make([]float64, prog.nslots)
 
 	// emit runs the seed's per-combination body: fill the slot vector,
 	// evaluate SELECT, record contributors, aggregate or append.

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sensjoin/internal/netsim"
+)
+
+// The sharded engine is incompatible with tracing, reliable transport
+// and the loss models; DESIGN.md promises the runner falls back to the
+// classic engine automatically. These tests pin that promise for every
+// enable order — including feature enables that bypass core.Runner and
+// talk to netsim directly, which used to panic mid-run.
+func TestShardFeatureFallbackOrderings(t *testing.T) {
+	const src = `SELECT A.temp, B.hum FROM Sensors A, Sensors B WHERE A.temp - B.temp > 8.0 ONCE`
+	mk := func(shards int) *Runner {
+		r, err := NewRunner(SetupConfig{Nodes: 150, Seed: 7, Shards: shards, Private: true, SetupWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// Reference rows from the classic engine, no features.
+	ref, err := mk(0).Run(src, NewSENSJoin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		// enable applies the feature(s) to a sharded runner.
+		enable func(r *Runner)
+		// lossy features change delivery outcomes, so only the fallback
+		// itself (no panic, sharding off, run completes) is checked.
+		lossy bool
+	}{
+		{"trace", func(r *Runner) { r.EnableTrace() }, false},
+		{"reliable", func(r *Runner) { r.EnableReliableTransport(netsim.ReliableConfig{}) }, false},
+		{"loss", func(r *Runner) { r.Net.SetLossRate(0.05, 1) }, true},
+		{"link-loss", func(r *Runner) { r.Net.SetLinkLossRate(1, 2, 0.5) }, true},
+		{"trace-then-reliable", func(r *Runner) {
+			r.EnableTrace()
+			r.EnableReliableTransport(netsim.ReliableConfig{})
+		}, false},
+		{"reliable-then-trace", func(r *Runner) {
+			r.EnableReliableTransport(netsim.ReliableConfig{})
+			r.EnableTrace()
+		}, false},
+		{"loss-then-trace-then-reliable", func(r *Runner) {
+			r.Net.SetLossRate(0.05, 1)
+			r.EnableTrace()
+			r.EnableReliableTransport(netsim.ReliableConfig{})
+		}, true},
+		// Direct netsim enables, bypassing the Runner wrappers.
+		{"netsim-reliable-direct", func(r *Runner) { r.Net.EnableReliable(netsim.ReliableConfig{}) }, false},
+		{"netsim-tracer-direct", func(r *Runner) {
+			r.Net.SetTracer(func(netsim.TraceEvent) {})
+		}, false},
+		{"netsim-linkloss-direct", func(r *Runner) { r.Net.SetLinkLossRate(3, 4, 1.0) }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic: %v", p)
+				}
+			}()
+			r := mk(4)
+			tc.enable(r)
+			if r.Sim.Sharded() {
+				t.Fatalf("simulator still sharded after enabling %s", tc.name)
+			}
+			res, err := r.Run(src, NewSENSJoin(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.lossy {
+				return
+			}
+			if fmt.Sprint(res.Rows) != fmt.Sprint(ref.Rows) {
+				t.Fatalf("rows differ from classic engine:\n got %v\nwant %v", res.Rows, ref.Rows)
+			}
+		})
+	}
+}
+
+// A feature enabled on a fresh network followed by BindSharding (the
+// construction-time order) must also fall back instead of panicking.
+func TestShardBindAfterFeatureFallsBack(t *testing.T) {
+	r, err := NewRunner(SetupConfig{Nodes: 150, Seed: 7, Private: true, SetupWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Net.EnableReliable(netsim.ReliableConfig{})
+	r.Sim.EnableSharding(make([]int32, r.Dep.N()), 2, 1e-3, 2)
+	r.Net.BindSharding() // used to panic
+	if r.Sim.Sharded() {
+		t.Fatal("BindSharding kept sharding on with reliable transport enabled")
+	}
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	expvarMu sync.Mutex
+	// expvarTargets maps a published expvar name to the mutable pointer
+	// its expvar.Func reads. Re-publishing a name swaps the registry the
+	// existing Func reports instead of calling expvar.Publish again —
+	// which panics on duplicate names.
+	expvarTargets = map[string]*atomic.Pointer[Registry]{}
+)
+
+// PublishExpvar exposes reg's Snapshot under the given expvar name.
+// Unlike a bare expvar.Publish it is safe to call any number of times
+// per process (daemons and tests start their serving path repeatedly):
+// the first call publishes, later calls atomically retarget the
+// published variable at the new registry. A nil registry snapshots
+// empty.
+func PublishExpvar(name string, reg *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if p, ok := expvarTargets[name]; ok {
+		p.Store(reg)
+		return
+	}
+	p := &atomic.Pointer[Registry]{}
+	p.Store(reg)
+	expvarTargets[name] = p
+	expvar.Publish(name, expvar.Func(func() any { return p.Load().Snapshot() }))
+}

@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+)
+
+// Publishing the same name twice must not panic (the serving path used a
+// bare expvar.Publish, which panics the moment a daemon or test embeds
+// it a second time) and must retarget the variable at the new registry.
+func TestPublishExpvarDoubleStart(t *testing.T) {
+	r1 := New()
+	r1.Counter("test_expvar_total", "first registry").Add(7)
+	PublishExpvar("sensjoin_test", r1)
+
+	r2 := New()
+	r2.Counter("test_expvar_total", "second registry").Add(42)
+	PublishExpvar("sensjoin_test", r2) // must not panic
+
+	v := expvar.Get("sensjoin_test")
+	if v == nil {
+		t.Fatal("variable not published")
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if got := snap["test_expvar_total"]; got != float64(42) {
+		t.Fatalf("snapshot reads the old registry: got %v, want 42", got)
+	}
+
+	// A nil registry is a valid target: the snapshot goes empty.
+	PublishExpvar("sensjoin_test", nil)
+	if s := expvar.Get("sensjoin_test").String(); s != "{}" {
+		t.Fatalf("nil registry snapshot = %q, want {}", s)
+	}
+}

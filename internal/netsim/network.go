@@ -150,14 +150,23 @@ func (n *Network) SetLossRate(rate float64, seed int64) {
 		n.lossRate, n.lossRNG = 0, nil
 		return
 	}
+	// The loss model draws from one RNG stream; fall back to the
+	// classic engine so draws stay ordered and deterministic.
+	n.fallbackFromSharding()
+	n.lossRate = rate
+	n.lossRNG = rand.New(rand.NewSource(seed))
+}
+
+// fallbackFromSharding reverts the simulator to the classic single-heap
+// engine. Every feature whose hot path carries cross-node mutable state
+// (tracing, reliable transport, the loss models) calls it on enable, so
+// the fallback DESIGN.md promises holds regardless of the order features
+// and sharding were configured in.
+func (n *Network) fallbackFromSharding() {
 	if n.Sim.Sharded() {
-		// The loss model draws from one RNG stream; fall back to the
-		// classic engine so draws stay ordered and deterministic.
 		n.Sim.DisableSharding()
 		n.BindSharding()
 	}
-	n.lossRate = rate
-	n.lossRNG = rand.New(rand.NewSource(seed))
 }
 
 type linkKey struct{ a, b NodeID }
@@ -232,8 +241,15 @@ type TraceEvent struct {
 type Tracer func(ev TraceEvent)
 
 // SetTracer installs a radio observer; nil disables tracing. The
-// zero-trace send/deliver path stays allocation-free.
-func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+// zero-trace send/deliver path stays allocation-free. Tracing appends to
+// one shared journal, so enabling it reverts a sharded simulator to the
+// classic engine.
+func (n *Network) SetTracer(t Tracer) {
+	if t != nil {
+		n.fallbackFromSharding()
+	}
+	n.tracer = t
+}
 
 func (n *Network) trace(event string, m Message, packets int, msgID int64, expect int) {
 	if n.tracer != nil {
@@ -375,8 +391,14 @@ func (n *Network) BindSharding() {
 		n.freeR = nil
 		return
 	}
-	if n.tracer != nil || n.reliable || n.lossRNG != nil {
-		panic("netsim: sharding is incompatible with tracing, reliable transport and the loss model")
+	if n.tracer != nil || n.reliable || n.lossRNG != nil || n.linkLoss != nil {
+		// A feature with cross-node mutable hot-path state is already on:
+		// fall back to the classic engine deterministically instead of
+		// refusing — the promise is that fallback works regardless of the
+		// order features and sharding were enabled in.
+		n.Sim.DisableSharding()
+		n.freeR = nil
+		return
 	}
 	n.freeR = make([][]*delivery, len(sh.regions))
 }

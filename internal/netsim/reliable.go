@@ -79,8 +79,11 @@ type ReliabilityAccountant interface {
 	OnAck(node NodeID, phase string, packets, bytes int)
 }
 
-// EnableReliable switches every unicast to reliable transport.
+// EnableReliable switches every unicast to reliable transport. The ARQ
+// state machine mutates per-link maps from delivery handlers, so enabling
+// it reverts a sharded simulator to the classic engine.
 func (n *Network) EnableReliable(cfg ReliableConfig) {
+	n.fallbackFromSharding()
 	n.reliable = true
 	n.rcfg = cfg.withDefaults()
 }
@@ -127,6 +130,9 @@ func (n *Network) SetLinkLossRate(a, b NodeID, rate float64) {
 		delete(n.linkLoss, l)
 		return
 	}
+	// Per-link RNG draws mutate shared state from delivery handlers;
+	// revert a sharded simulator to the classic engine.
+	n.fallbackFromSharding()
 	if n.linkLoss == nil {
 		n.linkLoss = make(map[Link]*linkLossState)
 	}

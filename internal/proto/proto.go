@@ -1,0 +1,202 @@
+// Package proto defines the sensjoind wire protocol: a length-prefixed
+// frame stream carrying JSON messages over any reliable byte transport
+// (TCP in practice).
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32  length   // of everything after this field: kind + payload
+//	byte    kind     // message kind, see the Kind* constants
+//	[]byte  payload  // JSON encoding of the kind's message struct
+//
+// A session opens with Hello/HelloOK, then the client pipelines Query
+// frames (each with a client-chosen, session-unique positive ID) and the
+// server interleaves per-query response frames, demultiplexed by that
+// ID. One query's response stream is:
+//
+//	Header                      // once, before any rows
+//	{ Rows* EpochEnd }          // once per epoch (one-shot: exactly once)
+//	Done                        // or Error, which also terminates it
+//
+// See PROTOCOL.md for the full narrative specification.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version spoken by this package. A server
+// answers a Hello with a different major version with an Error frame
+// (CodeProto) and closes the connection.
+const Version = 1
+
+// MaxFrame bounds one frame's kind+payload size; both sides reject
+// larger frames as malformed rather than allocating unboundedly.
+const MaxFrame = 8 << 20
+
+// Message kinds. Client-to-server kinds are small, server-to-client
+// kinds start at 16; the split is cosmetic (kinds are unique anyway)
+// but makes traces easier to read.
+const (
+	KindHello  byte = 1 // client → server: open a session
+	KindQuery  byte = 2 // client → server: submit a query
+	KindCancel byte = 3 // client → server: cancel a running query
+	KindBye    byte = 4 // client → server: orderly close
+
+	KindHelloOK  byte = 16 // server → client: session accepted
+	KindHeader   byte = 17 // server → client: result columns + plan facts
+	KindRows     byte = 18 // server → client: a chunk of result rows
+	KindEpochEnd byte = 19 // server → client: one epoch's table is complete
+	KindDone     byte = 20 // server → client: query finished
+	KindError    byte = 21 // server → client: query (or session) failed
+)
+
+// Error codes carried by Error frames.
+const (
+	// CodeProto: the peer violated the protocol (bad frame, bad version,
+	// duplicate query ID, ...). The server closes the connection.
+	CodeProto = "proto"
+	// CodeParse: the query text failed to parse or bind.
+	CodeParse = "parse"
+	// CodeOverCapacity: admission control rejected the query; retry
+	// later or against a less loaded server.
+	CodeOverCapacity = "over-capacity"
+	// CodeExec: the query failed during execution.
+	CodeExec = "exec"
+	// CodeShutdown: the server is draining; no new queries are admitted.
+	CodeShutdown = "shutdown"
+	// CodeCanceled: the client canceled the query.
+	CodeCanceled = "canceled"
+)
+
+// Hello opens a session.
+type Hello struct {
+	Version int
+}
+
+// HelloOK accepts a session and states the server's default deployment.
+type HelloOK struct {
+	Version int
+	Session int64
+	Nodes   int
+	Seed    int64
+}
+
+// Query submits one query for execution.
+type Query struct {
+	// ID is chosen by the client; it must be positive and unused by any
+	// other in-flight query of this session.
+	ID int64
+	// Src is the query text in the sensjoin query language.
+	Src string
+	// Method selects the join method: "sens" (default) or "external".
+	Method string `json:",omitempty"`
+	// At is the snapshot time of the first (or only) epoch.
+	At float64 `json:",omitempty"`
+	// Rounds caps the epochs of a periodic query (default 1; one-shot
+	// queries always run exactly one epoch).
+	Rounds int `json:",omitempty"`
+	// Nodes/Seed override the server's default deployment (0 = default).
+	Nodes int   `json:",omitempty"`
+	Seed  int64 `json:",omitempty"`
+}
+
+// Header precedes a query's rows.
+type Header struct {
+	ID      int64
+	Columns []string
+	// CacheHit reports whether the prepared-query cache served this
+	// query's compiled plan.
+	CacheHit bool
+	// Shared reports shared (grouped) execution; ClusterSize is the
+	// number of queries sharing the protocol round (1 when not shared).
+	Shared      bool `json:",omitempty"`
+	ClusterSize int  `json:",omitempty"`
+}
+
+// Rows carries a chunk of one epoch's result rows.
+type Rows struct {
+	ID    int64
+	Epoch int
+	Rows  [][]float64
+}
+
+// EpochEnd closes one epoch's table.
+type EpochEnd struct {
+	ID    int64
+	Epoch int
+	// Time is the snapshot time the epoch sampled.
+	Time float64
+	// RowCount is the epoch's total row count (all Rows chunks).
+	RowCount int
+	Complete bool
+	// Contributing/Members mirror core.Result's node counts.
+	Contributing int
+	Members      int
+	ResponseTime float64
+}
+
+// Done terminates a query's response stream.
+type Done struct {
+	ID     int64
+	Epochs int
+}
+
+// Error terminates a query's response stream (ID > 0) or reports a
+// session-level failure (ID == 0, after which the server closes).
+type Error struct {
+	ID   int64
+	Code string
+	Msg  string
+}
+
+// Cancel asks the server to stop a running query. The query still
+// terminates with Done (epochs so far) or Error{CodeCanceled}.
+type Cancel struct {
+	ID int64
+}
+
+// WriteFrame encodes v as one frame. It issues a single Write, so
+// callers may serialize concurrent writers with just a mutex.
+func WriteFrame(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("proto: marshal kind %d: %w", kind, err)
+	}
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("proto: frame kind %d exceeds %d bytes", kind, MaxFrame)
+	}
+	buf := make([]byte, 4+1+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(1+len(payload)))
+	buf[4] = kind
+	copy(buf[5:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame and returns its kind and raw payload.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("proto: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// Decode unmarshals a frame payload into v.
+func Decode(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("proto: bad payload: %w", err)
+	}
+	return nil
+}

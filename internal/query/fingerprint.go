@@ -1,0 +1,157 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint renders a canonical byte string of the whole query,
+// suitable as a prepared-plan cache key: two queries with equal
+// fingerprints produce identical result tables on the same deployment
+// snapshot, and textual differences that cannot change the result — an
+// operand order the IEEE-754-exact Canonical rewrites normalize, or the
+// spelling of a FROM alias — fingerprint identically. Literals are
+// rendered exactly (hex float), so the same shape with different
+// constants keys distinct entries.
+func Fingerprint(q *Query) string {
+	var b strings.Builder
+	b.WriteString("select=")
+	if q.Star {
+		b.WriteString("*")
+	}
+	for i, it := range q.Select {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if it.Agg != AggNone {
+			b.WriteString(it.Agg.String())
+		}
+		b.WriteByte('(')
+		fpNum(&b, CanonicalNum(it.Expr))
+		b.WriteByte(')')
+		if it.As != "" {
+			b.WriteString(" as ")
+			b.WriteString(it.As)
+		}
+	}
+	b.WriteString(";from=")
+	for i, r := range q.From {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// The alias spelling is irrelevant: attribute references carry
+		// the resolved FROM index, which fpNum renders positionally.
+		b.WriteString(r.Relation)
+	}
+	b.WriteString(";where=")
+	if q.Where != nil {
+		fpBool(&b, Canonical(q.Where))
+	}
+	b.WriteString(";group=")
+	for i, e := range q.GroupBy {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fpNum(&b, CanonicalNum(e))
+	}
+	b.WriteString(";order=")
+	for i, k := range q.OrderBy {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", k.Col)
+		if k.Desc {
+			b.WriteString(" desc")
+		}
+	}
+	fmt.Fprintf(&b, ";limit=%d;mode=%d;period=%s",
+		q.Limit, q.Mode, strconv.FormatFloat(q.Period, 'x', -1, 64))
+	return b.String()
+}
+
+// fpNum renders a numeric expression with positional relation references
+// and exact literals.
+func fpNum(b *strings.Builder, e NumExpr) {
+	switch v := e.(type) {
+	case Const:
+		b.WriteString(strconv.FormatFloat(v.V, 'x', -1, 64))
+	case Attr:
+		fmt.Fprintf(b, "#%d.%s", v.Ref.Rel, v.Ref.Name)
+	case Arith:
+		b.WriteByte('(')
+		fpNum(b, v.L)
+		b.WriteString(v.Op.String())
+		fpNum(b, v.R)
+		b.WriteByte(')')
+	case Neg:
+		b.WriteString("neg(")
+		fpNum(b, v.X)
+		b.WriteByte(')')
+	case Abs:
+		b.WriteString("abs(")
+		fpNum(b, v.X)
+		b.WriteByte(')')
+	case Sqrt:
+		b.WriteString("sqrt(")
+		fpNum(b, v.X)
+		b.WriteByte(')')
+	case Distance:
+		b.WriteString("distance(")
+		for i, a := range []NumExpr{v.X1, v.Y1, v.X2, v.Y2} {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fpNum(b, a)
+		}
+		b.WriteByte(')')
+	case MinMax:
+		if v.IsMax {
+			b.WriteString("max(")
+		} else {
+			b.WriteString("min(")
+		}
+		for i, a := range v.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fpNum(b, a)
+		}
+		b.WriteByte(')')
+	default:
+		// Future node kinds degrade to their textual form; correctness
+		// is kept (equal fingerprints still mean equal queries), only
+		// alias-insensitivity is lost for the new kind.
+		b.WriteString(e.String())
+	}
+}
+
+// fpBool renders a predicate with positional relation references.
+func fpBool(b *strings.Builder, e BoolExpr) {
+	switch v := e.(type) {
+	case Cmp:
+		b.WriteByte('(')
+		fpNum(b, v.L)
+		b.WriteString(v.Op.String())
+		fpNum(b, v.R)
+		b.WriteByte(')')
+	case And:
+		b.WriteString("and(")
+		fpBool(b, v.L)
+		b.WriteByte(',')
+		fpBool(b, v.R)
+		b.WriteByte(')')
+	case Or:
+		b.WriteString("or(")
+		fpBool(b, v.L)
+		b.WriteByte(',')
+		fpBool(b, v.R)
+		b.WriteByte(')')
+	case Not:
+		b.WriteString("not(")
+		fpBool(b, v.X)
+		b.WriteByte(')')
+	default:
+		b.WriteString(e.String())
+	}
+}

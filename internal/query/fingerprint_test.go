@@ -1,0 +1,52 @@
+package query
+
+import "testing"
+
+func fpOf(t *testing.T, src string) string {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Fingerprint(q)
+}
+
+func TestFingerprintAliasInsensitive(t *testing.T) {
+	a := fpOf(t, `SELECT A.temp FROM Sensors A, Sensors B WHERE A.temp - B.temp > 10.0 ONCE`)
+	b := fpOf(t, `SELECT X.temp FROM Sensors X, Sensors Y WHERE X.temp - Y.temp > 10.0 ONCE`)
+	if a != b {
+		t.Fatalf("alias spelling changed the fingerprint:\n%s\n%s", a, b)
+	}
+}
+
+func TestFingerprintCanonicalRewrites(t *testing.T) {
+	// Comparison flip and commuted operands are IEEE-exact rewrites the
+	// canonicalizer normalizes, so they fingerprint identically.
+	a := fpOf(t, `SELECT A.temp FROM Sensors A, Sensors B WHERE A.temp - B.temp > 10.0 ONCE`)
+	b := fpOf(t, `SELECT A.temp FROM Sensors A, Sensors B WHERE 10.0 < A.temp - B.temp ONCE`)
+	if a != b {
+		t.Fatalf("flipped comparison changed the fingerprint:\n%s\n%s", a, b)
+	}
+}
+
+func TestFingerprintLiteralsDistinct(t *testing.T) {
+	a := fpOf(t, `SELECT A.temp FROM Sensors A, Sensors B WHERE A.temp - B.temp > 10.0 ONCE`)
+	b := fpOf(t, `SELECT A.temp FROM Sensors A, Sensors B WHERE A.temp - B.temp > 11.0 ONCE`)
+	if a == b {
+		t.Fatal("different literals must key distinct fingerprints")
+	}
+}
+
+func TestFingerprintShapeDetails(t *testing.T) {
+	base := `SELECT A.temp FROM Sensors A, Sensors B WHERE A.temp - B.temp > 10.0 ONCE`
+	for _, variant := range []string{
+		`SELECT A.hum FROM Sensors A, Sensors B WHERE A.temp - B.temp > 10.0 ONCE`,
+		`SELECT A.temp AS t FROM Sensors A, Sensors B WHERE A.temp - B.temp > 10.0 ONCE`,
+		`SELECT MIN(A.temp) FROM Sensors A, Sensors B WHERE A.temp - B.temp > 10.0 ONCE`,
+		`SELECT A.temp FROM Sensors A, Sensors B WHERE A.temp - B.temp > 10.0 SAMPLE PERIOD 30`,
+	} {
+		if fpOf(t, base) == fpOf(t, variant) {
+			t.Fatalf("variant %q fingerprints like the base query", variant)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"sensjoin/internal/core"
+	"sensjoin/internal/proto"
+)
+
+// Shared execution of continuous queries. A continuous SENS-Join query
+// arriving at the daemon waits one BatchWindow for companions; every
+// compatible query that arrives within the window for the same
+// (deployment, period, start time) joins the same core.QueryGroup and
+// the whole group runs ONE shared protocol round per epoch on a private
+// runner. Each member still receives exactly its own result table (the
+// group's correctness contract), so sharing is invisible to clients
+// except through the Header's Shared/ClusterSize facts and the lower
+// network cost per query.
+//
+// Queries arriving after a window closed simply form a new group: the
+// incremental filter state of a running group is epoch-aligned, so late
+// joiners cannot splice into it.
+
+// groupSub is one query's membership in a pending batch.
+type groupSub struct {
+	ss   *session
+	q    proto.Query
+	prep *core.Prepared
+	hit  bool
+	rq   *runningQuery
+	// rounds is the epoch budget requested by the client (capped).
+	rounds int
+
+	// dead stops emission (send failure); the admission slot is still
+	// released exactly once at batch end.
+	dead       bool
+	headerSent bool
+	epochs     int
+}
+
+// groupHub collects compatible continuous queries into batches.
+type groupHub struct {
+	s       *Server
+	mu      sync.Mutex
+	pending map[string]*batch
+}
+
+type batch struct {
+	pool   *pool
+	at     float64
+	period float64
+	subs   []*groupSub
+}
+
+func newGroupHub(s *Server) *groupHub {
+	return &groupHub{s: s, pending: make(map[string]*batch)}
+}
+
+// enqueue adds a query to the open batch for its (deployment, period,
+// start) — opening one, and arming its window timer, if none is open.
+func (h *groupHub) enqueue(sub *groupSub, pl *pool) {
+	period := sub.prep.Period()
+	key := fmt.Sprintf("%s|%x|%x", pl.key, math.Float64bits(sub.q.At), math.Float64bits(period))
+	h.mu.Lock()
+	b := h.pending[key]
+	if b == nil {
+		b = &batch{pool: pl, at: sub.q.At, period: period}
+		h.pending[key] = b
+		time.AfterFunc(h.s.cfg.BatchWindow, func() {
+			h.mu.Lock()
+			delete(h.pending, key)
+			h.mu.Unlock()
+			h.run(b)
+		})
+	}
+	b.subs = append(b.subs, sub)
+	h.mu.Unlock()
+}
+
+// acquireGroup takes an execution slot for one shared round. Unlike the
+// per-query acquire it only gives up when the server drains — a group
+// outlives any single member's cancelation.
+func (s *Server) acquireGroup() bool {
+	select {
+	case s.execSem <- struct{}{}:
+		s.met.activeQueries.Inc()
+		return true
+	case <-s.closing:
+		return false
+	}
+}
+
+// run executes one batch to completion: every member's epochs stream
+// from shared rounds, and every member's admission slot is released.
+func (h *groupHub) run(b *batch) {
+	s := h.s
+	qg := core.NewQueryGroup(core.Options{})
+	var members []*groupSub
+	var idx []int
+	for _, sub := range b.subs {
+		i, err := qg.Add(sub.q.Src)
+		if err != nil {
+			// Pre-validation (Shareable) makes this unreachable in
+			// practice, but a group must never strand a member's slot.
+			sub.ss.sendErr(sub.q.ID, proto.CodeExec, err.Error())
+			sub.ss.finish(sub.q.ID)
+			continue
+		}
+		members = append(members, sub)
+		idx = append(idx, i)
+	}
+	if len(members) == 0 {
+		return
+	}
+	defer func() {
+		for _, sub := range members {
+			if !sub.dead {
+				sub.ss.send(proto.KindDone, proto.Done{ID: sub.q.ID, Epochs: sub.epochs})
+			}
+			sub.ss.finish(sub.q.ID)
+		}
+	}()
+	s.met.sharedQueries.Add(int64(len(members)))
+
+	// A private runner: the group's incremental filter state spans
+	// epochs, so its executions must not interleave with other queries.
+	// The shared deployment cache makes this cheap.
+	r, err := core.NewRunner(b.pool.cfg)
+	if err != nil {
+		for _, sub := range members {
+			sub.ss.sendErr(sub.q.ID, proto.CodeExec, err.Error())
+			sub.dead = true
+		}
+		return
+	}
+	clusterSize := make(map[int]int)
+	for k := range members {
+		clusterSize[qg.ClusterOf(idx[k])]++
+	}
+	maxRounds := 0
+	for _, sub := range members {
+		maxRounds = max(maxRounds, sub.rounds)
+	}
+
+	for e := 0; e < maxRounds; e++ {
+		if s.isClosing() && e > 0 {
+			break
+		}
+		wanted := false
+		for _, sub := range members {
+			if !sub.dead && !sub.rq.canceled() && e < sub.rounds {
+				wanted = true
+				break
+			}
+		}
+		if !wanted {
+			break
+		}
+		if !s.acquireGroup() {
+			break
+		}
+		t := b.at + float64(e)*b.period
+		start := time.Now()
+		results, err := qg.RunRound(r, t)
+		s.release()
+		s.met.querySeconds.Observe(time.Since(start).Seconds())
+		s.met.sharedRounds.Inc()
+		if err != nil {
+			for _, sub := range members {
+				if !sub.dead {
+					sub.ss.sendErr(sub.q.ID, proto.CodeExec, err.Error())
+					sub.dead = true
+				}
+			}
+			return
+		}
+		for k, sub := range members {
+			if sub.dead || sub.rq.canceled() || e >= sub.rounds {
+				continue
+			}
+			res := results[idx[k]]
+			if !sub.headerSent {
+				cs := clusterSize[qg.ClusterOf(idx[k])]
+				if !sub.ss.send(proto.KindHeader, proto.Header{
+					ID: sub.q.ID, Columns: res.Columns, CacheHit: sub.hit,
+					Shared: cs > 1, ClusterSize: cs,
+				}) {
+					sub.dead = true
+					continue
+				}
+				sub.headerSent = true
+			}
+			if !sub.ss.emitEpoch(sub.q.ID, e, t, res) {
+				sub.dead = true
+				continue
+			}
+			sub.epochs++
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"time"
+
+	"sensjoin/internal/metrics"
+)
+
+// Hardened wraps a handler in an http.Server with conservative
+// timeouts, so a client that opens a connection and never finishes its
+// request headers (slowloris) or goes idle cannot pin a goroutine and a
+// file descriptor forever. WriteTimeout deliberately stays zero:
+// /debug/pprof/profile legitimately streams for its whole profiling
+// window.
+func Hardened(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ServeHTTP runs srv on ln in the background, logging (rather than
+// dropping) the terminal Serve error.
+func ServeHTTP(srv *http.Server, ln net.Listener, logf func(format string, args ...any)) {
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logf("http: serve: %v", err)
+		}
+	}()
+}
+
+// ObsHTTP is a running observability HTTP server.
+type ObsHTTP struct {
+	srv *http.Server
+}
+
+// StartObsHTTP serves the standard observability mux on ln with the
+// hardened server configuration. A nil logf uses the standard logger.
+func StartObsHTTP(ln net.Listener, reg *metrics.Registry, logf func(format string, args ...any)) *ObsHTTP {
+	if logf == nil {
+		logf = Config{}.withDefaults().Logf
+	}
+	srv := Hardened(ObsMux(reg))
+	ServeHTTP(srv, ln, logf)
+	return &ObsHTTP{srv: srv}
+}
+
+// Stop shuts the observability server down, letting in-flight requests
+// finish briefly.
+func (o *ObsHTTP) Stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	o.srv.Shutdown(ctx)
+}
+
+// ObsMux builds the standard observability mux: Prometheus exposition,
+// a health probe, expvar and pprof.
+func ObsMux(reg *metrics.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "sensjoind: /metrics /healthz /debug/vars /debug/pprof/")
+	})
+	return mux
+}

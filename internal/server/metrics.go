@@ -1,0 +1,40 @@
+package server
+
+import "sensjoin/internal/metrics"
+
+// serverMetrics holds the sensjoind_* instruments. All families are
+// registered eagerly at server start so the exposition is complete (and
+// promcheck -require passes) before the first query arrives.
+type serverMetrics struct {
+	sessions      *metrics.Gauge
+	sessionsTotal *metrics.Counter
+	queries       *metrics.Counter
+	rejected      *metrics.Counter
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	queueDepth    *metrics.Gauge
+	activeQueries *metrics.Gauge
+	querySeconds  *metrics.Histogram
+	sharedQueries *metrics.Counter
+	sharedRounds  *metrics.Counter
+}
+
+func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+	if reg == nil {
+		reg = metrics.New() // throwaway: keeps every hook unconditional
+	}
+	secs := []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+	return &serverMetrics{
+		sessions:      reg.Gauge("sensjoind_sessions", "currently open client sessions"),
+		sessionsTotal: reg.Counter("sensjoind_sessions_total", "client sessions accepted since start"),
+		queries:       reg.Counter("sensjoind_queries_total", "queries admitted since start"),
+		rejected:      reg.Counter("sensjoind_rejected_total", "queries rejected by admission control"),
+		cacheHits:     reg.Counter("sensjoind_prepared_cache_hits_total", "prepared-query cache hits"),
+		cacheMisses:   reg.Counter("sensjoind_prepared_cache_misses_total", "prepared-query cache misses (full prepare paid)"),
+		queueDepth:    reg.Gauge("sensjoind_queue_depth", "admitted queries queued or executing"),
+		activeQueries: reg.Gauge("sensjoind_active_queries", "queries currently executing (holding an execution slot)"),
+		querySeconds:  reg.Histogram("sensjoind_query_seconds", "wall-clock seconds per epoch execution", secs),
+		sharedQueries: reg.Counter("sensjoind_shared_queries_total", "continuous queries routed into shared (grouped) execution"),
+		sharedRounds:  reg.Counter("sensjoind_shared_rounds_total", "shared protocol rounds executed by query groups"),
+	}
+}

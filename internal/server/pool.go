@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"sensjoin/internal/core"
+	"sensjoin/internal/relation"
+)
+
+// pool owns the runners of one deployment (nodes, seed). Runners are
+// not concurrency-safe, so concurrent executions each check one out;
+// the shared deployment cache (core/cache.go) makes a fresh runner
+// cheap when the pool runs dry, and the free list just avoids paying
+// even that on the steady-state path.
+type pool struct {
+	key  poolKey
+	cfg  core.SetupConfig
+	cat  relation.Catalog
+	free chan *core.Runner
+}
+
+type poolKey struct {
+	nodes int
+	seed  int64
+}
+
+func (k poolKey) String() string { return fmt.Sprintf("%d/%d", k.nodes, k.seed) }
+
+// maxPools bounds the distinct deployments one server will simulate;
+// each holds a cached deployment + routing tree, so an unbounded map
+// would let clients exhaust memory.
+const maxPools = 8
+
+func newPool(k poolKey, maxPacket, capacity int) (*pool, error) {
+	cfg := core.SetupConfig{Nodes: k.nodes, Seed: k.seed}
+	if maxPacket > 0 {
+		cfg.Radio.MaxPacket = maxPacket
+	}
+	// Build one runner eagerly: it validates the config, warms the
+	// shared deployment cache, and donates the catalog.
+	r, err := core.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &pool{key: k, cfg: cfg, cat: r.Catalog, free: make(chan *core.Runner, capacity)}
+	p.put(r)
+	return p, nil
+}
+
+// get checks out a runner, building a fresh one when the free list is
+// empty.
+func (p *pool) get() (*core.Runner, error) {
+	select {
+	case r := <-p.free:
+		return r, nil
+	default:
+		return core.NewRunner(p.cfg)
+	}
+}
+
+// put returns a runner; beyond capacity it is simply dropped.
+func (p *pool) put(r *core.Runner) {
+	select {
+	case p.free <- r:
+	default:
+	}
+}
+
+// poolFor returns (creating on first use) the pool for a deployment.
+func (s *Server) poolFor(nodes int, seed int64) (*pool, error) {
+	if nodes == 0 {
+		nodes = s.cfg.Nodes
+	}
+	if seed == 0 {
+		seed = s.cfg.Seed
+	}
+	k := poolKey{nodes: nodes, seed: seed}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if p, ok := s.pools[k]; ok {
+		return p, nil
+	}
+	if len(s.pools) >= maxPools {
+		return nil, fmt.Errorf("server: %d distinct deployments already simulated; not adding %v", len(s.pools), k)
+	}
+	p, err := newPool(k, s.cfg.MaxPacket, s.cfg.MaxConcurrent)
+	if err != nil {
+		return nil, err
+	}
+	s.pools[k] = p
+	return p, nil
+}
+
+// preparedCache maps queries to their compiled plans in two key spaces:
+// by exact source text (hit skips even the parse) and by canonical
+// fingerprint (differently spelled but canonically equal queries share
+// one Prepared; hit skips analysis and kernel compilation). Both keys
+// are scoped by deployment, since a Prepared binds a catalog.
+type preparedCache struct {
+	mu    sync.Mutex
+	bySrc map[string]*core.Prepared
+	byFP  map[string]*core.Prepared
+	met   *serverMetrics
+}
+
+// maxCacheEntries bounds the cache; overflowing resets it wholesale (a
+// serving workload has a small set of live shapes, so an overflow means
+// adversarial or generated queries — starting over is cheap and keeps
+// the code free of eviction-order bookkeeping).
+const maxCacheEntries = 4096
+
+func newPreparedCache(met *serverMetrics) *preparedCache {
+	return &preparedCache{
+		bySrc: make(map[string]*core.Prepared),
+		byFP:  make(map[string]*core.Prepared),
+		met:   met,
+	}
+}
+
+// lookup returns the prepared form of src for pool p, preparing and
+// caching it on miss. The second return reports a cache hit.
+func (c *preparedCache) lookup(p *pool, src string) (*core.Prepared, bool, error) {
+	srcKey := p.key.String() + "\x00" + src
+	c.mu.Lock()
+	if prep, ok := c.bySrc[srcKey]; ok {
+		c.mu.Unlock()
+		c.met.cacheHits.Inc()
+		return prep, true, nil
+	}
+	c.mu.Unlock()
+
+	prep, err := core.Prepare(p.cat, src)
+	if err != nil {
+		return nil, false, err
+	}
+	fpKey := p.key.String() + "\x00" + prep.Fingerprint()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.bySrc) >= maxCacheEntries || len(c.byFP) >= maxCacheEntries {
+		c.bySrc = make(map[string]*core.Prepared)
+		c.byFP = make(map[string]*core.Prepared)
+	}
+	hit := false
+	if canon, ok := c.byFP[fpKey]; ok {
+		// A canonically equal query was prepared before; its compiled
+		// plan computes the identical table, so alias this spelling to
+		// it. (This request still paid the parse, but the cache now
+		// serves the new spelling without one.)
+		prep = canon
+		hit = true
+		c.met.cacheHits.Inc()
+	} else {
+		c.byFP[fpKey] = prep
+		c.met.cacheMisses.Inc()
+	}
+	c.bySrc[srcKey] = prep
+	return prep, hit, nil
+}

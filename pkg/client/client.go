@@ -1,0 +1,359 @@
+// Package client is the Go client for sensjoind, the sensjoin query
+// daemon. One Client multiplexes any number of concurrent queries over
+// a single connection:
+//
+//	c, err := client.Dial("127.0.0.1:7077")
+//	defer c.Close()
+//	table, err := c.Query(`SELECT A.temp, B.hum FROM Sensors A, Sensors B
+//	                       WHERE A.temp - B.temp > 8.0 ONCE`)
+//
+// Continuous queries stream one Table per epoch:
+//
+//	st, err := c.Stream(src, client.Options{Rounds: 5})
+//	for {
+//		table, err := st.Next()
+//		if err == io.EOF { break }
+//		...
+//	}
+//
+// The wire protocol is internal/proto; see PROTOCOL.md.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sensjoin/internal/proto"
+)
+
+// Options tune one query submission.
+type Options struct {
+	// Method selects the join method: "" / "sens" (default) or
+	// "external".
+	Method string
+	// At is the snapshot time of the first epoch.
+	At float64
+	// Rounds caps a periodic query's epochs (default 1).
+	Rounds int
+	// Nodes/Seed override the server's default deployment (0 = server
+	// default).
+	Nodes int
+	Seed  int64
+}
+
+// Table is one epoch's result table.
+type Table struct {
+	Columns []string
+	Rows    [][]float64
+	// Epoch numbers the table within a continuous query (0-based).
+	Epoch int
+	// Time is the snapshot time the epoch sampled.
+	Time         float64
+	Complete     bool
+	Contributing int
+	Members      int
+	ResponseTime float64
+	// CacheHit reports that the server served the compiled plan from
+	// its prepared-query cache.
+	CacheHit bool
+	// Shared reports shared (grouped) execution with ClusterSize
+	// queries per protocol round.
+	Shared      bool
+	ClusterSize int
+}
+
+// ServerError is a query or session failure reported by the server.
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("sensjoind: %s: %s", e.Code, e.Msg) }
+
+type frame struct {
+	kind    byte
+	payload []byte
+}
+
+// Client is a connection to sensjoind. It is safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes WriteFrame
+
+	mu     sync.Mutex
+	calls  map[int64]chan frame
+	nextID int64
+	err    error // terminal connection error, set once
+
+	// done closes when the connection dies; it unblocks every stream
+	// without the races of closing the per-call channels.
+	done     chan struct{}
+	doneOnce sync.Once
+
+	// Hello is the server's session greeting.
+	Hello proto.HelloOK
+}
+
+// Dial connects and performs the protocol handshake.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout is Dial with a bound on connect + handshake.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, calls: make(map[int64]chan frame), done: make(chan struct{})}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := proto.WriteFrame(conn, proto.KindHello, proto.Hello{Version: proto.Version}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	kind, payload, err := proto.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch kind {
+	case proto.KindHelloOK:
+		if err := proto.Decode(payload, &c.Hello); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	case proto.KindError:
+		var e proto.Error
+		proto.Decode(payload, &e)
+		conn.Close()
+		return nil, &ServerError{Code: e.Code, Msg: e.Msg}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("client: unexpected handshake frame kind %d", kind)
+	}
+	conn.SetDeadline(time.Time{})
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; all in-flight queries fail.
+func (c *Client) Close() error {
+	c.wmu.Lock()
+	proto.WriteFrame(c.conn, proto.KindBye, struct{}{})
+	c.wmu.Unlock()
+	err := c.conn.Close()
+	c.fail(io.ErrClosedPipe)
+	return err
+}
+
+// fail terminates every in-flight call with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// readLoop demultiplexes server frames to their query's channel.
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		kind, payload, err := proto.ReadFrame(br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		var hdr struct{ ID int64 }
+		if proto.Decode(payload, &hdr) != nil || hdr.ID == 0 {
+			// A session-level error (ID 0) poisons the connection.
+			if kind == proto.KindError {
+				var e proto.Error
+				proto.Decode(payload, &e)
+				c.fail(&ServerError{Code: e.Code, Msg: e.Msg})
+			} else {
+				c.fail(fmt.Errorf("client: unroutable frame kind %d", kind))
+			}
+			return
+		}
+		c.mu.Lock()
+		ch := c.calls[hdr.ID]
+		c.mu.Unlock()
+		if ch == nil {
+			continue // canceled and forgotten
+		}
+		ch <- frame{kind: kind, payload: payload}
+		if kind == proto.KindDone || kind == proto.KindError {
+			c.mu.Lock()
+			delete(c.calls, hdr.ID)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Query runs a one-shot query and returns its table.
+func (c *Client) Query(src string) (*Table, error) {
+	return c.QueryOpts(src, Options{})
+}
+
+// QueryOpts runs a query and returns its first (for one-shot queries,
+// only) table, discarding any further epochs.
+func (c *Client) QueryOpts(src string, o Options) (*Table, error) {
+	st, err := c.Stream(src, o)
+	if err != nil {
+		return nil, err
+	}
+	t, err := st.Next()
+	if err != nil {
+		return nil, err
+	}
+	st.Close()
+	return t, nil
+}
+
+// Stream submits a query and returns its epoch stream.
+func (c *Client) Stream(src string, o Options) (*Stream, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan frame, 256)
+	c.calls[id] = ch
+	c.mu.Unlock()
+
+	q := proto.Query{
+		ID: id, Src: src, Method: o.Method, At: o.At,
+		Rounds: o.Rounds, Nodes: o.Nodes, Seed: o.Seed,
+	}
+	c.wmu.Lock()
+	err := proto.WriteFrame(c.conn, proto.KindQuery, q)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return &Stream{c: c, id: id, ch: ch}, nil
+}
+
+// Stream is one query's sequence of epoch tables.
+type Stream struct {
+	c  *Client
+	id int64
+	ch chan frame
+
+	header proto.Header
+	rows   [][]float64
+	done   bool
+	err    error
+}
+
+// Next returns the next epoch's table, io.EOF after the final epoch, or
+// the error that terminated the query.
+func (s *Stream) Next() (*Table, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.done {
+		return nil, io.EOF
+	}
+	for {
+		var f frame
+		select {
+		case f = <-s.ch:
+		default:
+			// Only consult the connection's death after draining every
+			// frame that arrived before it.
+			select {
+			case f = <-s.ch:
+			case <-s.c.done:
+				s.c.mu.Lock()
+				s.err = s.c.err
+				s.c.mu.Unlock()
+				if s.err == nil {
+					s.err = io.ErrUnexpectedEOF
+				}
+				return nil, s.err
+			}
+		}
+		switch f.kind {
+		case proto.KindHeader:
+			if err := proto.Decode(f.payload, &s.header); err != nil {
+				s.err = err
+				return nil, err
+			}
+		case proto.KindRows:
+			var r proto.Rows
+			if err := proto.Decode(f.payload, &r); err != nil {
+				s.err = err
+				return nil, err
+			}
+			s.rows = append(s.rows, r.Rows...)
+		case proto.KindEpochEnd:
+			var e proto.EpochEnd
+			if err := proto.Decode(f.payload, &e); err != nil {
+				s.err = err
+				return nil, err
+			}
+			t := &Table{
+				Columns: s.header.Columns, Rows: s.rows,
+				Epoch: e.Epoch, Time: e.Time,
+				Complete: e.Complete, Contributing: e.Contributing,
+				Members: e.Members, ResponseTime: e.ResponseTime,
+				CacheHit: s.header.CacheHit,
+				Shared:   s.header.Shared, ClusterSize: s.header.ClusterSize,
+			}
+			if t.Rows == nil {
+				t.Rows = [][]float64{}
+			}
+			s.rows = nil
+			return t, nil
+		case proto.KindDone:
+			s.done = true
+			return nil, io.EOF
+		case proto.KindError:
+			var e proto.Error
+			proto.Decode(f.payload, &e)
+			s.err = &ServerError{Code: e.Code, Msg: e.Msg}
+			return nil, s.err
+		}
+	}
+}
+
+// Close cancels the query (if still running) and releases the stream.
+// Discarding a stream without Close leaks its demux entry until the
+// query finishes server-side.
+func (s *Stream) Close() error {
+	if s.done || s.err != nil {
+		return nil
+	}
+	s.c.wmu.Lock()
+	err := proto.WriteFrame(s.c.conn, proto.KindCancel, proto.Cancel{ID: s.id})
+	s.c.wmu.Unlock()
+	// Drain asynchronously until the server's Done/Error arrives so the
+	// demux entry is reclaimed without blocking the caller.
+	go func() {
+		for {
+			select {
+			case f := <-s.ch:
+				if f.kind == proto.KindDone || f.kind == proto.KindError {
+					return
+				}
+			case <-s.c.done:
+				return
+			}
+		}
+	}()
+	s.done = true
+	return err
+}
