@@ -69,6 +69,11 @@ func run() error {
 	mqo := flag.Bool("mqo", false, "instead of the suite, run the X8 multi-query optimization experiment")
 	mqoNs := flag.String("mqo-n", "1,2,4,8,16", "with -mqo: comma-separated concurrent query counts")
 	mqoJSON := flag.String("mqo-json", "", "with -mqo: also write the machine-readable result to this file")
+	churn := flag.Bool("churn", false, "instead of the suite, run the X10 churn-resilience experiment")
+	churnRates := flag.String("churn-rates", "0,0.01,0.05", "with -churn: comma-separated per-epoch churn rates")
+	churnRounds := flag.Int("churn-rounds", 20, "with -churn: query rounds per cell")
+	churnNodes := flag.Int("churn-nodes", 150, "with -churn: deployment node count")
+	churnJSON := flag.String("churn-json", "", "with -churn: also write the machine-readable result to this file")
 	serveLoad := flag.Bool("serve-load", false, "instead of the suite, run the X9 sensjoind serving-load experiment")
 	serveNodes := flag.Int("serve-nodes", 150, "with -serve-load: deployment node count")
 	serveClients := flag.Int("serve-clients", 0, "with -serve-load: concurrent client sessions (0 = 2x GOMAXPROCS)")
@@ -120,6 +125,9 @@ func run() error {
 	}
 	if *mqo {
 		return runMQO(*nodes, *seed, *packet, *mqoNs, *mqoJSON)
+	}
+	if *churn {
+		return runChurn(*churnNodes, *seed, *packet, *parallel, *churnRates, *churnRounds, *churnJSON)
 	}
 	if *serveLoad {
 		return runServeLoad(*serveNodes, *seed, *serveClients, *serveSeconds, *serveLoadJSON)
@@ -331,6 +339,43 @@ func runMQO(nodes int, seed int64, packet int, nsList, jsonPath string) error {
 		return err
 	}
 	res, err := bench.RunMQO(bench.MQOConfig{Nodes: nodes, Seed: seed, MaxPacket: packet, Ns: ns})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runChurn executes the X10 churn-resilience experiment: the table goes
+// to stdout and -churn-json writes the raw artifact.
+func runChurn(nodes int, seed int64, packet, parallel int, ratesList string, rounds int, jsonPath string) error {
+	var rates []float64
+	for _, s := range strings.Split(ratesList, ",") {
+		var rate float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &rate); err != nil {
+			return fmt.Errorf("-churn-rates: cannot parse rate %q: %w", s, err)
+		}
+		if rate < 0 || rate >= 1 {
+			return fmt.Errorf("-churn-rates: rate %g out of range [0, 1)", rate)
+		}
+		rates = append(rates, rate)
+	}
+	res, err := bench.RunChurnResilience(bench.ChurnBenchConfig{
+		Nodes: nodes, Seed: seed, MaxPacket: packet, Parallel: parallel,
+		Rates: rates, Rounds: rounds,
+	})
 	if err != nil {
 		return err
 	}

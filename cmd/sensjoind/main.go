@@ -41,6 +41,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "admitted-but-waiting query bound beyond -max-concurrent (0 = 4x)")
 	batchWindow := flag.Duration("batch-window", 25*time.Millisecond, "grouping window for compatible continuous queries")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close sessions idle for this long")
+	queryTimeout := flag.Duration("query-timeout", 5*time.Minute, "per-epoch execution deadline; expiry answers a timeout error and frees the slot")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "sensjoind takes no positional arguments")
@@ -50,7 +51,7 @@ func main() {
 	if err := run(*listen, *httpAddr, server.Config{
 		Nodes: *nodes, Seed: *seed, MaxPacket: *packet,
 		MaxSessions: *maxSessions, MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue,
-		BatchWindow: *batchWindow, IdleTimeout: *idleTimeout,
+		BatchWindow: *batchWindow, IdleTimeout: *idleTimeout, QueryTimeout: *queryTimeout,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sensjoind:", err)
 		os.Exit(1)

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The X10 contract: same config, same artifact — regardless of the
+// worker count, and with the rate-0 cells unaffected by the churn
+// machinery existing at all.
+func TestChurnBenchDeterministic(t *testing.T) {
+	cfg := ChurnBenchConfig{Nodes: 80, Rounds: 3, Rates: []float64{0, 0.05}}
+	render := func(parallel int) string {
+		c := cfg
+		c.Parallel = parallel
+		res, err := RunChurnResilience(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ViolationsTotal != 0 {
+			t.Fatalf("audit violations in the churn bench: %d", res.ViolationsTotal)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Table().String() + string(b)
+	}
+	seq := render(1)
+	if par := render(4); par != seq {
+		t.Fatalf("churn bench not worker-independent:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	if again := render(1); again != seq {
+		t.Fatalf("churn bench not replayable:\n--- first ---\n%s\n--- second ---\n%s", seq, again)
+	}
+}
+
+// Rate-0 X10 cells must match a plain run of the same workload with no
+// churn code in the loop: the baseline leg of the ladder is the seed
+// behaviour, byte for byte.
+func TestChurnBenchZeroRateMatchesSeed(t *testing.T) {
+	res, err := RunChurnResilience(ChurnBenchConfig{Nodes: 80, Rounds: 2, Rates: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Deaths+p.Moves+p.Rejoins != 0 {
+			t.Fatalf("rate-0 cell %s/%s reports churn activity", p.Method, p.Transport)
+		}
+		if p.Repairs != 0 {
+			t.Fatalf("rate-0 cell %s/%s repaired %d times", p.Method, p.Transport, p.Repairs)
+		}
+		if p.CompleteExact != p.Rounds {
+			t.Fatalf("rate-0 cell %s/%s incomplete: %d/%d", p.Method, p.Transport, p.CompleteExact, p.Rounds)
+		}
+	}
+	if res.ViolationsTotal != 0 {
+		t.Fatalf("rate-0 bench produced %d violations", res.ViolationsTotal)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"sensjoin/internal/topology"
 	"sensjoin/internal/trace"
 )
@@ -34,6 +36,20 @@ func (r *Runner) AuditRun(src string, m Method, t float64) (*Result, []trace.Vio
 	if err != nil {
 		return nil, nil, err
 	}
+	// The churn-safety oracle must be computed before the run: churn may
+	// kill members mid-round, and GroundTruth reflects aliveness at call
+	// time — the contract is "exact w.r.t. the snapshot the round
+	// started from". The tree is captured pre-run for the same reason:
+	// mid-round repair swaps r.Tree, but the slot-scheduled phases ran
+	// on the tree the round started with (recovery traffic is not
+	// slot-audited).
+	var truth *Result
+	tree := r.Tree
+	if r.churn != nil {
+		if truth, err = GroundTruth(x); err != nil {
+			return nil, nil, err
+		}
+	}
 	res, err := m.Run(x)
 	if err != nil {
 		return nil, nil, err
@@ -45,8 +61,17 @@ func (r *Runner) AuditRun(src string, m Method, t float64) (*Result, []trace.Vio
 	var violations []trace.Violation
 	violations = append(violations, trace.Conservation(j)...)
 	violations = append(violations, trace.Reconcile(j, before, after)...)
-	violations = append(violations, trace.SlotOrder(j, r.Tree, auditPhases(m))...)
+	violations = append(violations, trace.SlotOrder(j, tree, auditPhases(m))...)
 	violations = append(violations, trace.Reliability(j)...)
+	if r.churn != nil {
+		violations = append(violations, trace.ChurnSafety(j, trace.ChurnVerdict{
+			Complete:        res.Complete,
+			OracleExact:     sameRowSet(truth.Rows, res.Rows),
+			Reason:          res.IncompleteReason,
+			MissingSubtrees: len(res.MissingSubtrees),
+			Repairs:         res.Repairs,
+		})...)
+	}
 	// Filter soundness needs the ground truth to be reachable: a dead
 	// member transmits nothing (silently — no drop/lost events), so the
 	// filter legitimately misses its keys and suppressing its join
@@ -63,6 +88,41 @@ func (r *Runner) AuditRun(src string, m Method, t float64) (*Result, []trace.Vio
 		rec.Truncate(mark)
 	}
 	return res, violations, nil
+}
+
+// sameRowSet compares two results order-insensitively (ORDER BY-less
+// queries return rows in collection order, which recovery can permute).
+func sameRowSet(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca, cb := canonRowOrder(a), canonRowOrder(b)
+	for i := range ca {
+		ra, rb := ca[i], cb[i]
+		if len(ra) != len(rb) {
+			return false
+		}
+		for c := range ra {
+			if ra[c] != rb[c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func canonRowOrder(rows []Row) []Row {
+	out := append([]Row(nil), rows...)
+	sort.Slice(out, func(i, k int) bool {
+		a, b := out[i], out[k]
+		for c := 0; c < len(a) && c < len(b); c++ {
+			if a[c] != b[c] {
+				return a[c] < b[c]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
 }
 
 // allAlive reports whether every node in the deployment is live.

@@ -112,6 +112,19 @@ type Exec struct {
 	// prepared program is the same computation hoisted out of the
 	// per-execution path).
 	prog *kernelProg
+
+	// Repair arms mid-round incremental tree repair inside scoped
+	// recovery (opt-in via Runner.EnableMidRoundRepair): when churn
+	// severs a subtree while a phase is in flight, the recovery loop
+	// re-parents only the orphaned nodes and replays their collection
+	// over the repaired tree instead of giving the subtree up.
+	Repair bool
+	// onTreeSwap propagates a mid-round tree swap to the owning Runner
+	// (set by Runner.Exec); nil-safe.
+	onTreeSwap func(*routing.Tree)
+	// repairs / repairAt record mid-round repair activity for the Result.
+	repairs  int
+	repairAt float64
 }
 
 // span appends a protocol event at the current simulated time.
@@ -170,6 +183,12 @@ type Result struct {
 	// RecoveryRounds counts the scoped-recovery rounds this execution
 	// ran (reliable transport only).
 	RecoveryRounds int
+	// Repairs counts the mid-round incremental tree repairs this
+	// execution performed (Runner.EnableMidRoundRepair).
+	Repairs int
+	// RepairLatency is the simulated seconds from query start to the
+	// first mid-round repair; 0 when Repairs is 0.
+	RepairLatency float64
 	// ResponseTime is the simulated seconds from query start to result.
 	ResponseTime float64
 }

@@ -30,6 +30,12 @@ type CoreMetrics struct {
 	MQOMergedBroadcasts *metrics.Counter
 	MQODedupTuples      *metrics.Counter
 	MQOBitmapBytes      *metrics.Counter
+
+	// Mid-round repair instruments (churn resilience).
+	Repairs        *metrics.Counter
+	RepairFailures *metrics.Counter
+	Reattached     *metrics.Counter
+	RepairSeconds  *metrics.Histogram
 }
 
 // metricPhases is the closed set of phase labels instrumented with their
@@ -64,6 +70,11 @@ func NewMetrics(r *metrics.Registry) *CoreMetrics {
 		MQOMergedBroadcasts: r.Counter("sensjoin_mqo_merged_broadcasts_total", "merged (union + masks) filter transmissions"),
 		MQODedupTuples:      r.Counter("sensjoin_mqo_dedup_tuples_total", "tuples shipped once while wanted by >= 2 queries"),
 		MQOBitmapBytes:      r.Counter("sensjoin_mqo_bitmap_bytes_total", "wire bytes spent on query-membership bitmaps"),
+
+		Repairs:        r.Counter("sensjoin_churn_repairs_total", "mid-round incremental tree repairs"),
+		RepairFailures: r.Counter("sensjoin_churn_repair_failures_total", "executions whose repair could not restore completeness"),
+		Reattached:     r.Counter("sensjoin_churn_reattached_nodes_total", "nodes re-parented by mid-round repair"),
+		RepairSeconds:  r.Histogram("sensjoin_churn_repair_seconds", "simulated seconds from query start to first mid-round repair", durBounds),
 	}
 	for _, p := range metricPhases {
 		m.transitions[p] = r.Counter("sensjoin_core_phase_transitions_total", "protocol phase starts", metrics.L{Key: "phase", Value: p})

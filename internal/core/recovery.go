@@ -136,6 +136,13 @@ func runScopedRecovery(x *Exec, p *plan, needed map[topology.NodeID]bool,
 	rounds := 0
 	for len(missing) > 0 && rounds < maxRecoveryRounds {
 		rounds++
+		if x.Repair {
+			// Mid-round repair: re-parent severed subtrees onto the
+			// surviving tree first, so the re-requests below travel live
+			// paths and the recovery wave IS the replay of the affected
+			// phase traffic for the re-attached subtrees.
+			repairExec(x)
+		}
 		roots := minimalRoots(x.Tree, missing)
 		for _, r := range roots {
 			x.span(trace.KindRerequest, r, -1, PhaseRecovery, rounds)
@@ -157,6 +164,11 @@ func runScopedRecovery(x *Exec, p *plan, needed map[topology.NodeID]bool,
 		left = append(left, id)
 	}
 	sort.Slice(left, func(i, k int) bool { return left[i] < left[k] })
+	if x.Repair && x.repairs > 0 && len(left) > 0 && x.Metrics != nil {
+		// Repair ran but could not restore completeness before the retry
+		// budget drained; the result carries the per-subtree provenance.
+		x.Metrics.RepairFailures.Inc()
+	}
 	return rounds, left
 }
 
@@ -309,6 +321,13 @@ func finishReliable(x *Exec, p *plan, res *Result,
 	res.RecoveryRounds = rounds
 	res.MissingSubtrees = nil
 	res.IncompleteReason = ""
+	res.Repairs = x.repairs
+	if x.repairs > 0 {
+		res.RepairLatency = x.repairAt - start
+		if x.Metrics != nil {
+			x.Metrics.RepairSeconds.Observe(res.RepairLatency)
+		}
+	}
 	if len(missing) > 0 {
 		annotateIncomplete(x, missing, res)
 	}

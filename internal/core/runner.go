@@ -73,11 +73,18 @@ type Runner struct {
 	treeDepth *metrics.Gauge
 	// AutoAudit makes every Run audit itself: each execution's journal
 	// segment is checked (conservation, reconciliation, slot order,
-	// filter soundness) and violations turn into errors. The journal is
-	// truncated after each run to bound memory.
+	// filter soundness, churn safety) and violations turn into errors.
+	// The journal is truncated after each run to bound memory.
 	AutoAudit bool
 	// workers is SetupConfig.SetupWorkers, forwarded to each Exec.
 	workers int
+	// repair arms mid-round tree repair (EnableMidRoundRepair).
+	repair bool
+	// churn is the attached fault injector, nil without AttachChurn.
+	churn *netsim.Churn
+	// reg remembers the registry EnableMetrics wired, so features
+	// enabled later (AttachChurn) can register their instruments too.
+	reg *metrics.Registry
 }
 
 // NewRunner builds a connected deployment, its environment, the standard
@@ -189,6 +196,11 @@ func (r *Runner) Exec(q *query.Query, t float64) (*Exec, error) {
 	x.Trace = r.Trace
 	x.Metrics = r.Metrics
 	x.Workers = r.workers
+	x.Repair = r.repair
+	x.onTreeSwap = func(t *routing.Tree) {
+		r.Tree = t
+		r.treeDepth.Set(int64(t.MaxDepth))
+	}
 	return x, nil
 }
 
@@ -232,11 +244,15 @@ func (r *Runner) Run(src string, m Method, t float64) (*Result, error) {
 // registry disables everything again.
 func (r *Runner) EnableMetrics(reg *metrics.Registry) {
 	r.disableSharding()
+	r.reg = reg
 	r.Sim.SetMetrics(netsim.NewSimMetrics(reg))
 	r.Net.SetMetrics(netsim.NewNetMetrics(reg))
 	r.Metrics = NewMetrics(reg)
 	r.treeDepth = reg.Gauge("sensjoin_routing_tree_depth", "routing tree depth (largest hop count)")
 	r.treeDepth.Set(int64(r.Tree.MaxDepth))
+	if r.churn != nil {
+		r.churn.SetMetrics(netsim.NewChurnMetrics(reg))
+	}
 }
 
 // RebuildTree re-forms the routing tree over the currently live links,

@@ -39,23 +39,49 @@ type NetMetrics struct {
 	Dup        *metrics.Counter // suppressed duplicate deliveries
 	GiveUp     *metrics.Counter // reliable transfers that exhausted retries
 	InFlight   *metrics.Gauge   // reliable transfers currently in flight
+	// ShardFallback counts reversions from the sharded to the classic
+	// engine because a feature with cross-node mutable hot-path state
+	// (tracing, reliable transport, loss models, churn) was enabled.
+	ShardFallback *metrics.Counter
 }
 
 // NewNetMetrics registers the radio instruments on r. A nil registry
 // yields no-op instruments.
 func NewNetMetrics(r *metrics.Registry) NetMetrics {
 	return NetMetrics{
-		Tx:       r.Counter("sensjoin_netsim_tx_packets_total", "packets transmitted"),
-		Rx:       r.Counter("sensjoin_netsim_rx_packets_total", "packets received"),
-		Drop:     r.Counter("sensjoin_netsim_dropped_total", "messages dropped (link down or receiver dead)"),
-		Lost:     r.Counter("sensjoin_netsim_lost_total", "messages removed by the loss model"),
-		Retx:     r.Counter("sensjoin_netsim_retx_total", "reliable-transport retransmission attempts"),
-		Ack:      r.Counter("sensjoin_netsim_ack_tx_total", "link-layer acknowledgements transmitted"),
-		Dup:      r.Counter("sensjoin_netsim_dup_rx_total", "duplicate deliveries suppressed"),
-		GiveUp:   r.Counter("sensjoin_netsim_giveups_total", "reliable transfers that exhausted retransmissions"),
-		InFlight: r.Gauge("sensjoin_netsim_reliable_inflight", "reliable transfers in flight"),
+		Tx:            r.Counter("sensjoin_netsim_tx_packets_total", "packets transmitted"),
+		Rx:            r.Counter("sensjoin_netsim_rx_packets_total", "packets received"),
+		Drop:          r.Counter("sensjoin_netsim_dropped_total", "messages dropped (link down or receiver dead)"),
+		Lost:          r.Counter("sensjoin_netsim_lost_total", "messages removed by the loss model"),
+		Retx:          r.Counter("sensjoin_netsim_retx_total", "reliable-transport retransmission attempts"),
+		Ack:           r.Counter("sensjoin_netsim_ack_tx_total", "link-layer acknowledgements transmitted"),
+		Dup:           r.Counter("sensjoin_netsim_dup_rx_total", "duplicate deliveries suppressed"),
+		GiveUp:        r.Counter("sensjoin_netsim_giveups_total", "reliable transfers that exhausted retransmissions"),
+		InFlight:      r.Gauge("sensjoin_netsim_reliable_inflight", "reliable transfers in flight"),
+		ShardFallback: r.Counter("sensjoin_netsim_shard_fallback_total", "reversions from the sharded to the classic engine"),
 	}
 }
 
 // SetMetrics installs radio instruments (zero value disables).
 func (n *Network) SetMetrics(m NetMetrics) { n.met = m }
+
+// ChurnMetrics instruments the churn & mobility injector.
+type ChurnMetrics struct {
+	Deaths    *metrics.Counter // nodes taken offline
+	Rejoins   *metrics.Counter // dead nodes revived
+	Moves     *metrics.Counter // mobility steps that flipped a link
+	LinkFlaps *metrics.Counter // individual link state changes
+	Ticks     *metrics.Counter // churn epochs executed
+}
+
+// NewChurnMetrics registers the churn instruments on r. A nil registry
+// yields no-op instruments.
+func NewChurnMetrics(r *metrics.Registry) ChurnMetrics {
+	return ChurnMetrics{
+		Deaths:    r.Counter("sensjoin_churn_deaths_total", "nodes killed by the churn injector"),
+		Rejoins:   r.Counter("sensjoin_churn_rejoins_total", "dead nodes revived by the churn injector"),
+		Moves:     r.Counter("sensjoin_churn_moves_total", "mobility steps that changed link reachability"),
+		LinkFlaps: r.Counter("sensjoin_churn_link_flaps_total", "link state changes caused by mobility"),
+		Ticks:     r.Counter("sensjoin_churn_ticks_total", "churn epochs executed"),
+	}
+}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 
@@ -123,6 +124,10 @@ type Network struct {
 	// at the cost of one branch per call site.
 	met NetMetrics
 
+	// fallbackLogged dedups the sharded→classic fallback log line; the
+	// counter still counts every occurrence.
+	fallbackLogged bool
+
 	// Dropped counts unicast messages that could not be delivered
 	// because the link was down or the receiver dead.
 	Dropped int
@@ -152,20 +157,32 @@ func (n *Network) SetLossRate(rate float64, seed int64) {
 	}
 	// The loss model draws from one RNG stream; fall back to the
 	// classic engine so draws stay ordered and deterministic.
-	n.fallbackFromSharding()
+	n.fallbackFromSharding("the loss model")
 	n.lossRate = rate
 	n.lossRNG = rand.New(rand.NewSource(seed))
 }
 
 // fallbackFromSharding reverts the simulator to the classic single-heap
 // engine. Every feature whose hot path carries cross-node mutable state
-// (tracing, reliable transport, the loss models) calls it on enable, so
-// the fallback DESIGN.md promises holds regardless of the order features
-// and sharding were configured in.
-func (n *Network) fallbackFromSharding() {
+// (tracing, reliable transport, the loss models, churn) calls it on
+// enable, so the fallback DESIGN.md promises holds regardless of the
+// order features and sharding were configured in. The reversion is
+// never silent: it logs once per network and counts every occurrence in
+// sensjoin_netsim_shard_fallback_total.
+func (n *Network) fallbackFromSharding(feature string) {
 	if n.Sim.Sharded() {
 		n.Sim.DisableSharding()
 		n.BindSharding()
+		n.noteShardFallback(feature)
+	}
+}
+
+// noteShardFallback records one sharded→classic reversion.
+func (n *Network) noteShardFallback(feature string) {
+	n.met.ShardFallback.Inc()
+	if !n.fallbackLogged {
+		n.fallbackLogged = true
+		log.Printf("netsim: %s requires the classic engine; sharded simulation disabled (sensjoin_netsim_shard_fallback_total counts these)", feature)
 	}
 }
 
@@ -246,7 +263,7 @@ type Tracer func(ev TraceEvent)
 // classic engine.
 func (n *Network) SetTracer(t Tracer) {
 	if t != nil {
-		n.fallbackFromSharding()
+		n.fallbackFromSharding("tracing")
 	}
 	n.tracer = t
 }
@@ -398,9 +415,25 @@ func (n *Network) BindSharding() {
 		// order features and sharding were enabled in.
 		n.Sim.DisableSharding()
 		n.freeR = nil
+		n.noteShardFallback(shardBlocker(n))
 		return
 	}
 	n.freeR = make([][]*delivery, len(sh.regions))
+}
+
+// shardBlocker names the already-enabled feature that keeps the network
+// on the classic engine, for the fallback log line.
+func shardBlocker(n *Network) string {
+	switch {
+	case n.tracer != nil:
+		return "tracing"
+	case n.reliable:
+		return "reliable transport"
+	case n.lossRNG != nil:
+		return "the loss model"
+	default:
+		return "per-link loss"
+	}
 }
 
 // delivery is pooled in-flight message state. Binding run to the

@@ -83,7 +83,7 @@ type ReliabilityAccountant interface {
 // state machine mutates per-link maps from delivery handlers, so enabling
 // it reverts a sharded simulator to the classic engine.
 func (n *Network) EnableReliable(cfg ReliableConfig) {
-	n.fallbackFromSharding()
+	n.fallbackFromSharding("reliable transport")
 	n.reliable = true
 	n.rcfg = cfg.withDefaults()
 }
@@ -132,7 +132,7 @@ func (n *Network) SetLinkLossRate(a, b NodeID, rate float64) {
 	}
 	// Per-link RNG draws mutate shared state from delivery handlers;
 	// revert a sharded simulator to the classic engine.
-	n.fallbackFromSharding()
+	n.fallbackFromSharding("per-link loss")
 	if n.linkLoss == nil {
 		n.linkLoss = make(map[Link]*linkLossState)
 	}

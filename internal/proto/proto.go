@@ -69,6 +69,9 @@ const (
 	CodeShutdown = "shutdown"
 	// CodeCanceled: the client canceled the query.
 	CodeCanceled = "canceled"
+	// CodeTimeout: the query exceeded the server's per-epoch execution
+	// deadline; its slot was reclaimed.
+	CodeTimeout = "timeout"
 )
 
 // Hello opens a session.

@@ -164,10 +164,21 @@ func (h *groupHub) run(b *batch) {
 		}
 		t := b.at + float64(e)*b.period
 		start := time.Now()
-		results, err := qg.RunRound(r, t)
+		results, err, timedOut := s.runRoundBounded(qg, r, t)
 		s.release()
 		s.met.querySeconds.Observe(time.Since(start).Seconds())
 		s.met.sharedRounds.Inc()
+		if timedOut {
+			s.met.queryTimeouts.Inc()
+			for _, sub := range members {
+				if !sub.dead {
+					sub.ss.sendErr(sub.q.ID, proto.CodeTimeout,
+						fmt.Sprintf("shared round %d exceeded the %v execution deadline", e, s.cfg.QueryTimeout))
+					sub.dead = true
+				}
+			}
+			return // the group's private runner is abandoned with the round
+		}
 		if err != nil {
 			for _, sub := range members {
 				if !sub.dead {
@@ -199,5 +210,28 @@ func (h *groupHub) run(b *batch) {
 			}
 			sub.epochs++
 		}
+	}
+}
+
+// runRoundBounded executes one shared round, bounded by QueryTimeout
+// exactly like runBounded; on expiry the round's goroutine and the
+// group's private runner are abandoned.
+func (s *Server) runRoundBounded(qg *core.QueryGroup, r *core.Runner, t float64) ([]*core.Result, error, bool) {
+	type roundResult struct {
+		results []*core.Result
+		err     error
+	}
+	done := make(chan roundResult, 1)
+	go func() {
+		results, err := qg.RunRound(r, t)
+		done <- roundResult{results: results, err: err}
+	}()
+	timer := time.NewTimer(s.cfg.QueryTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out.results, out.err, false
+	case <-timer.C:
+		return nil, nil, true
 	}
 }

@@ -15,6 +15,7 @@ type serverMetrics struct {
 	queueDepth    *metrics.Gauge
 	activeQueries *metrics.Gauge
 	querySeconds  *metrics.Histogram
+	queryTimeouts *metrics.Counter
 	sharedQueries *metrics.Counter
 	sharedRounds  *metrics.Counter
 }
@@ -34,6 +35,7 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		queueDepth:    reg.Gauge("sensjoind_queue_depth", "admitted queries queued or executing"),
 		activeQueries: reg.Gauge("sensjoind_active_queries", "queries currently executing (holding an execution slot)"),
 		querySeconds:  reg.Histogram("sensjoind_query_seconds", "wall-clock seconds per epoch execution", secs),
+		queryTimeouts: reg.Counter("sensjoind_query_timeouts_total", "epochs that exceeded the execution deadline"),
 		sharedQueries: reg.Counter("sensjoind_shared_queries_total", "continuous queries routed into shared (grouped) execution"),
 		sharedRounds:  reg.Counter("sensjoind_shared_rounds_total", "shared protocol rounds executed by query groups"),
 	}

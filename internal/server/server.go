@@ -67,6 +67,11 @@ type Config struct {
 	// IdleTimeout closes sessions with no inbound frame for this long
 	// (default 5m).
 	IdleTimeout time.Duration
+	// QueryTimeout bounds one epoch's execution. Expiry frees the
+	// execution slot, answers the query with CodeTimeout and abandons
+	// the runner — a wedged execution can no longer starve the semaphore
+	// (default 5m).
+	QueryTimeout time.Duration
 	// BatchWindow is how long the first compatible continuous query
 	// waits for companions before its group starts (default 25ms).
 	BatchWindow time.Duration
@@ -102,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 5 * time.Minute
 	}
 	if c.BatchWindow <= 0 {
 		c.BatchWindow = 25 * time.Millisecond
@@ -596,9 +604,15 @@ func (s *Server) runIndependent(ss *session, q proto.Query, pl *pool,
 		}
 		t := q.At + float64(e)*prep.Period()
 		start := time.Now()
-		res, err := r.RunPrepared(prep, m, t)
+		res, err, timedOut := s.runBounded(r, prep, m, t)
 		s.release()
 		s.met.querySeconds.Observe(time.Since(start).Seconds())
+		if timedOut {
+			s.met.queryTimeouts.Inc()
+			ss.sendErr(q.ID, proto.CodeTimeout,
+				fmt.Sprintf("epoch %d exceeded the %v execution deadline", e, s.cfg.QueryTimeout))
+			return // runner abandoned mid-execution: do not return it to the pool
+		}
 		if err != nil {
 			ss.sendErr(q.ID, proto.CodeExec, err.Error())
 			return // runner possibly mid-execution: do not return it to the pool
@@ -618,6 +632,31 @@ func (s *Server) runIndependent(ss *session, q proto.Query, pl *pool,
 	}
 	pl.put(r)
 	ss.send(proto.KindDone, proto.Done{ID: q.ID, Epochs: epochs})
+}
+
+// runBounded executes one epoch on r, bounded by QueryTimeout. On
+// expiry the execution goroutine cannot be killed — it is abandoned
+// together with its runner, and the caller must not return r to the
+// pool; what the deadline reclaims is the execution slot and the
+// client's query.
+func (s *Server) runBounded(r *core.Runner, prep *core.Prepared, m core.Method, t float64) (*core.Result, error, bool) {
+	type epochResult struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan epochResult, 1) // buffered: an abandoned epoch still exits
+	go func() {
+		res, err := r.RunPrepared(prep, m, t)
+		done <- epochResult{res: res, err: err}
+	}()
+	timer := time.NewTimer(s.cfg.QueryTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out.res, out.err, false
+	case <-timer.C:
+		return nil, nil, true
+	}
 }
 
 // emitEpoch streams one epoch's table as Rows chunks plus an EpochEnd.

@@ -1,0 +1,55 @@
+package trace
+
+import "testing"
+
+func TestChurnSafetyCleanRunPasses(t *testing.T) {
+	j := &Journal{Events: []Event{
+		{Kind: KindChurnDeath, Node: 5, At: 1},
+		{Kind: KindTx, Node: 3, At: 2, Phase: "ja-collect"},
+		{Kind: KindChurnRejoin, Node: 5, At: 3},
+		{Kind: KindTx, Node: 5, At: 4, Phase: "final-collect"},
+	}}
+	v := ChurnSafety(j, ChurnVerdict{Complete: true, OracleExact: true})
+	if len(v) != 0 {
+		t.Fatalf("clean churn run flagged: %v", v)
+	}
+}
+
+func TestChurnSafetyFlagsSilentWrongAnswer(t *testing.T) {
+	j := &Journal{}
+	v := ChurnSafety(j, ChurnVerdict{Complete: true, OracleExact: false, Repairs: 1})
+	if len(v) != 1 {
+		t.Fatalf("complete-but-wrong result produced %d violations, want 1: %v", len(v), v)
+	}
+}
+
+func TestChurnSafetyDemandsProvenance(t *testing.T) {
+	j := &Journal{}
+	// Missing rows with neither reason nor named subtrees: two violations.
+	v := ChurnSafety(j, ChurnVerdict{Complete: false, OracleExact: false})
+	if len(v) != 2 {
+		t.Fatalf("bare incomplete produced %d violations, want 2: %v", len(v), v)
+	}
+	// With reason and subtree count both present, the verdict is honest.
+	v = ChurnSafety(j, ChurnVerdict{Complete: false, OracleExact: false, Reason: "loss", MissingSubtrees: 1})
+	if len(v) != 0 {
+		t.Fatalf("honest incomplete flagged: %v", v)
+	}
+	// Conservatively incomplete (rows all present): a reason suffices —
+	// there is no subtree to blame.
+	v = ChurnSafety(j, ChurnVerdict{Complete: false, OracleExact: true, Reason: "loss"})
+	if len(v) != 0 {
+		t.Fatalf("conservative incomplete flagged: %v", v)
+	}
+}
+
+func TestChurnSafetyFlagsDeadTransmitter(t *testing.T) {
+	j := &Journal{Events: []Event{
+		{Kind: KindChurnDeath, Node: 7, At: 1},
+		{Kind: KindTx, Node: 7, At: 2, Phase: "ja-collect"},
+	}}
+	v := ChurnSafety(j, ChurnVerdict{Complete: true, OracleExact: true})
+	if len(v) != 1 {
+		t.Fatalf("dead transmitter produced %d violations, want 1: %v", len(v), v)
+	}
+}

@@ -74,6 +74,17 @@ const (
 	// because filter dissemination to it could not be confirmed; Node is
 	// the subtree root.
 	KindStandDown
+	// KindChurnDeath marks a node taken offline by the churn injector.
+	KindChurnDeath
+	// KindChurnRejoin marks a dead node the churn injector revived.
+	KindChurnRejoin
+	// KindChurnMove marks a mobility step that flipped at least one of
+	// the node's links; Arg is the number of links that changed state.
+	KindChurnMove
+	// KindRepair marks a mid-round incremental tree repair; Node is the
+	// base station, Arg the number of nodes re-parented. The churn audit
+	// uses it to check a repaired run still ends oracle-exact or flagged.
+	KindRepair
 )
 
 var kindNames = [...]string{
@@ -82,6 +93,8 @@ var kindNames = [...]string{
 	KindTreecut: "treecut", KindProxy: "proxy", KindPrune: "prune",
 	KindSuppress: "suppress", KindRecovery: "recovery",
 	KindGiveUp: "give-up", KindRerequest: "rerequest", KindStandDown: "stand-down",
+	KindChurnDeath: "churn-death", KindChurnRejoin: "churn-rejoin",
+	KindChurnMove: "churn-move", KindRepair: "repair",
 }
 
 // String returns the kind's JSONL name.

@@ -16,6 +16,14 @@
 //		...
 //	}
 //
+// With DialConfig.Reconnect set, a broken connection fails the queries
+// that were in flight on it (their execution state is gone) but the
+// Client re-dials with capped exponential backoff before the next
+// submission instead of staying poisoned. Options.Timeout (or the
+// DialConfig.QueryTimeout default) bounds how long Next waits for an
+// epoch; expiry cancels the query server-side and surfaces as a
+// *TimeoutError.
+//
 // The wire protocol is internal/proto; see PROTOCOL.md.
 package client
 
@@ -23,6 +31,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -43,6 +52,47 @@ type Options struct {
 	// default).
 	Nodes int
 	Seed  int64
+	// Timeout bounds each Next call on this query's stream; expiry
+	// cancels the query and Next returns a *TimeoutError. 0 uses the
+	// client's DialConfig.QueryTimeout (which defaults to none).
+	Timeout time.Duration
+}
+
+// DialConfig tunes a connection and its failure behaviour.
+type DialConfig struct {
+	// Addr is the server address (host:port).
+	Addr string
+	// Timeout bounds connect + handshake (default 10s).
+	Timeout time.Duration
+	// Reconnect re-dials a broken connection (capped exponential
+	// backoff with jitter) before the next query submission instead of
+	// failing every later call with the stale connection error.
+	Reconnect bool
+	// BackoffBase is the first reconnect delay (default 50ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the reconnect delay (default 5s).
+	BackoffMax time.Duration
+	// MaxAttempts bounds the dial attempts of one reconnect (default 5).
+	MaxAttempts int
+	// QueryTimeout is the default per-query deadline applied when
+	// Options.Timeout is zero; 0 means no deadline.
+	QueryTimeout time.Duration
+}
+
+func (c DialConfig) withDefaults() DialConfig {
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 5
+	}
+	return c
 }
 
 // Table is one epoch's result table.
@@ -74,99 +124,207 @@ type ServerError struct {
 
 func (e *ServerError) Error() string { return fmt.Sprintf("sensjoind: %s: %s", e.Code, e.Msg) }
 
+// TimeoutError reports a query that exceeded its deadline. It
+// implements the net.Error-style Timeout method, so generic callers can
+// detect it without importing this package's type.
+type TimeoutError struct {
+	// After is the deadline that expired.
+	After time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("client: query timed out after %s", e.After)
+}
+
+// Timeout reports true; the error is a deadline expiry.
+func (e *TimeoutError) Timeout() bool { return true }
+
 type frame struct {
 	kind    byte
 	payload []byte
 }
 
-// Client is a connection to sensjoind. It is safe for concurrent use.
-type Client struct {
+// wire is one live connection: its demux table and terminal error are
+// tied to this connection's lifetime, so a reconnect starts from a
+// clean slate while streams of the old connection keep observing the
+// old connection's death.
+type wire struct {
 	conn net.Conn
 	wmu  sync.Mutex // serializes WriteFrame
 
-	mu     sync.Mutex
-	calls  map[int64]chan frame
-	nextID int64
-	err    error // terminal connection error, set once
+	mu    sync.Mutex
+	calls map[int64]chan frame
+	err   error // terminal connection error, set once
 
 	// done closes when the connection dies; it unblocks every stream
 	// without the races of closing the per-call channels.
 	done     chan struct{}
 	doneOnce sync.Once
+}
 
-	// Hello is the server's session greeting.
+// fail terminates every in-flight call on this connection with err.
+func (w *wire) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	w.doneOnce.Do(func() { close(w.done) })
+}
+
+func (w *wire) error() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Client is a connection to sensjoind. It is safe for concurrent use.
+type Client struct {
+	cfg DialConfig
+
+	// rmu serializes reconnect attempts: concurrent submissions on a
+	// broken connection share one backoff sequence.
+	rmu sync.Mutex
+
+	mu     sync.Mutex
+	w      *wire
+	nextID int64
+	closed bool
+
+	// Hello is the server's session greeting (the latest connection's).
 	Hello proto.HelloOK
 }
 
 // Dial connects and performs the protocol handshake.
 func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 10*time.Second)
+	return DialWith(DialConfig{Addr: addr})
 }
 
 // DialTimeout is Dial with a bound on connect + handshake.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialWith(DialConfig{Addr: addr, Timeout: timeout})
+}
+
+// DialWith connects with explicit configuration.
+func DialWith(cfg DialConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	w, hello, err := connect(cfg.Addr, cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, calls: make(map[int64]chan frame), done: make(chan struct{})}
+	c := &Client{cfg: cfg, w: w, Hello: hello}
+	go c.readLoop(w)
+	return c, nil
+}
+
+// connect dials and performs the handshake, returning the live wire.
+func connect(addr string, timeout time.Duration) (*wire, proto.HelloOK, error) {
+	var hello proto.HelloOK
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, hello, err
+	}
 	conn.SetDeadline(time.Now().Add(timeout))
 	if err := proto.WriteFrame(conn, proto.KindHello, proto.Hello{Version: proto.Version}); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, hello, err
 	}
 	kind, payload, err := proto.ReadFrame(conn)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, hello, err
 	}
 	switch kind {
 	case proto.KindHelloOK:
-		if err := proto.Decode(payload, &c.Hello); err != nil {
+		if err := proto.Decode(payload, &hello); err != nil {
 			conn.Close()
-			return nil, err
+			return nil, hello, err
 		}
 	case proto.KindError:
 		var e proto.Error
 		proto.Decode(payload, &e)
 		conn.Close()
-		return nil, &ServerError{Code: e.Code, Msg: e.Msg}
+		return nil, hello, &ServerError{Code: e.Code, Msg: e.Msg}
 	default:
 		conn.Close()
-		return nil, fmt.Errorf("client: unexpected handshake frame kind %d", kind)
+		return nil, hello, fmt.Errorf("client: unexpected handshake frame kind %d", kind)
 	}
 	conn.SetDeadline(time.Time{})
-	go c.readLoop()
-	return c, nil
+	return &wire{conn: conn, calls: make(map[int64]chan frame), done: make(chan struct{})}, hello, nil
 }
 
-// Close tears the connection down; all in-flight queries fail.
+// Close tears the connection down; all in-flight queries fail and no
+// reconnect happens afterwards.
 func (c *Client) Close() error {
-	c.wmu.Lock()
-	proto.WriteFrame(c.conn, proto.KindBye, struct{}{})
-	c.wmu.Unlock()
-	err := c.conn.Close()
-	c.fail(io.ErrClosedPipe)
+	c.mu.Lock()
+	c.closed = true
+	w := c.w
+	c.mu.Unlock()
+	w.wmu.Lock()
+	proto.WriteFrame(w.conn, proto.KindBye, struct{}{})
+	w.wmu.Unlock()
+	err := w.conn.Close()
+	w.fail(io.ErrClosedPipe)
 	return err
 }
 
-// fail terminates every in-flight call with err.
-func (c *Client) fail(err error) {
+// healthyWire returns the current connection, re-dialing a broken one
+// when the configuration allows. Reconnect attempts back off
+// exponentially from BackoffBase to BackoffMax with full jitter, so a
+// herd of clients does not re-dial a recovering server in lockstep.
+func (c *Client) healthyWire() (*wire, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
 	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
-	}
+	w, closed := c.w, c.closed
 	c.mu.Unlock()
-	c.doneOnce.Do(func() { close(c.done) })
+	err := w.error()
+	if err == nil {
+		return w, nil
+	}
+	if closed || !c.cfg.Reconnect {
+		return nil, err
+	}
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		time.Sleep(backoff(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt))
+		nw, hello, derr := connect(c.cfg.Addr, c.cfg.Timeout)
+		if derr != nil {
+			err = derr
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			nw.conn.Close()
+			return nil, io.ErrClosedPipe
+		}
+		c.w = nw
+		c.Hello = hello
+		c.mu.Unlock()
+		go c.readLoop(nw)
+		return nw, nil
+	}
+	return nil, err
 }
 
-// readLoop demultiplexes server frames to their query's channel.
-func (c *Client) readLoop() {
-	br := bufio.NewReader(c.conn)
+// backoff returns the delay before dial attempt (0-based), capped
+// exponential with full jitter.
+func backoff(base, max time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return time.Duration(rand.Int63n(int64(d)) + 1)
+}
+
+// readLoop demultiplexes one connection's server frames to their
+// query's channel.
+func (c *Client) readLoop(w *wire) {
+	br := bufio.NewReader(w.conn)
 	for {
 		kind, payload, err := proto.ReadFrame(br)
 		if err != nil {
-			c.fail(err)
+			w.fail(err)
 			return
 		}
 		var hdr struct{ ID int64 }
@@ -175,23 +333,23 @@ func (c *Client) readLoop() {
 			if kind == proto.KindError {
 				var e proto.Error
 				proto.Decode(payload, &e)
-				c.fail(&ServerError{Code: e.Code, Msg: e.Msg})
+				w.fail(&ServerError{Code: e.Code, Msg: e.Msg})
 			} else {
-				c.fail(fmt.Errorf("client: unroutable frame kind %d", kind))
+				w.fail(fmt.Errorf("client: unroutable frame kind %d", kind))
 			}
 			return
 		}
-		c.mu.Lock()
-		ch := c.calls[hdr.ID]
-		c.mu.Unlock()
+		w.mu.Lock()
+		ch := w.calls[hdr.ID]
+		w.mu.Unlock()
 		if ch == nil {
 			continue // canceled and forgotten
 		}
 		ch <- frame{kind: kind, payload: payload}
 		if kind == proto.KindDone || kind == proto.KindError {
-			c.mu.Lock()
-			delete(c.calls, hdr.ID)
-			c.mu.Unlock()
+			w.mu.Lock()
+			delete(w.calls, hdr.ID)
+			w.mu.Unlock()
 		}
 	}
 }
@@ -218,39 +376,47 @@ func (c *Client) QueryOpts(src string, o Options) (*Table, error) {
 
 // Stream submits a query and returns its epoch stream.
 func (c *Client) Stream(src string, o Options) (*Stream, error) {
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
+	w, err := c.healthyWire()
+	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
-	ch := make(chan frame, 256)
-	c.calls[id] = ch
 	c.mu.Unlock()
+	ch := make(chan frame, 256)
+	w.mu.Lock()
+	w.calls[id] = ch
+	w.mu.Unlock()
 
 	q := proto.Query{
 		ID: id, Src: src, Method: o.Method, At: o.At,
 		Rounds: o.Rounds, Nodes: o.Nodes, Seed: o.Seed,
 	}
-	c.wmu.Lock()
-	err := proto.WriteFrame(c.conn, proto.KindQuery, q)
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.calls, id)
-		c.mu.Unlock()
-		return nil, err
+	w.wmu.Lock()
+	werr := proto.WriteFrame(w.conn, proto.KindQuery, q)
+	w.wmu.Unlock()
+	if werr != nil {
+		w.mu.Lock()
+		delete(w.calls, id)
+		w.mu.Unlock()
+		return nil, werr
 	}
-	return &Stream{c: c, id: id, ch: ch}, nil
+	timeout := o.Timeout
+	if timeout == 0 {
+		timeout = c.cfg.QueryTimeout
+	}
+	return &Stream{w: w, id: id, ch: ch, timeout: timeout}, nil
 }
 
 // Stream is one query's sequence of epoch tables.
 type Stream struct {
-	c  *Client
+	w  *wire
 	id int64
 	ch chan frame
+
+	// timeout bounds each Next call; 0 waits forever.
+	timeout time.Duration
 
 	header proto.Header
 	rows   [][]float64
@@ -259,13 +425,22 @@ type Stream struct {
 }
 
 // Next returns the next epoch's table, io.EOF after the final epoch, or
-// the error that terminated the query.
+// the error that terminated the query. When the stream has a deadline
+// and no epoch arrives in time, Next cancels the query server-side and
+// returns a *TimeoutError — later frames of the canceled query are
+// drained off the demux loop in the background, never blocking it.
 func (s *Stream) Next() (*Table, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
 	if s.done {
 		return nil, io.EOF
+	}
+	var expired <-chan time.Time
+	if s.timeout > 0 {
+		t := time.NewTimer(s.timeout)
+		defer t.Stop()
+		expired = t.C
 	}
 	for {
 		var f frame
@@ -276,13 +451,15 @@ func (s *Stream) Next() (*Table, error) {
 			// frame that arrived before it.
 			select {
 			case f = <-s.ch:
-			case <-s.c.done:
-				s.c.mu.Lock()
-				s.err = s.c.err
-				s.c.mu.Unlock()
+			case <-s.w.done:
+				s.err = s.w.error()
 				if s.err == nil {
 					s.err = io.ErrUnexpectedEOF
 				}
+				return nil, s.err
+			case <-expired:
+				s.err = &TimeoutError{After: s.timeout}
+				s.cancel()
 				return nil, s.err
 			}
 		}
@@ -330,18 +507,14 @@ func (s *Stream) Next() (*Table, error) {
 	}
 }
 
-// Close cancels the query (if still running) and releases the stream.
-// Discarding a stream without Close leaks its demux entry until the
-// query finishes server-side.
-func (s *Stream) Close() error {
-	if s.done || s.err != nil {
-		return nil
-	}
-	s.c.wmu.Lock()
-	err := proto.WriteFrame(s.c.conn, proto.KindCancel, proto.Cancel{ID: s.id})
-	s.c.wmu.Unlock()
-	// Drain asynchronously until the server's Done/Error arrives so the
-	// demux entry is reclaimed without blocking the caller.
+// cancel asks the server to stop the query and drains the stream's
+// demux channel in the background until the server's Done/Error frame
+// reclaims the entry (or the connection dies), so an abandoned stream
+// never wedges the demux loop.
+func (s *Stream) cancel() error {
+	s.w.wmu.Lock()
+	err := proto.WriteFrame(s.w.conn, proto.KindCancel, proto.Cancel{ID: s.id})
+	s.w.wmu.Unlock()
 	go func() {
 		for {
 			select {
@@ -349,11 +522,22 @@ func (s *Stream) Close() error {
 				if f.kind == proto.KindDone || f.kind == proto.KindError {
 					return
 				}
-			case <-s.c.done:
+			case <-s.w.done:
 				return
 			}
 		}
 	}()
+	return err
+}
+
+// Close cancels the query (if still running) and releases the stream.
+// Discarding a stream without Close leaks its demux entry until the
+// query finishes server-side.
+func (s *Stream) Close() error {
+	if s.done || s.err != nil {
+		return nil
+	}
+	err := s.cancel()
 	s.done = true
 	return err
 }

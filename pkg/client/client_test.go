@@ -1,0 +1,264 @@
+package client_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"sensjoin/internal/proto"
+	"sensjoin/pkg/client"
+)
+
+// fakeServer is a scriptable sensjoind stand-in: each accepted
+// connection runs the handler for its 1-based connection ordinal, so a
+// test can script "crash on the first connection, behave on the
+// second". Handlers run after a successful handshake.
+type fakeServer struct {
+	t  *testing.T
+	ln net.Listener
+}
+
+func newFakeServer(t *testing.T, handlers ...func(conn net.Conn)) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{t: t, ln: ln}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for i := 0; ; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			h := handlers[min(i, len(handlers)-1)]
+			go func() {
+				defer conn.Close()
+				kind, _, err := proto.ReadFrame(conn)
+				if err != nil || kind != proto.KindHello {
+					return
+				}
+				proto.WriteFrame(conn, proto.KindHelloOK, proto.HelloOK{
+					Version: proto.Version, Session: int64(i + 1), Nodes: 10, Seed: 1,
+				})
+				h(conn)
+			}()
+		}
+	}()
+	return fs
+}
+
+func (fs *fakeServer) addr() string { return fs.ln.Addr().String() }
+
+// readQuery consumes frames until a Query arrives.
+func readQuery(conn net.Conn) (proto.Query, error) {
+	for {
+		kind, payload, err := proto.ReadFrame(conn)
+		if err != nil {
+			return proto.Query{}, err
+		}
+		if kind != proto.KindQuery {
+			continue
+		}
+		var q proto.Query
+		return q, proto.Decode(payload, &q)
+	}
+}
+
+// answer serves one canned single-epoch table for query id.
+func answer(conn net.Conn, id int64, rows [][]float64) {
+	proto.WriteFrame(conn, proto.KindHeader, proto.Header{ID: id, Columns: []string{"A.temp"}})
+	proto.WriteFrame(conn, proto.KindRows, proto.Rows{ID: id, Rows: rows})
+	proto.WriteFrame(conn, proto.KindEpochEnd, proto.EpochEnd{ID: id, RowCount: len(rows), Complete: true})
+	proto.WriteFrame(conn, proto.KindDone, proto.Done{ID: id, Epochs: 1})
+}
+
+// serveQueries answers every query with a canned table until the
+// connection dies.
+func serveQueries(conn net.Conn) {
+	for {
+		q, err := readQuery(conn)
+		if err != nil {
+			return
+		}
+		answer(conn, q.ID, [][]float64{{21.5}})
+	}
+}
+
+// A broken connection fails the in-flight query, and with Reconnect set
+// the next submission transparently re-dials.
+func TestReconnectAfterConnectionDrop(t *testing.T) {
+	fs := newFakeServer(t,
+		func(conn net.Conn) { readQuery(conn) }, // crash mid-query: close without answering
+		serveQueries,
+	)
+	c, err := client.DialWith(client.DialConfig{
+		Addr: fs.addr(), Reconnect: true,
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Hello.Session != 1 {
+		t.Fatalf("first session = %d, want 1", c.Hello.Session)
+	}
+
+	if _, err := c.Query(`SELECT ...`); err == nil {
+		t.Fatal("query on crashing connection succeeded")
+	}
+	tb, err := c.Query(`SELECT ...`)
+	if err != nil {
+		t.Fatalf("query after reconnect: %v", err)
+	}
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != 21.5 {
+		t.Fatalf("reconnected query returned %v", tb.Rows)
+	}
+	if c.Hello.Session != 2 {
+		t.Fatalf("session after reconnect = %d, want 2", c.Hello.Session)
+	}
+}
+
+// Without Reconnect a dead connection stays dead: the original error
+// keeps surfacing instead of a silent re-dial.
+func TestNoReconnectByDefault(t *testing.T) {
+	fs := newFakeServer(t, func(conn net.Conn) { readQuery(conn) }, serveQueries)
+	c, err := client.Dial(fs.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(`SELECT ...`); err == nil {
+		t.Fatal("query on crashing connection succeeded")
+	}
+	if _, err := c.Query(`SELECT ...`); err == nil {
+		t.Fatal("poisoned client silently re-dialed")
+	}
+}
+
+// Reconnect gives up after MaxAttempts when the server stays down.
+func TestReconnectGivesUp(t *testing.T) {
+	fs := newFakeServer(t, func(conn net.Conn) { readQuery(conn) })
+	c, err := client.DialWith(client.DialConfig{
+		Addr: fs.addr(), Reconnect: true, MaxAttempts: 2,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Query(`SELECT ...`) // kills connection 1
+	fs.ln.Close()         // server gone for good
+	if _, err := c.Query(`SELECT ...`); err == nil {
+		t.Fatal("query succeeded with the server down")
+	}
+}
+
+// A query with a deadline surfaces a typed *TimeoutError instead of
+// blocking forever, cancels server-side, and leaves the connection
+// usable: a later frame flood for the dead query must not wedge the
+// demux loop.
+func TestQueryTimeoutTypedError(t *testing.T) {
+	sawCancel := make(chan int64, 1)
+	fs := newFakeServer(t, func(conn net.Conn) {
+		q1, err := readQuery(conn)
+		if err != nil {
+			return
+		}
+		// Stall q1 until the client cancels it.
+		for {
+			kind, payload, err := proto.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if kind == proto.KindCancel {
+				var c proto.Cancel
+				proto.Decode(payload, &c)
+				sawCancel <- c.ID
+				break
+			}
+		}
+		// Flood the canceled query with more frames than its demux
+		// buffer holds, then finish it; a wedged demux loop would never
+		// reach the next query.
+		for i := 0; i < 400; i++ {
+			proto.WriteFrame(conn, proto.KindRows, proto.Rows{ID: q1.ID, Rows: [][]float64{{1}}})
+		}
+		proto.WriteFrame(conn, proto.KindDone, proto.Done{ID: q1.ID})
+		serveQueries(conn)
+	})
+	c, err := client.DialWith(client.DialConfig{Addr: fs.addr(), QueryTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.Stream(`SELECT ...`, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Next()
+	var te *client.TimeoutError
+	if !errors.As(err, &te) || !te.Timeout() {
+		t.Fatalf("got %v, want *TimeoutError", err)
+	}
+	select {
+	case <-sawCancel:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server never saw the cancel")
+	}
+	// Next on a timed-out stream keeps returning the timeout.
+	if _, err := st.Next(); !errors.As(err, &te) {
+		t.Fatalf("second Next: got %v, want *TimeoutError", err)
+	}
+
+	tb, err := c.Query(`SELECT ...`)
+	if err != nil {
+		t.Fatalf("query after timeout+flood: %v", err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("post-flood query returned %v", tb.Rows)
+	}
+}
+
+// Options.Timeout overrides the client-wide QueryTimeout default.
+func TestPerQueryTimeoutOverride(t *testing.T) {
+	fs := newFakeServer(t, func(conn net.Conn) {
+		q, err := readQuery(conn)
+		if err != nil {
+			return
+		}
+		time.Sleep(150 * time.Millisecond)
+		answer(conn, q.ID, [][]float64{{3}})
+	})
+	c, err := client.DialWith(client.DialConfig{Addr: fs.addr(), QueryTimeout: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tb, err := c.QueryOpts(`SELECT ...`, client.Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("generous per-query override still timed out: %v", err)
+	}
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != 3 {
+		t.Fatalf("got %v", tb.Rows)
+	}
+}
+
+// Close stops reconnecting: a closed client never dials again.
+func TestCloseDisablesReconnect(t *testing.T) {
+	fs := newFakeServer(t, serveQueries)
+	c, err := client.DialWith(client.DialConfig{
+		Addr: fs.addr(), Reconnect: true, BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Query(`SELECT ...`); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("query after Close: %v, want ErrClosedPipe", err)
+	}
+}

@@ -86,3 +86,13 @@ grep -q '"ByteIdentical": true' BENCH_serve.json
 # grouping under the race detector.
 go test -race ./internal/server ./internal/proto ./pkg/client
 go test -race -run 'Prepared|Fingerprint' ./internal/core ./internal/query
+# Churn smoke (X10, reduced size): the churn-resilience ladder — seeded
+# node churn & mobility with mid-round tree repair. The artifact must
+# show zero churn-safety audit violations (no silent wrong answers) and
+# at least one mid-round repair actually exercised.
+go run ./cmd/experiments -churn -churn-nodes 120 -churn-rounds 6 -churn-rates 0,0.01 -churn-json BENCH_churn.json > /dev/null
+grep -q '"violations_total": 0' BENCH_churn.json
+! grep -q '"repairs_total": 0' BENCH_churn.json
+# Churn race pass: the injector, mid-round repair, the soak test and
+# the X10 harness under the race detector.
+go test -race -run 'Churn|Repair' ./internal/netsim ./internal/core ./internal/routing ./internal/bench ./internal/trace
