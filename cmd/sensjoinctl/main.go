@@ -4,12 +4,12 @@
 //
 //	sensjoinctl [-addr 127.0.0.1:7077] [-method sens|external]
 //	            [-at 0] [-rounds 1] [-nodes 0] [-seed 0] [-rows 10]
-//	            "SELECT ... ONCE"
+//	            [-trace id] "SELECT ... ONCE"
 //
 // One-shot queries print one table; periodic queries print one table
 // per epoch (-rounds many). Facts about the execution (cache hit,
-// shared execution) go to stderr; tables go to stdout. A query or
-// connection failure exits nonzero.
+// shared execution, trace ID when span-sampled) go to stderr; tables
+// go to stdout. A query or connection failure exits nonzero.
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 	nodes := flag.Int("nodes", 0, "deployment node-count override (0 = server default)")
 	seed := flag.Int64("seed", 0, "deployment seed override (0 = server default)")
 	maxRows := flag.Int("rows", 10, "result rows to print per epoch (0 = all)")
+	traceID := flag.String("trace", "", "client-chosen trace ID (empty = server assigns)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sensjoinctl [flags] \"SELECT ...\"")
@@ -38,6 +39,7 @@ func main() {
 	}
 	if err := run(*addr, flag.Arg(0), client.Options{
 		Method: *method, At: *at, Rounds: *rounds, Nodes: *nodes, Seed: *seed,
+		TraceID: *traceID,
 	}, *maxRows); err != nil {
 		fmt.Fprintln(os.Stderr, "sensjoinctl:", err)
 		os.Exit(1)
@@ -74,6 +76,9 @@ func run(addr, src string, o client.Options, maxRows int) error {
 			}
 			if t.Shared {
 				facts = append(facts, fmt.Sprintf("shared execution (cluster of %d)", t.ClusterSize))
+			}
+			if t.Sampled {
+				facts = append(facts, fmt.Sprintf("span-sampled as %s", t.TraceID))
 			}
 			if len(facts) > 0 {
 				fmt.Fprintln(os.Stderr, strings.Join(facts, ", "))

@@ -7,11 +7,13 @@
 //	sensjoind [-listen 127.0.0.1:7077] [-http 127.0.0.1:7078]
 //	          [-nodes 150] [-seed 1] [-packet 0]
 //	          [-max-sessions 256] [-max-concurrent 0] [-max-queue 0]
-//	          [-batch-window 25ms] [-idle-timeout 5m]
+//	          [-batch-window 25ms] [-idle-timeout 5m] [-trace-sample 0]
 //
 // -listen is the query protocol port (see PROTOCOL.md, pkg/client).
 // -http serves observability: /metrics (Prometheus), /healthz,
-// /debug/vars, /debug/pprof/ ("" disables it).
+// /debug/vars, /debug/pprof/ and the /debug/queries flight recorder
+// ("" disables it). -trace-sample sets the fraction of queries whose
+// full span tree is captured and served at /debug/queries?trace=<id>.
 //
 // SIGINT/SIGTERM drain the server gracefully (in-flight queries finish,
 // continuous queries end their epoch loops early) and exit 0.
@@ -42,6 +44,7 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 25*time.Millisecond, "grouping window for compatible continuous queries")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close sessions idle for this long")
 	queryTimeout := flag.Duration("query-timeout", 5*time.Minute, "per-epoch execution deadline; expiry answers a timeout error and frees the slot")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of queries (0..1) whose span tree is captured into /debug/queries")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "sensjoind takes no positional arguments")
@@ -52,6 +55,7 @@ func main() {
 		Nodes: *nodes, Seed: *seed, MaxPacket: *packet,
 		MaxSessions: *maxSessions, MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue,
 		BatchWindow: *batchWindow, IdleTimeout: *idleTimeout, QueryTimeout: *queryTimeout,
+		TraceSample: *traceSample,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sensjoind:", err)
 		os.Exit(1)
@@ -77,8 +81,8 @@ func run(listen, httpAddr string, cfg server.Config) error {
 			return err
 		}
 		metrics.PublishExpvar("sensjoind", reg)
-		obs = server.StartObsHTTP(ln, reg, cfg.Logf)
-		fmt.Fprintf(os.Stderr, "sensjoind: observability on http://%s/ (metrics, pprof)\n", ln.Addr())
+		obs = server.StartObsHTTP(ln, reg, srv, cfg.Logf)
+		fmt.Fprintf(os.Stderr, "sensjoind: observability on http://%s/ (metrics, pprof, debug/queries)\n", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

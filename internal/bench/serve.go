@@ -34,6 +34,10 @@ type ServeConfig struct {
 	Shapes int
 	// Duration is the measured load window (default 3s).
 	Duration time.Duration
+	// TraceSample is the fraction of queries span-sampled for the
+	// per-phase latency breakdown (default 0.25; the flight recorder
+	// supplies the percentiles).
+	TraceSample float64
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -51,6 +55,9 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	}
 	if c.Duration <= 0 {
 		c.Duration = 3 * time.Second
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 0.25
 	}
 	return c
 }
@@ -78,6 +85,19 @@ type ServeResult struct {
 	// Rejected counts admission-control rejections (the load loop does
 	// not retry, so rejections reduce Queries but never fail the run).
 	Rejected int64
+	// Traced counts queries whose span tree was sampled; PhaseLatencies
+	// summarizes their per-phase simulated protocol seconds.
+	Traced         int64
+	PhaseLatencies map[string]PhaseQuantiles `json:",omitempty"`
+}
+
+// PhaseQuantiles summarizes one protocol phase's simulated latency
+// across the sampled queries of a serve-load run.
+type PhaseQuantiles struct {
+	Count int
+	P50   float64
+	P95   float64
+	P99   float64
 }
 
 // Table renders the X9 result for stdout.
@@ -88,6 +108,19 @@ func (r *ServeResult) Table() string {
 		"clients", "shapes", "queries", "seconds", "qps", "cache_hit_rate", "byte_identical", "rejected")
 	fmt.Fprintf(&b, "%-8d %-7d %-8d %-8.2f %-8.0f %-15.4f %-15t %d\n",
 		r.Clients, r.Shapes, r.Queries, r.Seconds, r.QPS, r.CacheHitRate, r.ByteIdentical, r.Rejected)
+	if len(r.PhaseLatencies) > 0 {
+		phases := make([]string, 0, len(r.PhaseLatencies))
+		for ph := range r.PhaseLatencies {
+			phases = append(phases, ph)
+		}
+		sort.Strings(phases)
+		fmt.Fprintf(&b, "# per-phase simulated seconds (%d sampled queries)\n", r.Traced)
+		fmt.Fprintf(&b, "%-16s %-8s %-10s %-10s %-10s\n", "phase", "count", "p50", "p95", "p99")
+		for _, ph := range phases {
+			q := r.PhaseLatencies[ph]
+			fmt.Fprintf(&b, "%-16s %-8d %-10.4f %-10.4f %-10.4f\n", ph, q.Count, q.P50, q.P95, q.P99)
+		}
+	}
 	return b.String()
 }
 
@@ -154,7 +187,11 @@ func RunServeLoad(cfg ServeConfig) (*ServeResult, error) {
 		// The load loop keeps at most one query in flight per client;
 		// admit them all so rejections measure real overload only.
 		MaxQueue: cfg.Clients + 1,
-		Logf:     func(string, ...any) {},
+		// Span-sample a fraction of queries and keep the whole window
+		// in the flight recorder: it supplies PhaseLatencies below.
+		TraceSample: cfg.TraceSample,
+		FlightSize:  1 << 16,
+		Logf:        func(string, ...any) {},
 	})
 	if err != nil {
 		return nil, err
@@ -228,5 +265,43 @@ func RunServeLoad(cfg ServeConfig) (*ServeResult, error) {
 	if total := out.CacheHits + out.CacheMisses; total > 0 {
 		out.CacheHitRate = float64(out.CacheHits) / float64(total)
 	}
+	if v, ok := snap["sensjoind_traced_queries_total"]; ok {
+		out.Traced = v.(int64)
+	}
+	out.PhaseLatencies = phaseQuantiles(srv.Flight().Records())
 	return out, nil
+}
+
+// phaseQuantiles folds the flight recorder's sampled records into
+// per-phase latency percentiles.
+func phaseQuantiles(records []server.QueryRecord) map[string]PhaseQuantiles {
+	byPhase := map[string][]float64{}
+	for _, rec := range records {
+		for _, p := range rec.Phases {
+			byPhase[p.Phase] = append(byPhase[p.Phase], p.Seconds)
+		}
+	}
+	if len(byPhase) == 0 {
+		return nil
+	}
+	out := make(map[string]PhaseQuantiles, len(byPhase))
+	for ph, xs := range byPhase {
+		sort.Float64s(xs)
+		out[ph] = PhaseQuantiles{
+			Count: len(xs),
+			P50:   quantile(xs, 0.50),
+			P95:   quantile(xs, 0.95),
+			P99:   quantile(xs, 0.99),
+		}
+	}
+	return out
+}
+
+// quantile reads the q-quantile (nearest-rank) from an ascending slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
 }

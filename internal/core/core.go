@@ -127,10 +127,13 @@ type Exec struct {
 	repairAt float64
 }
 
-// span appends a protocol event at the current simulated time.
+// span appends a protocol event at the acting node's current time —
+// under sharding that is the node's region clock, so spans emitted from
+// parallel region workers carry their true simulated timestamps.
 func (x *Exec) span(k trace.Kind, node, peer topology.NodeID, phase string, arg int) {
-	x.Trace.Span(x.Sim.Now(), k, node, peer, phase, arg)
-	x.Metrics.observeSpan(x, k, phase)
+	at := x.Sim.NodeNow(node)
+	x.Trace.Span(at, k, node, peer, phase, arg)
+	x.Metrics.observeSpan(x, at, k, phase)
 }
 
 // NewExec validates and assembles an execution context.

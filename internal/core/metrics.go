@@ -84,10 +84,12 @@ func NewMetrics(r *metrics.Registry) *CoreMetrics {
 }
 
 // observeSpan mirrors a protocol span event into the live instruments.
-// Phase durations pair each start with its end inside one execution;
-// the pairing state lives on the Exec, so concurrent runs never share
-// it.
-func (m *CoreMetrics) observeSpan(x *Exec, k trace.Kind, phase string) {
+// at is the span's own timestamp (the acting node's clock). Phase
+// durations pair each start with its end inside one execution; the
+// pairing state lives on the Exec, and only the base station emits
+// phase spans, so concurrent runs — and concurrent region workers —
+// never share it.
+func (m *CoreMetrics) observeSpan(x *Exec, at float64, k trace.Kind, phase string) {
 	if m == nil {
 		return
 	}
@@ -97,10 +99,10 @@ func (m *CoreMetrics) observeSpan(x *Exec, k trace.Kind, phase string) {
 		if x.phaseOpen == nil {
 			x.phaseOpen = make(map[string]float64, 4)
 		}
-		x.phaseOpen[phase] = x.Sim.Now()
+		x.phaseOpen[phase] = at
 	case trace.KindPhaseEnd:
-		if at, ok := x.phaseOpen[phase]; ok {
-			m.durations[phase].Observe(x.Sim.Now() - at)
+		if start, ok := x.phaseOpen[phase]; ok {
+			m.durations[phase].Observe(at - start)
 			delete(x.phaseOpen, phase)
 		}
 	case trace.KindTreecut:

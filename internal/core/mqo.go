@@ -72,6 +72,10 @@ type groupQuery struct {
 	cluster *qgCluster
 	bit     int // index within the cluster (mask bit)
 	idx     int // index within the group (result slot)
+	// tag is the member's own trace ID: shared-round journal events
+	// carry the group's ambient tag, except each member's fan-out span,
+	// which carries this one (SetMemberTag).
+	tag string
 }
 
 // qgCluster is a set of compatible queries sharing one protocol round
@@ -171,6 +175,13 @@ func (g *QueryGroup) ClusterOf(idx int) int {
 
 // Rounds reports completed shared rounds.
 func (g *QueryGroup) Rounds() int { return g.rounds }
+
+// SetMemberTag attributes query idx's per-member journal events (its
+// result fan-out at the base station) to the given trace ID. The shared
+// round's common events carry whatever ambient tag the recorder holds.
+func (g *QueryGroup) SetMemberTag(idx int, tag string) {
+	g.queries[idx].tag = tag
+}
 
 // groupFilterMsg is the merged filter broadcast: the (possibly delta)
 // union filter plus one m-bit membership mask per key. The masks align
@@ -398,7 +409,9 @@ func (g *QueryGroup) runCluster(r *Runner, c *qgCluster, t float64, results []*R
 		slotB := x0.Net.SlotFor(filterBytes + 32)
 		tB := tA + float64(tree.MaxDepth+1)*slotB
 		if x0.Trace.Enabled() || x0.Metrics != nil {
-			x0.Sim.Schedule(tB, func() {
+			// Node-affine to the base station: this runs inside an event
+			// handler, where a sharded engine needs the executing region.
+			x0.Sim.ScheduleNode(topology.BaseStation, topology.BaseStation, tB, func() {
 				x0.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseFilterDissem, 0)
 				x0.span(trace.KindPhaseStart, topology.BaseStation, -1, PhaseFinalCollect, 0)
 			})
@@ -436,6 +449,11 @@ func (g *QueryGroup) runCluster(r *Runner, c *qgCluster, t float64, results []*R
 					}
 				}
 				rows, contrib := exactJoin(execs[j], tuples)
+				// One fan-out span per member, tagged with the member's
+				// own trace ID: the only shared-round events attributed
+				// to an individual query rather than the group.
+				x0.Trace.SpanTagged(tEnd, trace.KindFanout, topology.BaseStation, -1,
+					PhaseFinalCollect, len(rows), c.members[j].tag)
 				results[c.members[j].idx] = &Result{
 					Columns:           columnsOf(execs[j].Query),
 					Rows:              rows,

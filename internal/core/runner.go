@@ -36,8 +36,10 @@ type SetupConfig struct {
 	// Shards > 1 partitions the simulator into that many spatial regions
 	// executed in parallel under conservative time-window
 	// synchronization (see netsim/shard.go). Results are bit-identical
-	// for any shard count; enabling tracing, metrics, reliable transport
-	// or the loss model reverts the runner to the classic engine.
+	// for any shard count, and tracing and live metrics compose with it
+	// (journals come out byte-identical to a classic run); enabling
+	// reliable transport, the loss model or churn reverts the runner to
+	// the classic engine.
 	Shards int
 	// ShardWorkers bounds the goroutines running one synchronization
 	// window (0 = one per shard, capped by GOMAXPROCS).
@@ -243,7 +245,6 @@ func (r *Runner) Run(src string, m Method, t float64) (*Result, error) {
 // across them (the experiment fan-out does exactly this). A nil
 // registry disables everything again.
 func (r *Runner) EnableMetrics(reg *metrics.Registry) {
-	r.disableSharding()
 	r.reg = reg
 	r.Sim.SetMetrics(netsim.NewSimMetrics(reg))
 	r.Net.SetMetrics(netsim.NewNetMetrics(reg))

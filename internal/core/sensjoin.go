@@ -256,8 +256,10 @@ func (s *SENSJoin) Run(x *Exec) (*Result, error) {
 		tB := tA + float64(tree.MaxDepth+1)*slotB
 		if x.Trace.Enabled() || x.Metrics != nil {
 			// Scheduled first so the phase boundary precedes the deepest
-			// nodes' phase-C transmissions at the same instant.
-			x.Sim.Schedule(tB, func() {
+			// nodes' phase-C transmissions at the same instant. Node-affine
+			// to the base station: this runs inside an event handler, where
+			// a sharded engine needs to know the executing region.
+			x.Sim.ScheduleNode(topology.BaseStation, topology.BaseStation, tB, func() {
 				x.span(trace.KindPhaseEnd, topology.BaseStation, -1, PhaseFilterDissem, 0)
 				x.span(trace.KindPhaseStart, topology.BaseStation, -1, PhaseFinalCollect, 0)
 			})

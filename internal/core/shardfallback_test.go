@@ -7,11 +7,13 @@ import (
 	"sensjoin/internal/netsim"
 )
 
-// The sharded engine is incompatible with tracing, reliable transport
-// and the loss models; DESIGN.md promises the runner falls back to the
-// classic engine automatically. These tests pin that promise for every
-// enable order — including feature enables that bypass core.Runner and
-// talk to netsim directly, which used to panic mid-run.
+// The sharded engine is incompatible with reliable transport and the
+// loss models; DESIGN.md promises the runner falls back to the classic
+// engine automatically. Tracing, by contrast, composes with sharding
+// (per-region buffers, canonical journal order) and must NOT fall back.
+// These tests pin both promises for every enable order — including
+// feature enables that bypass core.Runner and talk to netsim directly,
+// which used to panic mid-run.
 func TestShardFeatureFallbackOrderings(t *testing.T) {
 	const src = `SELECT A.temp, B.hum FROM Sensors A, Sensors B WHERE A.temp - B.temp > 8.0 ONCE`
 	mk := func(shards int) *Runner {
@@ -35,30 +37,33 @@ func TestShardFeatureFallbackOrderings(t *testing.T) {
 		// lossy features change delivery outcomes, so only the fallback
 		// itself (no panic, sharding off, run completes) is checked.
 		lossy bool
+		// keepSharded marks features that compose with the sharded
+		// engine: after enable the simulator must STILL be sharded.
+		keepSharded bool
 	}{
-		{"trace", func(r *Runner) { r.EnableTrace() }, false},
-		{"reliable", func(r *Runner) { r.EnableReliableTransport(netsim.ReliableConfig{}) }, false},
-		{"loss", func(r *Runner) { r.Net.SetLossRate(0.05, 1) }, true},
-		{"link-loss", func(r *Runner) { r.Net.SetLinkLossRate(1, 2, 0.5) }, true},
+		{"trace", func(r *Runner) { r.EnableTrace() }, false, true},
+		{"reliable", func(r *Runner) { r.EnableReliableTransport(netsim.ReliableConfig{}) }, false, false},
+		{"loss", func(r *Runner) { r.Net.SetLossRate(0.05, 1) }, true, false},
+		{"link-loss", func(r *Runner) { r.Net.SetLinkLossRate(1, 2, 0.5) }, true, false},
 		{"trace-then-reliable", func(r *Runner) {
 			r.EnableTrace()
 			r.EnableReliableTransport(netsim.ReliableConfig{})
-		}, false},
+		}, false, false},
 		{"reliable-then-trace", func(r *Runner) {
 			r.EnableReliableTransport(netsim.ReliableConfig{})
 			r.EnableTrace()
-		}, false},
+		}, false, false},
 		{"loss-then-trace-then-reliable", func(r *Runner) {
 			r.Net.SetLossRate(0.05, 1)
 			r.EnableTrace()
 			r.EnableReliableTransport(netsim.ReliableConfig{})
-		}, true},
+		}, true, false},
 		// Direct netsim enables, bypassing the Runner wrappers.
-		{"netsim-reliable-direct", func(r *Runner) { r.Net.EnableReliable(netsim.ReliableConfig{}) }, false},
+		{"netsim-reliable-direct", func(r *Runner) { r.Net.EnableReliable(netsim.ReliableConfig{}) }, false, false},
 		{"netsim-tracer-direct", func(r *Runner) {
 			r.Net.SetTracer(func(netsim.TraceEvent) {})
-		}, false},
-		{"netsim-linkloss-direct", func(r *Runner) { r.Net.SetLinkLossRate(3, 4, 1.0) }, true},
+		}, false, true},
+		{"netsim-linkloss-direct", func(r *Runner) { r.Net.SetLinkLossRate(3, 4, 1.0) }, true, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -69,8 +74,8 @@ func TestShardFeatureFallbackOrderings(t *testing.T) {
 			}()
 			r := mk(4)
 			tc.enable(r)
-			if r.Sim.Sharded() {
-				t.Fatalf("simulator still sharded after enabling %s", tc.name)
+			if r.Sim.Sharded() != tc.keepSharded {
+				t.Fatalf("after enabling %s: sharded = %t, want %t", tc.name, r.Sim.Sharded(), tc.keepSharded)
 			}
 			res, err := r.Run(src, NewSENSJoin(), 0)
 			if err != nil {

@@ -107,10 +107,14 @@ type Network struct {
 	rcfg      ReliableConfig
 	exhausted map[Link]int
 	giveUp    func(m Message, attempts int)
-	// msgSeq numbers every transmission; trace events of one logical
-	// message share its MsgID, which is what lets an audit match each
-	// reception, drop or loss back to the transmission that caused it.
-	msgSeq int64
+	// msgSeq numbers transmissions per sender; trace events of one
+	// logical message share its MsgID, which is what lets an audit match
+	// each reception, drop or loss back to the transmission that caused
+	// it. The counters are per sender — and the sender is packed into
+	// the id — so id assignment needs no synchronization under sharding
+	// (each node's sends execute on its own region's worker) and the id
+	// sequence is identical for every shard count.
+	msgSeq []int64
 	// free is the delivery freelist: in-flight message state is pooled
 	// so that the send/deliver path performs zero allocations per event
 	// once warm (guarded by TestSendDeliverZeroAllocs).
@@ -119,6 +123,15 @@ type Network struct {
 	// region, so pool objects are acquired by the sender's worker and
 	// released by the receiver's without shared mutable state.
 	freeR [][]*delivery
+	// traceR replaces synchronous tracer calls under sharded execution:
+	// each region's worker appends its radio events lock-free to its own
+	// buffer, flushed through the tracer at drain time (shardDrain). The
+	// canonical journal order in internal/trace makes the flush order
+	// invisible to the recorded journal.
+	traceR [][]TraceEvent
+	// dropR/lostR shadow the Dropped/Lost fields per region during a
+	// sharded run (plain fields would race); folded back at drain.
+	dropR, lostR []int64
 
 	// met holds nil-safe live instruments; the zero value disables them
 	// at the cost of one branch per call site.
@@ -164,10 +177,12 @@ func (n *Network) SetLossRate(rate float64, seed int64) {
 
 // fallbackFromSharding reverts the simulator to the classic single-heap
 // engine. Every feature whose hot path carries cross-node mutable state
-// (tracing, reliable transport, the loss models, churn) calls it on
-// enable, so the fallback DESIGN.md promises holds regardless of the
-// order features and sharding were configured in. The reversion is
-// never silent: it logs once per network and counts every occurrence in
+// or a single RNG stream (reliable transport, the loss models, churn)
+// calls it on enable, so the fallback DESIGN.md promises holds
+// regardless of the order features and sharding were configured in.
+// Tracing and live metrics no longer fall back: they buffer or shadow
+// per region and fold at drain. The reversion is never silent: it logs
+// once per network and counts every occurrence in
 // sensjoin_netsim_shard_fallback_total.
 func (n *Network) fallbackFromSharding(feature string) {
 	if n.Sim.Sharded() {
@@ -206,7 +221,16 @@ func NewNetwork(sim *Sim, dep *topology.Deployment, radio RadioConfig, acct Acco
 		acct:     acct,
 		down:     make(map[linkKey]bool),
 		dead:     make([]bool, dep.N()),
+		msgSeq:   make([]int64, dep.N()),
 	}
+}
+
+// nextMsgID returns a fresh message id for a transmission by src: the
+// sender packed with its per-sender counter. Zero never occurs, so zero
+// still means "untraced".
+func (n *Network) nextMsgID(src NodeID) int64 {
+	n.msgSeq[src]++
+	return (int64(src)+1)<<32 | n.msgSeq[src]
 }
 
 // SetHandler installs the message handler for node id.
@@ -258,23 +282,76 @@ type TraceEvent struct {
 type Tracer func(ev TraceEvent)
 
 // SetTracer installs a radio observer; nil disables tracing. The
-// zero-trace send/deliver path stays allocation-free. Tracing appends to
-// one shared journal, so enabling it reverts a sharded simulator to the
-// classic engine.
-func (n *Network) SetTracer(t Tracer) {
-	if t != nil {
-		n.fallbackFromSharding("tracing")
+// zero-trace send/deliver path stays allocation-free. Tracing composes
+// with the sharded engine: events are buffered per region during a run
+// and flushed through the tracer at drain time.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// trace records a radio event. `by` is the acting node — the sender on
+// tx/lost/send-side drops, the receiver on rx/delivery drops — whose
+// clock stamps the event and whose region buffers it during a sharded
+// run (the acting node's handler executes on that region's worker, so
+// the append is race-free).
+func (n *Network) trace(event string, by NodeID, m Message, packets int, msgID int64, expect int) {
+	if n.tracer == nil {
+		return
 	}
-	n.tracer = t
+	ev := TraceEvent{
+		Event: event, At: n.Sim.NodeNow(by), MsgID: msgID,
+		Src: m.Src, Dst: m.Dst, Kind: m.Kind, Phase: m.Phase,
+		Bytes: m.Size, Packets: packets, Expect: expect,
+	}
+	if sh := n.Sim.sh; sh != nil && sh.running.Load() {
+		reg := sh.regionOf[by]
+		n.traceR[reg] = append(n.traceR[reg], ev)
+		return
+	}
+	n.tracer(ev)
 }
 
-func (n *Network) trace(event string, m Message, packets int, msgID int64, expect int) {
-	if n.tracer != nil {
-		n.tracer(TraceEvent{
-			Event: event, At: n.Sim.Now(), MsgID: msgID,
-			Src: m.Src, Dst: m.Dst, Kind: m.Kind, Phase: m.Phase,
-			Bytes: m.Size, Packets: packets, Expect: expect,
-		})
+// countDrop and countLost bump the public failure counters, through the
+// per-region shadows while a sharded run is in flight.
+func (n *Network) countDrop(by NodeID) {
+	n.met.Drop.Inc()
+	if sh := n.Sim.sh; sh != nil && sh.running.Load() {
+		n.dropR[sh.regionOf[by]]++
+		return
+	}
+	n.Dropped++
+}
+
+func (n *Network) countLost(by NodeID) {
+	n.met.Lost.Inc()
+	if sh := n.Sim.sh; sh != nil && sh.running.Load() {
+		n.lostR[sh.regionOf[by]]++
+		return
+	}
+	n.Lost++
+}
+
+// shardDrain folds per-region buffers back into the global view: trace
+// events flush through the tracer in region order (canonical journal
+// ordering makes the flush order invisible) and the shadow failure
+// counters fold into the public fields. The engine calls it
+// single-threaded after every sharded run and on DisableSharding.
+func (n *Network) shardDrain() {
+	for ri := range n.traceR {
+		buf := n.traceR[ri]
+		for i := range buf {
+			if n.tracer != nil {
+				n.tracer(buf[i])
+			}
+			buf[i] = TraceEvent{}
+		}
+		n.traceR[ri] = buf[:0]
+	}
+	for ri := range n.dropR {
+		n.Dropped += int(n.dropR[ri])
+		n.dropR[ri] = 0
+	}
+	for ri := range n.lostR {
+		n.Lost += int(n.lostR[ri])
+		n.lostR[ri] = 0
 	}
 }
 
@@ -325,11 +402,10 @@ func (n *Network) Send(m Message) {
 	}
 	n.met.Tx.Add(int64(packets))
 	// Message ids exist for the tracer; untraced runs skip the counter so
-	// the field is never contended across sharded regions.
+	// the send path stays branch-cheap.
 	var msgID int64
 	if n.tracer != nil {
-		n.msgSeq++
-		msgID = n.msgSeq
+		msgID = n.nextMsgID(m.Src)
 	}
 	at := n.sendTime(m.Src) + n.Radio.AirTime(packets, m.Size)
 	if m.Dst == BroadcastID {
@@ -340,7 +416,7 @@ func (n *Network) Send(m Message) {
 					expect++
 				}
 			}
-			n.trace("tx", m, packets, msgID, expect)
+			n.trace("tx", m.Src, m, packets, msgID, expect)
 		}
 		if n.lossRNG == nil && len(n.down) == 0 {
 			// Fast path: every v comes from the sender's neighbor list, no
@@ -360,28 +436,25 @@ func (n *Network) Send(m Message) {
 				continue
 			}
 			if n.lostOn(m.Src, v, packets) {
-				n.Lost++
-				n.met.Lost.Inc()
+				n.countLost(m.Src)
 				mm := m
 				mm.Dst = v
-				n.trace("lost", mm, packets, msgID, 0)
+				n.trace("lost", m.Src, mm, packets, msgID, 0)
 				continue
 			}
 			n.deliver(m, v, packets, at, msgID)
 		}
 		return
 	}
-	n.trace("tx", m, packets, msgID, 1)
+	n.trace("tx", m.Src, m, packets, msgID, 1)
 	if !n.LinkOK(m.Src, m.Dst) {
-		n.Dropped++
-		n.met.Drop.Inc()
-		n.trace("drop", m, packets, msgID, 0)
+		n.countDrop(m.Src)
+		n.trace("drop", m.Src, m, packets, msgID, 0)
 		return
 	}
 	if n.lostOn(m.Src, m.Dst, packets) {
-		n.Lost++
-		n.met.Lost.Inc()
-		n.trace("lost", m, packets, msgID, 0)
+		n.countLost(m.Src)
+		n.trace("lost", m.Src, m, packets, msgID, 0)
 		return
 	}
 	n.deliver(m, m.Dst, packets, at, msgID)
@@ -397,18 +470,21 @@ func (n *Network) sendTime(src NodeID) Time {
 	return n.Sim.now
 }
 
-// BindSharding sizes the per-region delivery freelists for the
-// simulator's current sharding (or reverts to the shared freelist when
-// sharding is off). It refuses configurations whose hot path carries
-// cross-node mutable state; core.Runner guarantees those features
-// disable sharding first.
+// BindSharding sizes the per-region state (delivery freelists, trace
+// buffers, shadow counters) for the simulator's current sharding — or
+// reverts to the shared state when sharding is off — and installs the
+// network's drain hook. It refuses configurations whose hot path
+// carries cross-node mutable state; core.Runner guarantees those
+// features disable sharding first.
 func (n *Network) BindSharding() {
 	sh := n.Sim.sh
 	if sh == nil {
 		n.freeR = nil
+		n.traceR = nil
+		n.dropR, n.lostR = nil, nil
 		return
 	}
-	if n.tracer != nil || n.reliable || n.lossRNG != nil || n.linkLoss != nil {
+	if n.reliable || n.lossRNG != nil || n.linkLoss != nil {
 		// A feature with cross-node mutable hot-path state is already on:
 		// fall back to the classic engine deterministically instead of
 		// refusing — the promise is that fallback works regardless of the
@@ -419,14 +495,16 @@ func (n *Network) BindSharding() {
 		return
 	}
 	n.freeR = make([][]*delivery, len(sh.regions))
+	n.traceR = make([][]TraceEvent, len(sh.regions))
+	n.dropR = make([]int64, len(sh.regions))
+	n.lostR = make([]int64, len(sh.regions))
+	sh.drain = n.shardDrain
 }
 
 // shardBlocker names the already-enabled feature that keeps the network
 // on the classic engine, for the fallback log line.
 func shardBlocker(n *Network) string {
 	switch {
-	case n.tracer != nil:
-		return "tracing"
 	case n.reliable:
 		return "reliable transport"
 	case n.lossRNG != nil:
@@ -479,16 +557,15 @@ func (d *delivery) deliver() {
 	}
 	to := m.Dst
 	if n.dead[to] {
-		n.Dropped++
-		n.met.Drop.Inc()
-		n.trace("drop", m, packets, msgID, 0)
+		n.countDrop(to)
+		n.trace("drop", to, m, packets, msgID, 0)
 		return
 	}
 	if n.acct != nil {
 		n.acct.OnRx(to, m.Phase, packets, m.Size)
 	}
 	n.met.Rx.Add(int64(packets))
-	n.trace("rx", m, packets, msgID, 0)
+	n.trace("rx", to, m, packets, msgID, 0)
 	if h := n.handlers[to]; h != nil {
 		h(m)
 	}

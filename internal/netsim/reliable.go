@@ -232,8 +232,7 @@ func (n *Network) transmit(p *pendingTx) {
 	if send == 0 {
 		send, sendB, probe = 1, 0, true
 	}
-	n.msgSeq++
-	msgID := n.msgSeq
+	msgID := n.nextMsgID(m.Src)
 	if p.attempt == 0 {
 		p.logical = msgID
 	} else {
@@ -342,8 +341,7 @@ func (n *Network) sendAck(p *pendingTx, from NodeID) {
 	dst := p.m.Src
 	size := n.rcfg.AckBytes
 	packets := n.Radio.Packets(size)
-	n.msgSeq++
-	msgID := n.msgSeq
+	msgID := n.nextMsgID(from)
 	n.AckTx++
 	n.met.Ack.Inc()
 	n.met.Tx.Add(int64(packets))

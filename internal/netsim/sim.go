@@ -102,6 +102,18 @@ func NewSim() *Sim { return &Sim{} }
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
+// NodeNow returns node id's current clock: its region clock during a
+// sharded run (written only by the region's own worker, so reading it
+// from that worker is race-free), the global clock otherwise. Event
+// handlers that need the acting node's time must use it — the global
+// clock does not advance while a sharded run is in flight.
+func (s *Sim) NodeNow(id NodeID) Time {
+	if sh := s.sh; sh != nil && sh.running.Load() {
+		return sh.regions[sh.regionOf[id]].now
+	}
+	return s.now
+}
+
 // Steps returns the number of events executed so far.
 func (s *Sim) Steps() int64 { return s.steps }
 

@@ -104,6 +104,10 @@ type Query struct {
 	// Nodes/Seed override the server's default deployment (0 = default).
 	Nodes int   `json:",omitempty"`
 	Seed  int64 `json:",omitempty"`
+	// TraceID optionally names this query in the server's flight
+	// recorder and trace exports. Empty lets the server assign one; the
+	// assigned (or echoed) ID comes back on the Header.
+	TraceID string `json:",omitempty"`
 }
 
 // Header precedes a query's rows.
@@ -117,6 +121,14 @@ type Header struct {
 	// number of queries sharing the protocol round (1 when not shared).
 	Shared      bool `json:",omitempty"`
 	ClusterSize int  `json:",omitempty"`
+	// TraceID identifies this query in the server's flight recorder
+	// (/debug/queries on the observability port). It echoes the client's
+	// Query.TraceID when one was supplied, else it is server-assigned.
+	TraceID string `json:",omitempty"`
+	// Sampled reports that the server captured a full span tree for this
+	// query (per its -trace-sample rate); the tree is served at
+	// /debug/queries?trace=<TraceID>.
+	Sampled bool `json:",omitempty"`
 }
 
 // Rows carries a chunk of one epoch's result rows.

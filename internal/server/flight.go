@@ -1,0 +1,160 @@
+package server
+
+import (
+	"sync"
+
+	"sensjoin/internal/trace"
+)
+
+// The flight recorder is sensjoind's answer to "what did my query just
+// do": a bounded in-memory ring of the most recent query executions,
+// each with its operational facts and — for sampled queries — the full
+// span tree of the simulated protocol execution. It is served on the
+// observability port as /debug/queries (see AttachDebug) and read
+// directly by the X9 serve-load experiment for per-phase latency
+// percentiles.
+
+// PhaseLatency is one protocol phase's simulated duration within a
+// query execution (the span between its phase-start and phase-end
+// events, summed over epochs).
+type PhaseLatency struct {
+	Phase   string
+	Seconds float64
+}
+
+// QueryRecord is one query's entry in the flight recorder.
+type QueryRecord struct {
+	// TraceID identifies the query; for sampled queries the span tree
+	// is retained under it.
+	TraceID string
+	// Group is the shared-execution group's trace ID, set only when the
+	// query ran inside a core.QueryGroup; the group's own record (same
+	// TraceID) holds the shared radio timeline.
+	Group string `json:",omitempty"`
+	// Session/ID locate the query on the wire (0/0 for group records).
+	Session int64
+	ID      int64
+	Src     string
+	Method  string
+	// Shared/ClusterSize/CacheHit mirror the Header facts.
+	Shared      bool `json:",omitempty"`
+	ClusterSize int  `json:",omitempty"`
+	CacheHit    bool
+	// Epochs counts epochs actually emitted; Rows sums their rows.
+	Epochs int
+	Rows   int
+	// Complete reports the last epoch's completeness;
+	// IncompleteReason explains a false value.
+	Complete         bool
+	IncompleteReason string `json:",omitempty"`
+	// Error is the terminal error code+message, empty on success.
+	Error string `json:",omitempty"`
+	// Phases is the per-phase simulated-latency breakdown (sampled
+	// queries only).
+	Phases []PhaseLatency `json:",omitempty"`
+	// TotalSeconds is wall-clock time from first epoch start to finish.
+	TotalSeconds float64
+	// Sampled reports that a span tree was captured and retained.
+	Sampled bool
+}
+
+// flightEntry pairs a record with its retained span events.
+type flightEntry struct {
+	rec   QueryRecord
+	spans []trace.Event
+}
+
+// FlightRecorder is a fixed-capacity ring of recent query executions.
+// All methods are safe for concurrent use.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []flightEntry
+	next int // ring index of the next write
+	size int // live entries, ≤ len(ring)
+}
+
+func newFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &FlightRecorder{ring: make([]flightEntry, capacity)}
+}
+
+// Record appends one finished query. spans may be nil (unsampled).
+func (f *FlightRecorder) Record(rec QueryRecord, spans []trace.Event) {
+	f.mu.Lock()
+	f.ring[f.next] = flightEntry{rec: rec, spans: spans}
+	f.next = (f.next + 1) % len(f.ring)
+	if f.size < len(f.ring) {
+		f.size++
+	}
+	f.mu.Unlock()
+}
+
+// Records returns the retained records, newest first.
+func (f *FlightRecorder) Records() []QueryRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]QueryRecord, 0, f.size)
+	for i := 1; i <= f.size; i++ {
+		out = append(out, f.ring[(f.next-i+len(f.ring))%len(f.ring)].rec)
+	}
+	return out
+}
+
+// Spans returns the retained span tree of the newest record with the
+// given trace ID, and whether one was found.
+func (f *FlightRecorder) Spans(traceID string) ([]trace.Event, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := 1; i <= f.size; i++ {
+		e := &f.ring[(f.next-i+len(f.ring))%len(f.ring)]
+		if e.rec.TraceID == traceID {
+			return e.spans, true
+		}
+	}
+	return nil, false
+}
+
+// phaseBreakdown folds a journal's phase-start/phase-end brackets into
+// per-phase simulated durations, summed over epochs, in first-seen
+// order. Unpaired brackets (a timed-out epoch's open phase) contribute
+// nothing.
+func phaseBreakdown(events []trace.Event) []PhaseLatency {
+	open := map[string]float64{}
+	total := map[string]float64{}
+	var order []string
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindPhaseStart:
+			open[ev.Phase] = ev.At
+		case trace.KindPhaseEnd:
+			start, ok := open[ev.Phase]
+			if !ok {
+				continue
+			}
+			delete(open, ev.Phase)
+			if _, seen := total[ev.Phase]; !seen {
+				order = append(order, ev.Phase)
+			}
+			total[ev.Phase] += ev.At - start
+		}
+	}
+	out := make([]PhaseLatency, 0, len(order))
+	for _, ph := range order {
+		out = append(out, PhaseLatency{Phase: ph, Seconds: total[ph]})
+	}
+	return out
+}
+
+// filterByTrace returns the events carrying exactly the given trace
+// tag — a group member's own slice of a shared journal.
+func filterByTrace(events []trace.Event, tag string) []trace.Event {
+	var out []trace.Event
+	for _, ev := range events {
+		if ev.Trace == tag {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -3,11 +3,13 @@ package server
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"time"
 
 	"sensjoin/internal/core"
 	"sensjoin/internal/proto"
+	"sensjoin/internal/trace"
 )
 
 // Shared execution of continuous queries. A continuous SENS-Join query
@@ -124,21 +126,90 @@ func (h *groupHub) run(b *batch) {
 		}
 	}()
 	s.met.sharedQueries.Add(int64(len(members)))
+	clusterSize := make(map[int]int)
+	for k := range members {
+		clusterSize[qg.ClusterOf(idx[k])]++
+	}
+
+	// Trace identity: the group's shared protocol rounds (radio traffic,
+	// phase brackets) carry the group's trace ID as the recorder's
+	// ambient tag, while each member's per-epoch result fan-out spans
+	// carry that member's own ID — so a member's span tree holds exactly
+	// its own slice of the shared execution.
+	groupID := fmt.Sprintf("g-%d", s.traceSeq.Add(1))
+	sampled := s.cfg.TraceSample >= 1 ||
+		(s.cfg.TraceSample > 0 && rand.Float64() < s.cfg.TraceSample)
+	memberTrace := make([]string, len(members))
+	recs := make([]QueryRecord, len(members))
+	for k, sub := range members {
+		id := sub.q.TraceID
+		if id == "" {
+			id = fmt.Sprintf("q-%d-%d-%d", sub.ss.id, sub.q.ID, s.traceSeq.Add(1))
+		}
+		memberTrace[k] = id
+		cs := clusterSize[qg.ClusterOf(idx[k])]
+		recs[k] = QueryRecord{
+			TraceID: id, Group: groupID, Session: sub.ss.id, ID: sub.q.ID,
+			Src: sub.q.Src, Method: "sens", Shared: cs > 1, ClusterSize: cs,
+			CacheHit: sub.hit, Sampled: sampled,
+		}
+	}
+	var (
+		tr         *trace.Recorder
+		mark       int
+		spans      []trace.Event
+		groupPhase []PhaseLatency
+	)
+	capture := func() {
+		if tr == nil {
+			return
+		}
+		j := tr.JournalSince(mark)
+		spans = append([]trace.Event(nil), j.Events...)
+		groupPhase = phaseBreakdown(spans)
+		s.met.observePhases(groupPhase)
+		tr = nil
+	}
+	wallStart := time.Now()
+	defer func() {
+		capture()
+		total := time.Since(wallStart).Seconds()
+		if sampled {
+			// The group's own record carries the shared radio timeline.
+			s.flight.Record(QueryRecord{
+				TraceID: groupID, Src: fmt.Sprintf("<shared group of %d>", len(members)),
+				Method: "sens", Shared: true, ClusterSize: len(members),
+				Epochs: maxEpochs(members), Complete: true,
+				Phases: groupPhase, TotalSeconds: total, Sampled: true,
+			}, spans)
+		}
+		for k := range members {
+			recs[k].Phases = groupPhase
+			recs[k].TotalSeconds = total
+			s.flight.Record(recs[k], filterByTrace(spans, memberTrace[k]))
+		}
+	}()
 
 	// A private runner: the group's incremental filter state spans
 	// epochs, so its executions must not interleave with other queries.
 	// The shared deployment cache makes this cheap.
 	r, err := core.NewRunner(b.pool.cfg)
 	if err != nil {
-		for _, sub := range members {
+		for k, sub := range members {
+			recs[k].Error = proto.CodeExec + ": " + err.Error()
 			sub.ss.sendErr(sub.q.ID, proto.CodeExec, err.Error())
 			sub.dead = true
 		}
 		return
 	}
-	clusterSize := make(map[int]int)
-	for k := range members {
-		clusterSize[qg.ClusterOf(idx[k])]++
+	if sampled {
+		s.met.tracedQueries.Add(int64(len(members)))
+		tr = r.EnableTrace()
+		tr.SetTag(groupID)
+		mark = tr.Mark()
+		for k := range members {
+			qg.SetMemberTag(idx[k], memberTrace[k])
+		}
 	}
 	maxRounds := 0
 	for _, sub := range members {
@@ -170,8 +241,11 @@ func (h *groupHub) run(b *batch) {
 		s.met.sharedRounds.Inc()
 		if timedOut {
 			s.met.queryTimeouts.Inc()
-			for _, sub := range members {
+			tr = nil // the abandoned round still writes the recorder
+			for k, sub := range members {
 				if !sub.dead {
+					recs[k].Error = proto.CodeTimeout
+					recs[k].IncompleteReason = "execution deadline exceeded"
 					sub.ss.sendErr(sub.q.ID, proto.CodeTimeout,
 						fmt.Sprintf("shared round %d exceeded the %v execution deadline", e, s.cfg.QueryTimeout))
 					sub.dead = true
@@ -180,8 +254,9 @@ func (h *groupHub) run(b *batch) {
 			return // the group's private runner is abandoned with the round
 		}
 		if err != nil {
-			for _, sub := range members {
+			for k, sub := range members {
 				if !sub.dead {
+					recs[k].Error = proto.CodeExec + ": " + err.Error()
 					sub.ss.sendErr(sub.q.ID, proto.CodeExec, err.Error())
 					sub.dead = true
 				}
@@ -198,6 +273,7 @@ func (h *groupHub) run(b *batch) {
 				if !sub.ss.send(proto.KindHeader, proto.Header{
 					ID: sub.q.ID, Columns: res.Columns, CacheHit: sub.hit,
 					Shared: cs > 1, ClusterSize: cs,
+					TraceID: memberTrace[k], Sampled: sampled,
 				}) {
 					sub.dead = true
 					continue
@@ -209,8 +285,20 @@ func (h *groupHub) run(b *batch) {
 				continue
 			}
 			sub.epochs++
+			recs[k].Epochs++
+			recs[k].Rows += len(res.Rows)
+			recs[k].Complete = res.Complete
 		}
 	}
+}
+
+// maxEpochs is the largest epoch count any member streamed.
+func maxEpochs(members []*groupSub) int {
+	n := 0
+	for _, sub := range members {
+		n = max(n, sub.epochs)
+	}
+	return n
 }
 
 // runRoundBounded executes one shared round, bounded by QueryTimeout

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"sensjoin/internal/metrics"
+	"sensjoin/internal/trace"
 )
 
 // Hardened wraps a handler in an http.Server with conservative
@@ -43,12 +45,18 @@ type ObsHTTP struct {
 }
 
 // StartObsHTTP serves the standard observability mux on ln with the
-// hardened server configuration. A nil logf uses the standard logger.
-func StartObsHTTP(ln net.Listener, reg *metrics.Registry, logf func(format string, args ...any)) *ObsHTTP {
+// hardened server configuration. A non-nil s additionally serves its
+// flight recorder at /debug/queries. A nil logf uses the standard
+// logger.
+func StartObsHTTP(ln net.Listener, reg *metrics.Registry, s *Server, logf func(format string, args ...any)) *ObsHTTP {
 	if logf == nil {
 		logf = Config{}.withDefaults().Logf
 	}
-	srv := Hardened(ObsMux(reg))
+	mux := ObsMux(reg)
+	if s != nil {
+		s.AttachDebug(mux)
+	}
+	srv := Hardened(mux)
 	ServeHTTP(srv, ln, logf)
 	return &ObsHTTP{srv: srv}
 }
@@ -85,7 +93,36 @@ func ObsMux(reg *metrics.Registry) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "sensjoind: /metrics /healthz /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, "sensjoind: /metrics /healthz /debug/vars /debug/pprof/ /debug/queries")
 	})
 	return mux
+}
+
+// AttachDebug registers the server's query-level debug endpoints on
+// mux:
+//
+//	/debug/queries              JSON array of recent QueryRecords,
+//	                            newest first (the flight recorder)
+//	/debug/queries?trace=<id>   the retained span tree of one sampled
+//	                            query, one trace.Event JSON per line
+func (s *Server) AttachDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("trace"); id != "" {
+			spans, ok := s.flight.Spans(id)
+			if !ok {
+				http.Error(w, "trace ID not in the flight recorder", http.StatusNotFound)
+				return
+			}
+			// The canonical journal JSONL (one event per line, kind
+			// named in "ev") — the same form WriteJSONL/ReadJSONL and
+			// the audit tooling speak.
+			w.Header().Set("Content-Type", "application/jsonl")
+			trace.WriteJSONL(w, &trace.Journal{Events: spans})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.flight.Records())
+	})
 }

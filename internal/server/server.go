@@ -31,10 +31,12 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +45,7 @@ import (
 	"sensjoin/internal/metrics"
 	"sensjoin/internal/proto"
 	"sensjoin/internal/query"
+	"sensjoin/internal/trace"
 )
 
 // Config tunes a Server; zero values select the documented defaults.
@@ -78,11 +81,23 @@ type Config struct {
 	// DrainTimeout bounds how long Close waits for in-flight queries
 	// (default 10s).
 	DrainTimeout time.Duration
+	// TraceSample is the fraction of queries (0..1) whose full span
+	// tree is captured into the flight recorder; 0 disables span
+	// capture (the flight recorder still records every query's
+	// operational facts).
+	TraceSample float64
+	// FlightSize bounds the flight recorder's ring of recent queries
+	// (default 256).
+	FlightSize int
 	// Registry receives the sensjoind_* instruments (nil = private
 	// registry, metrics effectively off).
 	Registry *metrics.Registry
-	// Logf receives operational log lines (nil = standard logger on
-	// stderr).
+	// Logger receives structured operational logs (nil = a text handler
+	// on stderr, or one writing through Logf when that is set — so
+	// embedders that silence Logf silence everything).
+	Logger *slog.Logger
+	// Logf receives printf-style operational log lines (nil = derived
+	// from Logger). Kept for embedders; new code should prefer Logger.
 	Logf func(format string, args ...any)
 }
 
@@ -117,10 +132,34 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.FlightSize <= 0 {
+		c.FlightSize = 256
+	}
+	if c.Logger == nil {
+		if c.Logf != nil {
+			// Route structured logs through the embedder's Logf so its
+			// silencing (bench passes a no-op) covers them too.
+			c.Logger = slog.New(slog.NewTextHandler(logfWriter{c.Logf}, nil))
+		} else {
+			c.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+	}
 	if c.Logf == nil {
-		c.Logf = log.New(os.Stderr, "", log.LstdFlags).Printf
+		lg := c.Logger
+		c.Logf = func(format string, args ...any) {
+			lg.Info(fmt.Sprintf(format, args...))
+		}
 	}
 	return c
+}
+
+// logfWriter adapts a printf-style log hook into an io.Writer for the
+// slog text handler.
+type logfWriter struct{ logf func(format string, args ...any) }
+
+func (w logfWriter) Write(p []byte) (int, error) {
+	w.logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
 }
 
 // Server is a running sensjoind instance.
@@ -129,6 +168,10 @@ type Server struct {
 	met  *serverMetrics
 	ln   net.Listener
 	logf func(format string, args ...any)
+	log  *slog.Logger
+
+	flight   *FlightRecorder
+	traceSeq atomic.Int64
 
 	execSem chan struct{}
 	queued  atomic.Int64
@@ -158,6 +201,8 @@ func Listen(addr string, cfg Config) (*Server, error) {
 		cfg:      cfg,
 		met:      newServerMetrics(cfg.Registry),
 		logf:     cfg.Logf,
+		log:      cfg.Logger,
+		flight:   newFlightRecorder(cfg.FlightSize),
 		execSem:  make(chan struct{}, cfg.MaxConcurrent),
 		sessions: make(map[int64]*session),
 		closing:  make(chan struct{}),
@@ -180,6 +225,23 @@ func Listen(addr string, cfg Config) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Flight returns the server's flight recorder: the ring of recent
+// query executions behind /debug/queries.
+func (s *Server) Flight() *FlightRecorder { return s.flight }
+
+// assignTrace returns the query's trace ID (client-supplied or
+// server-assigned) and whether this execution is sampled for full span
+// capture.
+func (s *Server) assignTrace(ss *session, q proto.Query) (string, bool) {
+	id := q.TraceID
+	if id == "" {
+		id = fmt.Sprintf("q-%d-%d-%d", ss.id, q.ID, s.traceSeq.Add(1))
+	}
+	sampled := s.cfg.TraceSample >= 1 ||
+		(s.cfg.TraceSample > 0 && rand.Float64() < s.cfg.TraceSample)
+	return id, sampled
+}
 
 // Close drains and stops the server: no new sessions or queries are
 // admitted, in-flight queries get up to DrainTimeout to finish (the
@@ -587,14 +649,54 @@ func methodInstance(name string, continuous bool) core.Method {
 // and any continuous query shared execution cannot take.
 func (s *Server) runIndependent(ss *session, q proto.Query, pl *pool,
 	prep *core.Prepared, hit bool, rq *runningQuery, rounds int, method string) {
+	traceID, sampled := s.assignTrace(ss, q)
+	rec := QueryRecord{
+		TraceID: traceID, Session: ss.id, ID: q.ID, Src: q.Src, Method: method,
+		ClusterSize: 1, CacheHit: hit, Sampled: sampled,
+	}
+	var spans []trace.Event
+	wallStart := time.Now()
+	defer func() {
+		rec.TotalSeconds = time.Since(wallStart).Seconds()
+		s.flight.Record(rec, spans)
+		s.log.Debug("query finished",
+			"trace", traceID, "session", ss.id, "id", q.ID,
+			"epochs", rec.Epochs, "rows", rec.Rows, "complete", rec.Complete,
+			"err", rec.Error, "seconds", rec.TotalSeconds)
+	}()
+
 	r, err := pl.get()
 	if err != nil {
+		rec.Error = proto.CodeExec + ": " + err.Error()
 		ss.sendErr(q.ID, proto.CodeExec, err.Error())
 		return
 	}
+	var tr *trace.Recorder
+	var mark int
+	if sampled {
+		s.met.tracedQueries.Inc()
+		tr = r.EnableTrace()
+		tr.SetTag(traceID)
+		mark = tr.Mark()
+	}
+	// capture copies the sampled span tree out of the runner's recorder
+	// and feeds the per-phase histograms. It must NOT run while the
+	// runner is still executing (the timeout path abandons one
+	// mid-flight), so that path nils tr first.
+	capture := func() {
+		if tr == nil {
+			return
+		}
+		j := tr.JournalSince(mark)
+		spans = append([]trace.Event(nil), j.Events...)
+		rec.Phases = phaseBreakdown(spans)
+		s.met.observePhases(rec.Phases)
+		tr = nil
+	}
+	defer capture()
+
 	m := methodInstance(method, prep.Mode() == query.Periodic)
 	headerSent := false
-	epochs := 0
 	for e := 0; e < rounds; e++ {
 		if rq.canceled() || (e > 0 && s.isClosing()) {
 			break
@@ -609,17 +711,23 @@ func (s *Server) runIndependent(ss *session, q proto.Query, pl *pool,
 		s.met.querySeconds.Observe(time.Since(start).Seconds())
 		if timedOut {
 			s.met.queryTimeouts.Inc()
+			tr = nil // the abandoned epoch still writes the recorder
+			rec.Error = proto.CodeTimeout
+			rec.IncompleteReason = "execution deadline exceeded"
 			ss.sendErr(q.ID, proto.CodeTimeout,
 				fmt.Sprintf("epoch %d exceeded the %v execution deadline", e, s.cfg.QueryTimeout))
 			return // runner abandoned mid-execution: do not return it to the pool
 		}
 		if err != nil {
+			rec.Error = proto.CodeExec + ": " + err.Error()
+			capture()
 			ss.sendErr(q.ID, proto.CodeExec, err.Error())
 			return // runner possibly mid-execution: do not return it to the pool
 		}
 		if !headerSent {
 			if !ss.send(proto.KindHeader, proto.Header{
 				ID: q.ID, Columns: res.Columns, CacheHit: hit, ClusterSize: 1,
+				TraceID: traceID, Sampled: sampled,
 			}) {
 				return
 			}
@@ -628,10 +736,22 @@ func (s *Server) runIndependent(ss *session, q proto.Query, pl *pool,
 		if !ss.emitEpoch(q.ID, e, t, res) {
 			return
 		}
-		epochs++
+		rec.Epochs++
+		rec.Rows += len(res.Rows)
+		rec.Complete = res.Complete
+		rec.IncompleteReason = ""
+		if !res.Complete && len(res.MissingSubtrees) > 0 {
+			rec.IncompleteReason = fmt.Sprintf("%d missing subtree(s)", len(res.MissingSubtrees))
+		}
+	}
+	capture()
+	if sampled {
+		tr2 := r.Trace
+		r.DisableTrace()
+		tr2.Truncate(0) // drop the retained journal before pooling
 	}
 	pl.put(r)
-	ss.send(proto.KindDone, proto.Done{ID: q.ID, Epochs: epochs})
+	ss.send(proto.KindDone, proto.Done{ID: q.ID, Epochs: rec.Epochs})
 }
 
 // runBounded executes one epoch on r, bounded by QueryTimeout. On

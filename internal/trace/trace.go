@@ -21,6 +21,9 @@
 package trace
 
 import (
+	"sort"
+	"sync"
+
 	"sensjoin/internal/netsim"
 	"sensjoin/internal/topology"
 )
@@ -85,6 +88,12 @@ const (
 	// base station, Arg the number of nodes re-parented. The churn audit
 	// uses it to check a repaired run still ends oracle-exact or flagged.
 	KindRepair
+	// KindFanout marks the base station fanning a shared-execution
+	// round's tuples out to one member query of a core.QueryGroup; Node
+	// is the base station, Arg the member's row count. In a shared round
+	// these are the only events tagged with an individual member's trace
+	// ID — everything else carries the group's tag.
+	KindFanout
 )
 
 var kindNames = [...]string{
@@ -95,6 +104,7 @@ var kindNames = [...]string{
 	KindGiveUp: "give-up", KindRerequest: "rerequest", KindStandDown: "stand-down",
 	KindChurnDeath: "churn-death", KindChurnRejoin: "churn-rejoin",
 	KindChurnMove: "churn-move", KindRepair: "repair",
+	KindFanout: "fanout",
 }
 
 // String returns the kind's JSONL name.
@@ -140,12 +150,28 @@ type Event struct {
 	Dup bool `json:"dup,omitempty"`
 	// Ack marks link-layer acknowledgement events.
 	Ack bool `json:"ack,omitempty"`
+	// Trace attributes the event to a request-scoped trace ID (the
+	// serving path's per-query attribution). Empty on library runs.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Recorder accumulates events. The zero-cost rule: every method is a
 // no-op on a nil *Recorder, so call sites need no guards.
+//
+// A recorder is single-goroutine by default; SetConcurrent(true) makes
+// appends mutex-guarded so the sharded engine's region workers can emit
+// protocol spans in parallel. Worker interleaving cannot leak into the
+// recording: journals are rebuilt in canonical order (see Journal)
+// whenever one is cut.
 type Recorder struct {
-	events []Event
+	mu         sync.Mutex
+	concurrent bool
+	tag        string
+	events     []Event
+	// sealed is the length of the prefix already in canonical order;
+	// the unsorted tail is ordered (and the prefix extended) whenever a
+	// journal is built.
+	sealed int
 }
 
 // New returns an empty recorder.
@@ -155,6 +181,44 @@ func New() *Recorder { return &Recorder{} }
 // work that only exists to feed the recorder (e.g. scheduling extra
 // simulator events for phase boundaries).
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetConcurrent toggles mutex-guarded appends. Turn it on before a run
+// whose engine emits events from multiple goroutines (the sharded
+// simulator), and only while no other recorder method is in flight.
+func (r *Recorder) SetConcurrent(on bool) {
+	if r == nil {
+		return
+	}
+	r.concurrent = on
+}
+
+// SetTag stamps every subsequently appended event's Trace field with
+// tag — the serving path's per-query (or per-group) attribution. An
+// empty tag stops stamping.
+func (r *Recorder) SetTag(tag string) {
+	if r == nil {
+		return
+	}
+	if r.concurrent {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	r.tag = tag
+}
+
+// append stamps the sequence number and the current tag and records the
+// event, under the mutex when the recorder is in concurrent mode.
+func (r *Recorder) append(ev Event) {
+	if r.concurrent {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	ev.Seq = len(r.events)
+	if ev.Trace == "" {
+		ev.Trace = r.tag
+	}
+	r.events = append(r.events, ev)
+}
 
 // Radio returns a netsim tracer that appends radio events to the
 // journal. Install it with Network.SetTracer.
@@ -175,8 +239,8 @@ func (r *Recorder) Radio() netsim.Tracer {
 		default:
 			return
 		}
-		r.events = append(r.events, Event{
-			Seq: len(r.events), At: ev.At, Kind: k,
+		r.append(Event{
+			At: ev.At, Kind: k,
 			Node: ev.Src, Peer: ev.Dst, MsgID: ev.MsgID, Phase: ev.Phase,
 			Packets: ev.Packets, Bytes: ev.Bytes, Expect: ev.Expect,
 			Attempt: ev.Attempt, Logical: ev.Logical, Dup: ev.Dup, Ack: ev.Ack,
@@ -189,18 +253,35 @@ func (r *Recorder) Span(at float64, k Kind, node, peer topology.NodeID, phase st
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
-		Seq: len(r.events), At: at, Kind: k,
+	r.append(Event{
+		At: at, Kind: k,
 		Node: node, Peer: peer, Phase: phase, Arg: arg,
 	})
 }
 
+// SpanTagged is Span with an explicit per-event trace tag overriding
+// the recorder's ambient tag — the group fan-out uses it to attribute
+// each member's rows to that member's own trace ID.
+func (r *Recorder) SpanTagged(at float64, k Kind, node, peer topology.NodeID, phase string, arg int, tag string) {
+	if r == nil {
+		return
+	}
+	r.append(Event{
+		At: at, Kind: k,
+		Node: node, Peer: peer, Phase: phase, Arg: arg, Trace: tag,
+	})
+}
+
 // Mark returns the current journal length; JournalSince and Truncate
-// take it to delimit one execution inside a longer recording.
+// take it to delimit one execution inside a longer recording. Marking
+// seals the buffer: the canonical sort never moves an event across a
+// mark, so a later journal cut contains exactly the events recorded
+// after the mark.
 func (r *Recorder) Mark() int {
 	if r == nil {
 		return 0
 	}
+	r.seal()
 	return len(r.events)
 }
 
@@ -211,22 +292,106 @@ func (r *Recorder) Truncate(mark int) {
 		return
 	}
 	r.events = r.events[:mark]
+	if r.sealed > mark {
+		r.sealed = mark
+	}
 }
 
 // Journal returns the full recording. The events alias the recorder's
 // buffer; audit before recording further.
 func (r *Recorder) Journal() *Journal { return r.JournalSince(0) }
 
-// JournalSince returns the recording from mark on.
+// JournalSince returns the recording from mark on, in canonical order.
+//
+// Canonical order sorts the buffer's unsealed tail by the full event
+// record — simulated time major, then node, kind and every remaining
+// field — so a journal depends only on the multiset of events, never on
+// emission interleaving. That is what makes sharded-engine journals
+// byte-identical to the classic engine's for any shard count. Sorting
+// only the tail is sound because executions never rewind simulated
+// time past an already-cut journal.
 func (r *Recorder) JournalSince(mark int) *Journal {
 	if r == nil {
 		return &Journal{}
 	}
+	r.seal()
 	return &Journal{Events: r.events[mark:]}
 }
 
-// Journal is a finished recording: events in simulated-time order (ties
-// in emission order).
+// seal sorts the buffer's unsealed tail into canonical order and
+// extends the sealed prefix over it. Sorting only the tail is sound
+// because simulated time never rewinds past a seal point (marks and
+// journal cuts happen between runs, with the simulator quiescent).
+func (r *Recorder) seal() {
+	if r.sealed == len(r.events) {
+		return
+	}
+	tail := r.events[r.sealed:]
+	sort.SliceStable(tail, func(i, j int) bool { return canonLess(&tail[i], &tail[j]) })
+	for i := range tail {
+		tail[i].Seq = r.sealed + i
+	}
+	r.sealed = len(r.events)
+}
+
+// canonLess is the canonical journal order: a full-record lexicographic
+// key with the simulated timestamp major. Two equal records compare
+// equal, so identical event multisets produce identical journals
+// regardless of the order the engine emitted them in.
+func canonLess(a, b *Event) bool {
+	switch {
+	case a.At != b.At:
+		return a.At < b.At
+	case a.Node != b.Node:
+		return a.Node < b.Node
+	case a.Kind != b.Kind:
+		return kindRank(a.Kind) < kindRank(b.Kind)
+	case a.Peer != b.Peer:
+		return a.Peer < b.Peer
+	case a.MsgID != b.MsgID:
+		return a.MsgID < b.MsgID
+	case a.Phase != b.Phase:
+		return a.Phase < b.Phase
+	case a.Arg != b.Arg:
+		return a.Arg < b.Arg
+	case a.Attempt != b.Attempt:
+		return a.Attempt < b.Attempt
+	case a.Logical != b.Logical:
+		return a.Logical < b.Logical
+	case a.Packets != b.Packets:
+		return a.Packets < b.Packets
+	case a.Bytes != b.Bytes:
+		return a.Bytes < b.Bytes
+	case a.Expect != b.Expect:
+		return a.Expect < b.Expect
+	case a.Dup != b.Dup:
+		return b.Dup
+	case a.Ack != b.Ack:
+		return b.Ack
+	default:
+		return a.Trace < b.Trace
+	}
+}
+
+// kindRank orders kinds within one (time, node) instant so the
+// canonical order keeps phase brackets meaningful: a phase-start
+// precedes the node's same-instant radio traffic, a phase-end follows
+// it, and the remaining span kinds sit in between in enum order.
+func kindRank(k Kind) int {
+	switch {
+	case k == KindPhaseStart:
+		return 0
+	case k.Radio():
+		return 1 + int(k)
+	case k == KindPhaseEnd:
+		return 1 << 10
+	default:
+		return 8 + int(k)
+	}
+}
+
+// Journal is a finished recording: events in canonical order (simulated
+// time major; full-record tie-break, see JournalSince).
 type Journal struct {
 	Events []Event
 }

@@ -56,6 +56,10 @@ type Options struct {
 	// cancels the query and Next returns a *TimeoutError. 0 uses the
 	// client's DialConfig.QueryTimeout (which defaults to none).
 	Timeout time.Duration
+	// TraceID names this query in the server's flight recorder
+	// (/debug/queries). Empty lets the server assign one; either way
+	// the effective ID is returned on Table.TraceID.
+	TraceID string
 }
 
 // DialConfig tunes a connection and its failure behaviour.
@@ -114,6 +118,13 @@ type Table struct {
 	// queries per protocol round.
 	Shared      bool
 	ClusterSize int
+	// TraceID identifies this query in the server's flight recorder:
+	// GET /debug/queries on the observability port lists recent
+	// executions (phase latencies, cache and sharing facts), and when
+	// Sampled is true, /debug/queries?trace=<TraceID> serves the
+	// query's full span tree as JSONL.
+	TraceID string
+	Sampled bool
 }
 
 // ServerError is a query or session failure reported by the server.
@@ -392,6 +403,7 @@ func (c *Client) Stream(src string, o Options) (*Stream, error) {
 	q := proto.Query{
 		ID: id, Src: src, Method: o.Method, At: o.At,
 		Rounds: o.Rounds, Nodes: o.Nodes, Seed: o.Seed,
+		TraceID: o.TraceID,
 	}
 	w.wmu.Lock()
 	werr := proto.WriteFrame(w.conn, proto.KindQuery, q)
@@ -489,6 +501,7 @@ func (s *Stream) Next() (*Table, error) {
 				Members: e.Members, ResponseTime: e.ResponseTime,
 				CacheHit: s.header.CacheHit,
 				Shared:   s.header.Shared, ClusterSize: s.header.ClusterSize,
+				TraceID: s.header.TraceID, Sampled: s.header.Sampled,
 			}
 			if t.Rows == nil {
 				t.Rows = [][]float64{}

@@ -57,26 +57,39 @@ trap 'kill $OBS_PID 2>/dev/null || true' EXIT
 wait $OBS_PID
 trap - EXIT
 cmp /tmp/sensjoin-tables-plain.txt /tmp/sensjoin-tables-served.txt
-# Serving smoke (sensjoind lifecycle): start the daemon, run concurrent
-# client queries, validate every sensjoind_* metric family with the
-# in-repo Prometheus validator, then drain with SIGTERM — the daemon
-# must exit 0.
+# Serving smoke (sensjoind lifecycle): start the daemon with every
+# query span-sampled, run concurrent client queries (one with a
+# client-chosen trace ID), validate every sensjoind_* metric family —
+# including the per-phase latency histogram and the traced-query
+# counter — with the in-repo Prometheus validator, assert the flight
+# recorder lists the traced query and serves its non-empty span tree,
+# then drain with SIGTERM — the daemon must exit 0.
 go build -o /tmp/sensjoind ./cmd/sensjoind
 go build -o /tmp/sensjoinctl ./cmd/sensjoinctl
-/tmp/sensjoind -listen 127.0.0.1:39415 -http 127.0.0.1:39416 -nodes 150 2>/dev/null &
+/tmp/sensjoind -listen 127.0.0.1:39415 -http 127.0.0.1:39416 -nodes 150 -trace-sample 1 2>/dev/null &
 SJD_PID=$!
 trap 'kill $SJD_PID 2>/dev/null || true' EXIT
 i=0; until /tmp/sensjoin-promcheck -raw http://127.0.0.1:39416/healthz >/dev/null 2>&1; do
   i=$((i+1)); [ $i -le 50 ] || exit 1; sleep 0.1
 done
-/tmp/sensjoinctl -addr 127.0.0.1:39415 'SELECT A.temp, B.hum FROM Sensors A, Sensors B WHERE A.temp - B.temp > 5.0 ONCE' > /dev/null 2>&1 & C1=$!
+/tmp/sensjoinctl -addr 127.0.0.1:39415 -trace ci-smoke-1 'SELECT A.temp, B.hum FROM Sensors A, Sensors B WHERE A.temp - B.temp > 5.0 ONCE' > /dev/null 2>&1 & C1=$!
 /tmp/sensjoinctl -addr 127.0.0.1:39415 'SELECT MIN(distance(A.x, A.y, B.x, B.y)) FROM Sensors A, Sensors B WHERE A.temp - B.temp > 6.0 ONCE' > /dev/null 2>&1 & C2=$!
 /tmp/sensjoinctl -addr 127.0.0.1:39415 -rounds 2 'SELECT A.temp FROM Sensors A, Sensors B WHERE A.temp = B.temp SAMPLE PERIOD 30' > /dev/null 2>&1 & C3=$!
 wait $C1; wait $C2; wait $C3
-/tmp/sensjoin-promcheck -require sensjoind_sessions,sensjoind_sessions_total,sensjoind_queries_total,sensjoind_rejected_total,sensjoind_prepared_cache_hits_total,sensjoind_prepared_cache_misses_total,sensjoind_queue_depth,sensjoind_active_queries,sensjoind_query_seconds,sensjoind_shared_queries_total,sensjoind_shared_rounds_total http://127.0.0.1:39416/metrics
+/tmp/sensjoin-promcheck -require sensjoind_sessions,sensjoind_sessions_total,sensjoind_queries_total,sensjoind_rejected_total,sensjoind_prepared_cache_hits_total,sensjoind_prepared_cache_misses_total,sensjoind_queue_depth,sensjoind_active_queries,sensjoind_query_seconds,sensjoind_shared_queries_total,sensjoind_shared_rounds_total,sensjoind_traced_queries_total,sensjoind_query_phase_seconds http://127.0.0.1:39416/metrics
+/tmp/sensjoin-promcheck -raw -contains '"TraceID": "ci-smoke-1"' http://127.0.0.1:39416/debug/queries
+/tmp/sensjoin-promcheck -raw -contains '"ev"' 'http://127.0.0.1:39416/debug/queries?trace=ci-smoke-1'
 kill -TERM $SJD_PID
 wait $SJD_PID
 trap - EXIT
+# Sharded-trace determinism: the journal a sharded engine records must
+# be byte-identical to the classic engine's, and six audit passes must
+# stay clean on it; sharded metrics must not fall back to classic.
+go test -run 'TestShardTrace|TestShardMetrics' ./internal/core
+# Flight-recorder & trace-propagation race pass (beyond the general
+# server race run): the bounded ring under concurrent writers/readers,
+# and per-member span attribution through a shared query group.
+go test -race -run 'Flight|Trace' ./internal/server
 # Serving load (X9, time-budgeted): sustained QPS through the daemon
 # with every table checked byte-for-byte against direct execution. The
 # JSON artifact is what CI uploads.
